@@ -1,0 +1,140 @@
+// Command racagent demonstrates the full pipeline against live HTTP traffic:
+// it starts the in-process three-tier bookstore, aims a TPC-W-style load
+// generator at it, and runs the RAC agent (or a baseline) for a number of
+// iterations, printing every step. The time scale is compressed 100×, so an
+// iteration's "5-minute" measurement interval takes ~1.5 s of wall clock.
+//
+// Examples:
+//
+//	racagent -iters 20
+//	racagent -agent trial-and-error -clients 80 -mix ordering
+//	racagent -level Level-3 -maxclients 50
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/rac-project/rac"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "racagent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("racagent", flag.ContinueOnError)
+	var (
+		iters      = fs.Int("iters", 20, "tuning iterations")
+		clients    = fs.Int("clients", 60, "emulated browsers")
+		mixName    = fs.String("mix", "shopping", "traffic mix")
+		levelName  = fs.String("level", "Level-2", "app/db VM level")
+		agentKind  = fs.String("agent", "rac", "agent: rac|static|trial-and-error|hillclimb")
+		seed       = fs.Uint64("seed", 1, "seed")
+		interval   = fs.Duration("interval", 1500*time.Millisecond, "wall-clock measurement interval")
+		maxClients = fs.Int("maxclients", 50, "starting MaxClients (a poor default shows tuning)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := parseMix(*mixName)
+	if err != nil {
+		return err
+	}
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		return err
+	}
+
+	space := rac.DefaultSpace()
+	start := space.DefaultConfig().With(space, rac.MaxClients, *maxClients)
+	start, err = space.Clamp(start)
+	if err != nil {
+		return err
+	}
+	params, err := rac.ParamsFromConfig(space, start)
+	if err != nil {
+		return err
+	}
+
+	server, err := rac.NewLiveServer(params, level)
+	if err != nil {
+		return err
+	}
+	addr, err := server.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}()
+	fmt.Printf("bookstore on http://%s  (%s, %d browsers, %s)\n", addr, mix, *clients, level)
+
+	driver, err := rac.NewLoadDriver("http://"+addr, rac.Workload{Mix: mix, Clients: *clients}, *seed)
+	if err != nil {
+		return err
+	}
+	live, err := rac.NewLiveSystem(space, server, driver, start)
+	if err != nil {
+		return err
+	}
+	live.Interval = *interval
+
+	var tuner rac.Tuner
+	switch *agentKind {
+	case "rac":
+		tuner, err = rac.NewAgent(live, rac.AgentOptions{Seed: *seed})
+	case "static":
+		tuner, err = rac.NewStaticAgent(live, rac.DefaultOptions())
+	case "trial-and-error":
+		tuner, err = rac.NewTrialAndErrorAgent(live, rac.DefaultOptions())
+	case "hillclimb":
+		tuner, err = rac.NewHillClimbAgent(live, rac.DefaultOptions())
+	default:
+		return fmt.Errorf("unknown agent %q", *agentKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
+	for i := 0; i < *iters; i++ {
+		step, err := tuner.Step()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  %11.3f  %8.1f  %s\n",
+			step.Iteration, step.MeanRT, step.Throughput, step.Action.Describe(space))
+	}
+	st := server.Stats()
+	fmt.Printf("\nserver stats: served=%d rejected=%d sessions=%d\n",
+		st.Served, st.Rejected, st.Sessions)
+	return nil
+}
+
+func parseMix(name string) (rac.Mix, error) {
+	for _, m := range []rac.Mix{rac.Browsing, rac.Shopping, rac.Ordering} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mix %q", name)
+}
+
+func parseLevel(name string) (rac.Level, error) {
+	for _, l := range []rac.Level{rac.Level1, rac.Level2, rac.Level3} {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return rac.Level{}, fmt.Errorf("unknown level %q", name)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/rac-project/rac"
+)
+
+func TestParseMix(t *testing.T) {
+	for _, want := range []rac.Mix{rac.Browsing, rac.Shopping, rac.Ordering} {
+		got, err := parseMix(want.String())
+		if err != nil || got != want {
+			t.Errorf("parseMix(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if _, err := parseMix("nope"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, want := range []rac.Level{rac.Level1, rac.Level2, rac.Level3} {
+		got, err := parseLevel(want.Name)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v", want.Name, got, err)
+		}
+	}
+	if _, err := parseLevel("Level-9"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-mix", "bogus", "-iters", "1"}); err == nil {
+		t.Error("bogus mix accepted")
+	}
+	if err := run([]string{"-agent", "bogus", "-iters", "1"}); err == nil {
+		t.Error("bogus agent accepted")
+	}
+	if err := run([]string{"-level", "bogus", "-iters", "1"}); err == nil {
+		t.Error("bogus level accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command racbench regenerates the paper's evaluation figures on the
+// simulated testbed.
+//
+// Examples:
+//
+//	racbench -fig fig5            # one figure, rendered as a table
+//	racbench -all -csv out/       # all figures, also written as CSV
+//	racbench -fig fig2 -quick     # fast low-fidelity pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/rac-project/rac/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "racbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("racbench", flag.ContinueOnError)
+	var (
+		figID  = fs.String("fig", "", "figure to regenerate (fig1..fig10)")
+		all    = fs.Bool("all", false, "regenerate every figure")
+		seed   = fs.Uint64("seed", 1, "experiment seed")
+		quick  = fs.Bool("quick", false, "low-fidelity fast mode")
+		simPol = fs.Bool("simpolicy", false, "train initial policies by sampling the simulator (slow) instead of the analytic surface")
+		csvDir = fs.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *figID == "" {
+		return fmt.Errorf("pass -fig <id> or -all (ids: %v)", bench.FigureIDs())
+	}
+
+	h := bench.New(bench.Options{
+		Seed:        *seed,
+		Quick:       *quick,
+		SimSampling: *simPol,
+	})
+	gens := h.Figures()
+
+	ids := bench.FigureIDs()
+	if !*all {
+		gen, ok := gens[*figID]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (ids: %v)", *figID, ids)
+		}
+		ids = []string{*figID}
+		_ = gen
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := gens[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, fig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, fig *bench.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fig.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fig.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

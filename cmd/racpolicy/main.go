@@ -1,0 +1,162 @@
+// Command racpolicy manages offline initialization policies (paper
+// Algorithm 2): it trains a policy for a system context and saves it as
+// JSON, or inspects a saved policy. Training against the simulator mirrors
+// the paper's "more than ten hours" of offline data collection (compressed
+// to minutes of wall clock); the analytic backend trains in seconds.
+//
+// Examples:
+//
+//	racpolicy -train context-3 -o ctx3.policy.json
+//	racpolicy -train context-1 -backend sim -coarse 3 -o ctx1.policy.json
+//	racpolicy -inspect ctx3.policy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/rac-project/rac"
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "racpolicy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("racpolicy", flag.ContinueOnError)
+	var (
+		train   = fs.String("train", "", "train a policy for a context (context-1..context-6)")
+		out     = fs.String("o", "", "output file for -train (default <context>.policy.json)")
+		backend = fs.String("backend", "analytic", "sampling backend: analytic|sim")
+		coarse  = fs.Int("coarse", 4, "coarse sampling levels per parameter group")
+		seed    = fs.Uint64("seed", 1, "training seed")
+		inspect = fs.String("inspect", "", "inspect a saved policy file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *train != "":
+		return trainPolicy(*train, *out, *backend, *coarse, *seed)
+	case *inspect != "":
+		return inspectPolicy(*inspect)
+	default:
+		return fmt.Errorf("pass -train <context> or -inspect <file>")
+	}
+}
+
+func trainPolicy(ctxName, out, backend string, coarse int, seed uint64) error {
+	ctx, err := system.ContextByName(ctxName)
+	if err != nil {
+		return err
+	}
+	space := config.Default()
+
+	var sampler core.Sampler
+	switch backend {
+	case "analytic":
+		sys, err := system.NewAnalytic(system.AnalyticOptions{Space: space, Context: ctx})
+		if err != nil {
+			return err
+		}
+		sampler = rac.SystemSampler(sys)
+	case "sim":
+		sys, err := system.NewSimulated(system.SimulatedOptions{
+			Space: space, Context: ctx, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		sampler = rac.SystemSampler(sys)
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+
+	start := time.Now()
+	fmt.Printf("training policy for %s (%s backend, %d coarse levels)...\n", ctx, backend, coarse)
+	policy, err := core.LearnPolicy(ctx.Name, space, sampler, core.InitOptions{
+		CoarseLevels: coarse,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %.1fs\n", time.Since(start).Seconds())
+
+	if out == "" {
+		out = ctx.Name + ".policy.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := policy.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("saved to %s\n", out)
+
+	// Show the policy's view of a few landmark configurations.
+	def := space.DefaultConfig()
+	fmt.Printf("predicted rt at Table-1 defaults: %.3fs\n", policy.PredictRT(def))
+	return nil
+}
+
+func inspectPolicy(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	space := config.Default()
+	policy, err := core.LoadPolicy(f, space)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy:   %s\n", policy.Name())
+	fmt.Printf("SLA:      %.2fs\n", policy.SLA())
+	fmt.Printf("q-states: %d\n", policy.GroupQTable().Len())
+
+	def := space.DefaultConfig()
+	fmt.Printf("predicted rt at defaults: %.3fs\n", policy.PredictRT(def))
+	// Walk the greedy group policy from the default configuration.
+	fmt.Println("\ngreedy walk from the Table-1 defaults:")
+	cur := def.Clone()
+	seeder := policy.Seeder()
+	acts := config.Actions(space)
+	for step := 0; step < 12; step++ {
+		row := seeder(cur.Key())
+		if row == nil {
+			break
+		}
+		best, bestV := 0, row[0]
+		for i, a := range acts {
+			if _, ok := a.Apply(space, cur); !ok {
+				continue
+			}
+			if row[i] > bestV {
+				best, bestV = i, row[i]
+			}
+		}
+		if acts[best].Dir == config.Keep {
+			fmt.Printf("  step %2d: keep (stable)\n", step+1)
+			break
+		}
+		next, _ := acts[best].Apply(space, cur)
+		fmt.Printf("  step %2d: %-28s → predicted %.3fs\n",
+			step+1, acts[best].Describe(space), policy.PredictRT(next))
+		cur = next
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command racsim runs single scenarios of the simulated three-tier website:
+// steady-state measurements under a chosen configuration, or one-parameter
+// sweeps. It is the low-level inspection tool; cmd/racbench regenerates the
+// paper's figures and cmd/racagent runs the RL agent.
+//
+// Examples:
+//
+//	racsim -mix ordering -clients 400 -level Level-1
+//	racsim -sweep MaxClients -mix ordering -level Level-3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "racsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("racsim", flag.ContinueOnError)
+	var (
+		mixName  = fs.String("mix", "ordering", "workload mix: browsing|shopping|ordering")
+		clients  = fs.Int("clients", 400, "emulated browser population")
+		level    = fs.String("level", "Level-1", "app/db VM allocation: Level-1|Level-2|Level-3")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		warmup   = fs.Float64("warmup", 120, "warm-up seconds (virtual)")
+		interval = fs.Float64("interval", 120, "measurement interval seconds (virtual)")
+		sweep    = fs.String("sweep", "", "sweep one parameter by name (e.g. MaxClients)")
+		cfgStr   = fs.String("config", "", "comma-separated configuration vector (Table 1 order)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := tpcw.ParseMix(*mixName)
+	if err != nil {
+		return err
+	}
+	lvl, err := vmenv.ByName(*level)
+	if err != nil {
+		return err
+	}
+	space := config.Default()
+	cfg := space.DefaultConfig()
+	if *cfgStr != "" {
+		parsed, err := config.ParseKey(*cfgStr)
+		if err != nil {
+			return err
+		}
+		if cfg, err = space.Clamp(parsed); err != nil {
+			return err
+		}
+	}
+	workload := tpcw.Workload{Mix: mix, Clients: *clients}
+
+	if *sweep != "" {
+		return runSweep(space, cfg, workload, lvl, *sweep, *seed, *warmup, *interval)
+	}
+	return runOnce(space, cfg, workload, lvl, *seed, *warmup, *interval)
+}
+
+func measure(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
+	seed uint64, warmup, interval float64) (webtier.Stats, error) {
+
+	params, err := webtier.ParamsFromConfig(space, cfg)
+	if err != nil {
+		return webtier.Stats{}, err
+	}
+	model, err := webtier.New(webtier.Options{
+		Params:   &params,
+		Workload: w,
+		AppLevel: lvl,
+		Seed:     seed,
+	})
+	if err != nil {
+		return webtier.Stats{}, err
+	}
+	model.Warmup(warmup)
+	return model.Run(interval)
+}
+
+func runOnce(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
+	seed uint64, warmup, interval float64) error {
+
+	st, err := measure(space, cfg, w, lvl, seed, warmup, interval)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s on %s\n", w, lvl)
+	fmt.Printf("config:   %s\n", cfg.Format(space))
+	fmt.Printf("meanRT %.3fs  p95 %.3fs  X %.1f req/s  inflight %.1f  wait %.1f  util %.2f  io %.2f  workers %.0f  threads %.0f\n",
+		st.MeanRT, st.P95RT, st.Throughput, st.MeanInFlight, st.MeanWaiting,
+		st.AppVMUtil, st.IOFactor, st.WebWorkers, st.AppThreads)
+	return nil
+}
+
+func runSweep(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
+	paramName string, seed uint64, warmup, interval float64) error {
+
+	var def config.Def
+	found := false
+	idx := 0
+	for i, d := range space.Defs() {
+		if d.Name == paramName {
+			def, found, idx = d, true, i
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown parameter %q", paramName)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tmeanRT(s)\tp95(s)\tX(req/s)\tinflight\twait\tutil\tio\n", def.Name)
+	for lvlIdx := 0; lvlIdx < def.Levels(); lvlIdx++ {
+		v := def.Value(lvlIdx)
+		c := cfg.Clone()
+		c[idx] = v
+		st, err := measure(space, c, w, lvl, seed, warmup, interval)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n",
+			v, st.MeanRT, st.P95RT, st.Throughput, st.MeanInFlight,
+			st.MeanWaiting, st.AppVMUtil, st.IOFactor)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,100 @@
+// Command tpcwgen inspects the TPC-W-like workload model: the interaction
+// mixes, per-class service demands, and sampled request traces.
+//
+// Examples:
+//
+//	tpcwgen -mixes                  # class probabilities per mix
+//	tpcwgen -demands                # per-class service demands
+//	tpcwgen -trace 20 -mix ordering # sample a request trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tpcwgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tpcwgen", flag.ContinueOnError)
+	var (
+		mixes   = fs.Bool("mixes", false, "print class probabilities per mix")
+		demands = fs.Bool("demands", false, "print per-class service demands")
+		trace   = fs.Int("trace", 0, "sample N interactions of a request trace")
+		mixName = fs.String("mix", "shopping", "mix for -trace")
+		seed    = fs.Uint64("seed", 1, "trace seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*mixes && !*demands && *trace == 0 {
+		*mixes, *demands = true, true
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if *mixes {
+		fmt.Fprintln(tw, "class\tbrowsing\tshopping\tordering")
+		probs := map[tpcw.Mix][]float64{}
+		for _, m := range tpcw.Mixes() {
+			probs[m] = tpcw.ClassProbs(m)
+		}
+		for i, c := range tpcw.Classes() {
+			fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n",
+				c, probs[tpcw.Browsing][i], probs[tpcw.Shopping][i], probs[tpcw.Ordering][i])
+		}
+		fmt.Fprintln(tw)
+	}
+	if *demands {
+		fmt.Fprintln(tw, "class\tweb(ms)\tapp(ms)\tdb(ms)\tio(ms)")
+		for _, c := range tpcw.Classes() {
+			d := tpcw.ClassDemand(c)
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				c, d.Web*1000, d.App*1000, d.DB*1000, d.IO*1000)
+		}
+		fmt.Fprintln(tw, "\nmix\tmean web(ms)\tmean app(ms)\tmean db(ms)\tmean io(ms)")
+		for _, m := range tpcw.Mixes() {
+			d := tpcw.MeanDemand(m)
+			fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				m, d.Web*1000, d.App*1000, d.DB*1000, d.IO*1000)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if *trace > 0 {
+		mix, err := tpcw.ParseMix(*mixName)
+		if err != nil {
+			return err
+		}
+		gen, err := tpcw.NewGenerator(mix, sim.NewRNG(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace of %d %s interactions:\n", *trace, mix)
+		clock := 0.0
+		for i := 0; i < *trace; i++ {
+			clock += gen.ThinkTime()
+			class := gen.NextClass()
+			d := gen.RequestDemand(class)
+			end := ""
+			if gen.SessionOver() {
+				end = "  [session ends]"
+			}
+			fmt.Printf("t=%7.1fs  %-7s web=%4.1fms app=%4.1fms db=%4.1fms io=%4.1fms%s\n",
+				clock, class, d.Web*1000, d.App*1000, d.DB*1000, d.IO*1000, end)
+		}
+	}
+	return nil
+}

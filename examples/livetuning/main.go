@@ -1,0 +1,83 @@
+// Live tuning: the RAC agent against a *real* HTTP system. The program
+// starts the in-process three-tier bookstore (package httpd) on a loopback
+// port, drives TPC-W-style load at it with real HTTP clients, and lets the
+// agent tune MaxClients, thread pools, keep-alive and session timeouts from
+// response times alone — the paper's non-intrusive deployment, compressed
+// 100× in time so it finishes in under a minute.
+//
+//	go run ./examples/livetuning
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/rac-project/rac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A deliberately poor starting configuration: a tiny worker pool that
+	// queues the 60-browser population.
+	space := rac.DefaultSpace()
+	start := space.DefaultConfig()
+	start = start.With(space, rac.MaxClients, 50)
+	start = start.With(space, rac.MaxThreads, 50)
+	params, err := rac.ParamsFromConfig(space, start)
+	if err != nil {
+		return err
+	}
+
+	server, err := rac.NewLiveServer(params, rac.Level2)
+	if err != nil {
+		return err
+	}
+	addr, err := server.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	fmt.Printf("three-tier bookstore serving on http://%s\n", addr)
+
+	driver, err := rac.NewLoadDriver("http://"+addr, rac.Workload{Mix: rac.Shopping, Clients: 60}, 21)
+	if err != nil {
+		return err
+	}
+	live, err := rac.NewLiveSystem(space, server, driver, start)
+	if err != nil {
+		return err
+	}
+	live.Interval = 1500 * time.Millisecond
+
+	agent, err := rac.NewAgent(live, rac.AgentOptions{Seed: 2})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
+	for i := 1; i <= 20; i++ {
+		step, err := agent.Step()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  %11.3f  %8.1f  %s\n",
+			i, step.MeanRT, step.Throughput, step.Action.Describe(space))
+	}
+	fmt.Printf("\nfinal config: %s\n", agent.Config().Format(space))
+	st := server.Stats()
+	fmt.Printf("server stats: served=%d rejected=%d sessions=%d\n", st.Served, st.Rejected, st.Sessions)
+	return nil
+}

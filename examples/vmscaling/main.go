@@ -1,0 +1,90 @@
+// VM scaling: the paper's second dynamic. The website runs the ordering mix
+// while the app/db VM is reallocated from Level-1 down to Level-3 and back —
+// the configuration that was right for the strong VM is wrong for the weak
+// one (paper §2.2 and Fig. 3), and the RAC agent re-tunes after each
+// reallocation.
+//
+//	go run ./examples/vmscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rac-project/rac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx2, err := rac.ContextByName("context-2") // ordering on Level-1
+	if err != nil {
+		return err
+	}
+	ctx3, err := rac.ContextByName("context-3") // ordering on Level-3
+	if err != nil {
+		return err
+	}
+
+	space := rac.DefaultSpace()
+	store := rac.NewPolicyStore()
+	var initial *rac.Policy
+	for _, ctx := range []rac.Context{ctx2, ctx3} {
+		analytic, err := rac.NewAnalyticSystem(rac.AnalyticOptions{Context: ctx, Space: space})
+		if err != nil {
+			return err
+		}
+		p, err := rac.LearnPolicy(ctx.Name, space, rac.SystemSampler(analytic), rac.InitOptions{})
+		if err != nil {
+			return err
+		}
+		store.Add(p)
+		if initial == nil {
+			initial = p
+		}
+	}
+
+	sys, err := rac.NewSimulatedSystem(rac.SimulatedOptions{
+		Space:          space,
+		Context:        ctx2,
+		Seed:           5,
+		SettleSeconds:  20,
+		MeasureSeconds: 120,
+	})
+	if err != nil {
+		return err
+	}
+	agent, err := rac.NewAgent(sys, rac.AgentOptions{Policy: initial, Store: store, Seed: 13})
+	if err != nil {
+		return err
+	}
+
+	schedule := map[int]rac.Level{
+		16: rac.Level3, // resources reclaimed by the cloud operator
+		32: rac.Level1, // and handed back
+	}
+	fmt.Println("iter   rt(s)   level    note")
+	for i := 1; i <= 48; i++ {
+		note := ""
+		if level, ok := schedule[i]; ok {
+			if err := sys.SetAppLevel(level); err != nil {
+				return err
+			}
+			note = "→ VM reallocated to " + level.Name
+		}
+		step, err := agent.Step()
+		if err != nil {
+			return err
+		}
+		if step.Switched {
+			note = fmt.Sprintf("RAC switched to policy %q", step.PolicyName)
+		}
+		fmt.Printf("%4d  %6.3f  %-8s %s\n", i, step.MeanRT, sys.AppLevel().Name, note)
+	}
+	fmt.Printf("\nfinal config: %s\n", agent.Config().Format(space))
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/rac-project/rac
+
+go 1.22

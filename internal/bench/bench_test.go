@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/system"
+)
+
+func quickHarness(seed uint64) *Harness {
+	return New(Options{Seed: seed, Quick: true})
+}
+
+func TestFigureIDsCoverPaper(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 10 {
+		t.Fatalf("%d figures, want 10", len(ids))
+	}
+	gens := quickHarness(1).Figures()
+	for _, id := range ids {
+		if gens[id] == nil {
+			t.Errorf("no generator for %s", id)
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	fig := &Figure{
+		ID:     "figX",
+		Title:  "test figure",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{1, 2},
+		Series: []Series{
+			{Label: "a", Values: []float64{0.5, 1.5}},
+			{Label: "b", Values: []float64{2.5}},
+		},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "test figure", "a note", "0.500", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	// Missing values render as empty cells.
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Fatalf("short series not padded: %q", lines[2])
+	}
+}
+
+func TestPolicyCaching(t *testing.T) {
+	h := quickHarness(2)
+	ctx, err := system.ContextByName("context-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := h.Policy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := h.Policy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("policy not cached")
+	}
+	store, err := h.Store(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 || store.ByName("context-1") != p1 {
+		t.Fatal("store does not reuse cached policy")
+	}
+}
+
+func TestRunScheduleDrivesAgents(t *testing.T) {
+	h := quickHarness(3)
+	ctx1, _ := system.ContextByName("context-1")
+	ctx2, _ := system.ContextByName("context-2")
+	phases := []Phase{
+		{Context: ctx1, Iterations: 2},
+		{Context: ctx2, Iterations: 2},
+	}
+	mk := func(sys system.System) (core.Tuner, error) {
+		return core.NewStaticAgent(sys, core.DefaultOptions())
+	}
+	results, err := h.RunSchedule(mk, phases, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Iteration != i+1 || r.MeanRT <= 0 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	if _, err := h.RunSchedule(mk, nil, 1); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestFig04QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	fig, err := quickHarness(4).Fig04()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("fig4 has %d series", len(fig.Series))
+	}
+	if len(fig.X) != 12 {
+		t.Fatalf("fig4 sweeps %d points, want 12 MaxClients levels", len(fig.X))
+	}
+	for _, s := range fig.Series {
+		if len(s.Values) != len(fig.X) {
+			t.Fatalf("series %s has %d values", s.Label, len(s.Values))
+		}
+		for i, v := range s.Values {
+			if s.Label == "measured" && v <= 0 {
+				t.Fatalf("non-positive measurement at %d", i)
+			}
+		}
+	}
+	// The regression must be a reasonable fit: within 3x of the measured
+	// range everywhere (it is a degree-2 fit of a noisy curve).
+	for i := range fig.X {
+		m, f := fig.Series[0].Values[i], fig.Series[1].Values[i]
+		if f > m*5+1 || m > f*5+1 {
+			t.Fatalf("fit far from data at x=%v: measured %v fitted %v", fig.X[i], m, f)
+		}
+	}
+}
+
+func TestFig06QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	fig, err := quickHarness(5).Fig06()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("fig6 has %d series", len(fig.Series))
+	}
+	labels := fig.Series[0].Label + fig.Series[1].Label
+	if !strings.Contains(labels, "with-online-learning") ||
+		!strings.Contains(labels, "without-online-learning") {
+		t.Fatalf("fig6 labels: %v", labels)
+	}
+	for _, s := range fig.Series {
+		for _, v := range s.Values {
+			if v <= 0 {
+				t.Fatalf("non-positive RT in %s", s.Label)
+			}
+		}
+	}
+}

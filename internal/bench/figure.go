@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Series is one labeled line (or bar group) of a figure.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Figure is a reproduced experiment result: the series the paper plots, plus
+// the harness's notes on what was measured.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for i := range f.X {
+		row := []string{formatNum(f.X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.3f", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteCSV writes the figure as CSV with an x column and one column per
+// series.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range f.X {
+		row := []string{formatNum(f.X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, strconv.FormatFloat(s.Values[i], 'f', 6, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatNum(x float64) string {
+	if x == float64(int64(x)) {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', 4, 64)
+}
+
+// seqX returns 1..n as float64 (iteration axes).
+func seqX(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+// meanOf returns the arithmetic mean of xs (0 for empty).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,554 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/regression"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+)
+
+// rtSeries extracts mean response times from step results.
+func rtSeries(results []core.StepResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.MeanRT
+	}
+	return out
+}
+
+// Fig01 reproduces paper Figure 1: no single configuration suits all
+// workload mixes. For each mix the harness finds the best configuration over
+// its test cases (the coarse grouped lattice, on Level-1), then measures
+// every mix under every mix's best configuration.
+func (h *Harness) Fig01() (*Figure, error) {
+	mixes := tpcw.Mixes()
+	best := make([]config.Config, len(mixes))
+	for i, mix := range mixes {
+		cfg, _, err := h.bestGroupedConfig(contextWith(mix, vmenv.Level1))
+		if err != nil {
+			return nil, err
+		}
+		best[i] = cfg
+	}
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Performance under configurations tuned for different workloads (Level-1)",
+		XLabel: "workload",
+		YLabel: "mean response time (s)",
+		X:      []float64{1, 2, 3},
+		Notes: []string{
+			"x: 1=browsing 2=shopping 3=ordering",
+		},
+	}
+	seeds := h.averagingSeeds()
+	for bi, mix := range mixes {
+		series := Series{Label: fmt.Sprintf("%s-best", mix)}
+		for _, target := range mixes {
+			rt, err := h.measureConfig(contextWith(target, vmenv.Level1), best[bi], seeds)
+			if err != nil {
+				return nil, err
+			}
+			series.Values = append(series.Values, rt)
+		}
+		fig.Series = append(fig.Series, series)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s-best config: %s", mix, best[bi].Format(h.space)))
+	}
+	return fig, nil
+}
+
+// Fig02 reproduces paper Figure 2: the effect of MaxClients under different
+// VM levels (ordering mix). The optimal MaxClients shifts down as the VM
+// gets stronger.
+func (h *Harness) Fig02() (*Figure, error) {
+	idx, ok := h.space.Lookup(config.MaxClients)
+	if !ok {
+		return nil, fmt.Errorf("bench: space lacks MaxClients")
+	}
+	def := h.space.Def(idx)
+	fig := &Figure{
+		ID:     "fig2",
+		Title:  "Effect of MaxClients on performance per VM level (ordering mix)",
+		XLabel: "MaxClients",
+		YLabel: "mean response time (s)",
+	}
+	for l := 0; l < def.Levels(); l++ {
+		fig.X = append(fig.X, float64(def.Value(l)))
+	}
+	seeds := h.averagingSeeds()
+	for _, level := range vmenv.Levels() {
+		series := Series{Label: level.Name}
+		for l := 0; l < def.Levels(); l++ {
+			cfg := h.space.DefaultConfig()
+			cfg[idx] = def.Value(l)
+			rt, err := h.measureConfig(contextWith(tpcw.Ordering, level), cfg, seeds)
+			if err != nil {
+				return nil, err
+			}
+			series.Values = append(series.Values, rt)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig03 reproduces paper Figure 3: no single configuration suits all VM
+// levels (ordering mix). Per-level best configurations are cross-applied.
+func (h *Harness) Fig03() (*Figure, error) {
+	levels := vmenv.Levels()
+	best := make([]config.Config, len(levels))
+	for i, level := range levels {
+		cfg, _, err := h.bestGroupedConfig(contextWith(tpcw.Ordering, level))
+		if err != nil {
+			return nil, err
+		}
+		best[i] = cfg
+	}
+	fig := &Figure{
+		ID:     "fig3",
+		Title:  "Performance under configurations tuned for different VM levels (ordering mix)",
+		XLabel: "level",
+		YLabel: "mean response time (s)",
+		X:      []float64{1, 2, 3},
+		Notes:  []string{"x: 1=Level-1 2=Level-2 3=Level-3"},
+	}
+	seeds := h.averagingSeeds()
+	for bi, level := range levels {
+		series := Series{Label: fmt.Sprintf("%s-best", level.Name)}
+		for _, target := range levels {
+			rt, err := h.measureConfig(contextWith(tpcw.Ordering, target), best[bi], seeds)
+			if err != nil {
+				return nil, err
+			}
+			series.Values = append(series.Values, rt)
+		}
+		fig.Series = append(fig.Series, series)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s-best config: %s", level.Name, best[bi].Format(h.space)))
+	}
+	return fig, nil
+}
+
+// Fig04 reproduces paper Figure 4: the concave-upward effect of MaxClients
+// and its polynomial-regression fit (ordering on Level-1).
+func (h *Harness) Fig04() (*Figure, error) {
+	idx, ok := h.space.Lookup(config.MaxClients)
+	if !ok {
+		return nil, fmt.Errorf("bench: space lacks MaxClients")
+	}
+	def := h.space.Def(idx)
+	ctx := contextWith(tpcw.Ordering, vmenv.Level1)
+	seeds := h.averagingSeeds()
+
+	var xs, ys []float64
+	for l := 0; l < def.Levels(); l++ {
+		v := def.Value(l)
+		cfg := h.space.DefaultConfig()
+		cfg[idx] = v
+		rt, err := h.measureConfig(ctx, cfg, seeds)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, float64(v))
+		ys = append(ys, rt)
+	}
+	// Fit in log space, as policy initialization does: the response time
+	// spans orders of magnitude across the overload cliff and a raw
+	// polynomial would go negative on the flat side.
+	logYs := make([]float64, len(ys))
+	for i, y := range ys {
+		logYs[i] = math.Log(math.Max(y, 1e-3))
+	}
+	poly, err := regression.FitPoly(xs, logYs, 2)
+	if err != nil {
+		return nil, err
+	}
+	fitted := make([]float64, len(xs))
+	for i, x := range xs {
+		fitted[i] = math.Exp(poly.Eval(x))
+	}
+	return &Figure{
+		ID:     "fig4",
+		Title:  "Concave upward effect of MaxClients and regression fit (ordering, Level-1)",
+		XLabel: "MaxClients",
+		YLabel: "mean response time (s)",
+		X:      xs,
+		Series: []Series{
+			{Label: "measured", Values: ys},
+			{Label: "regression", Values: fitted},
+		},
+		Notes: []string{
+			fmt.Sprintf("degree-2 fit of log(rt): %s", poly),
+			fmt.Sprintf("R^2 (log space) = %.3f", regression.RSquared(logYs, preds(poly, xs))),
+		},
+	}, nil
+}
+
+// preds evaluates the polynomial over xs.
+func preds(p *regression.Poly, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = p.Eval(x)
+	}
+	return out
+}
+
+// fig5Schedule is the context sequence of Figures 5 and 10: context-1 for a
+// third of the run, then context-2 (traffic change), then context-3 (VM
+// reallocation).
+func (h *Harness) fig5Schedule() ([]Phase, []system.Context, error) {
+	var ctxs []system.Context
+	for _, name := range []string{"context-1", "context-2", "context-3"} {
+		c, err := system.ContextByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctxs = append(ctxs, c)
+	}
+	per := h.iterations(30)
+	phases := []Phase{
+		{Context: ctxs[0], Iterations: per},
+		{Context: ctxs[1], Iterations: per},
+		{Context: ctxs[2], Iterations: per},
+	}
+	return phases, ctxs, nil
+}
+
+// Fig05 reproduces paper Figure 5: RAC (with adaptive policy initialization)
+// versus the static default configuration and the trial-and-error tuner
+// across three consecutive system contexts.
+func (h *Harness) Fig05() (*Figure, error) {
+	phases, ctxs, err := h.fig5Schedule()
+	if err != nil {
+		return nil, err
+	}
+	store, err := h.Store(ctxs...)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := h.Policy(ctxs[0])
+	if err != nil {
+		return nil, err
+	}
+
+	rac := func(sys system.System) (core.Tuner, error) {
+		return core.NewAgent(sys, core.AgentOptions{
+			Options: h.opts.Agent,
+			Policy:  initial,
+			Store:   store,
+			Seed:    h.opts.Seed ^ 0x5AC,
+		})
+	}
+	static := func(sys system.System) (core.Tuner, error) {
+		return core.NewStaticAgent(sys, h.opts.Agent)
+	}
+	tae := func(sys system.System) (core.Tuner, error) {
+		return core.NewTrialAndErrorAgent(sys, h.opts.Agent)
+	}
+
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Online performance of auto-configuration policies across context changes",
+		XLabel: "iteration",
+		YLabel: "mean response time (s)",
+	}
+	for _, run := range []struct {
+		label string
+		mk    TunerFactory
+		salt  uint64
+	}{
+		{"RAC", rac, 11},
+		{"static-default", static, 11},
+		{"trial-and-error", tae, 11},
+	} {
+		results, err := h.RunSchedule(run.mk, phases, run.salt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig5 %s: %w", run.label, err)
+		}
+		fig.Series = append(fig.Series, Series{Label: run.label, Values: rtSeries(results)})
+	}
+	fig.X = seqX(len(fig.Series[0].Values))
+	per := phases[0].Iterations
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("context-1 iters 1-%d, context-2 iters %d-%d, context-3 iters %d-%d",
+			per, per+1, 2*per, 2*per+1, 3*per))
+	return fig, nil
+}
+
+// Fig06 reproduces paper Figure 6: the effect of online learning. Both
+// agents start from the context's offline policy; one keeps learning online,
+// the other follows it greedily. The paper evaluates context-1; context-3 is
+// added because the offline (analytic-surface) policy misfits the stressed
+// simulator most there, which is exactly the gap online learning closes.
+func (h *Harness) Fig06() (*Figure, error) {
+	iters := h.iterations(40)
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Effect of online training (contexts 1 and 3)",
+		XLabel: "iteration",
+		YLabel: "mean response time (s)",
+		X:      seqX(iters),
+	}
+	for _, name := range []string{"context-1", "context-3"} {
+		ctx, err := system.ContextByName(name)
+		if err != nil {
+			return nil, err
+		}
+		policy, err := h.Policy(ctx)
+		if err != nil {
+			return nil, err
+		}
+		phases := []Phase{{Context: ctx, Iterations: iters}}
+		for _, run := range []struct {
+			label  string
+			frozen bool
+		}{
+			{name + "/with-online-learning", false},
+			{name + "/without-online-learning", true},
+		} {
+			frozen := run.frozen
+			mk := func(sys system.System) (core.Tuner, error) {
+				return core.NewAgent(sys, core.AgentOptions{
+					Options: h.opts.Agent,
+					Policy:  policy,
+					Frozen:  frozen,
+					Seed:    h.opts.Seed ^ 0x6F6,
+				})
+			}
+			results, err := h.RunSchedule(mk, phases, 23)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig6 %s: %w", run.label, err)
+			}
+			fig.Series = append(fig.Series, Series{Label: run.label, Values: rtSeries(results)})
+		}
+	}
+	return fig, nil
+}
+
+// Fig07 reproduces paper Figures 7(a) and 7(b): RAC with and without policy
+// initialization under context-2 and context-4.
+func (h *Harness) Fig07() (*Figure, error) {
+	iters := h.iterations(40)
+	fig := &Figure{
+		ID:     "fig7",
+		Title:  "Performance with and without policy initialization",
+		XLabel: "iteration",
+		YLabel: "mean response time (s)",
+		X:      seqX(iters),
+	}
+	for _, name := range []string{"context-2", "context-4"} {
+		ctx, err := system.ContextByName(name)
+		if err != nil {
+			return nil, err
+		}
+		policy, err := h.Policy(ctx)
+		if err != nil {
+			return nil, err
+		}
+		phases := []Phase{{Context: ctx, Iterations: iters}}
+		for _, run := range []struct {
+			label  string
+			policy *core.Policy
+		}{
+			{name + "/with-init", policy},
+			{name + "/without-init", nil},
+		} {
+			p := run.policy
+			mk := func(sys system.System) (core.Tuner, error) {
+				return core.NewAgent(sys, core.AgentOptions{
+					Options: h.opts.Agent,
+					Policy:  p,
+					Seed:    h.opts.Seed ^ 0x707,
+				})
+			}
+			results, err := h.RunSchedule(mk, phases, 31)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig7 %s: %w", run.label, err)
+			}
+			fig.Series = append(fig.Series, Series{Label: run.label, Values: rtSeries(results)})
+		}
+	}
+	return fig, nil
+}
+
+// Fig08 reproduces paper Figure 8: the effect of the online exploration
+// rate (0.05, 0.1, 0.3) in context-1.
+func (h *Harness) Fig08() (*Figure, error) {
+	ctx, err := system.ContextByName("context-1")
+	if err != nil {
+		return nil, err
+	}
+	policy, err := h.Policy(ctx)
+	if err != nil {
+		return nil, err
+	}
+	iters := h.iterations(40)
+	phases := []Phase{{Context: ctx, Iterations: iters}}
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  "Effect of online exploration rate (context-1)",
+		XLabel: "iteration",
+		YLabel: "mean response time (s)",
+		X:      seqX(iters),
+	}
+	for _, eps := range []float64{0.05, 0.1, 0.3} {
+		opts := h.opts.Agent
+		opts.Online.Epsilon = eps
+		mk := func(sys system.System) (core.Tuner, error) {
+			return core.NewAgent(sys, core.AgentOptions{
+				Options: opts,
+				Policy:  policy,
+				Seed:    h.opts.Seed ^ 0x808,
+			})
+		}
+		results, err := h.RunSchedule(mk, phases, 41)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig8 eps=%v: %w", eps, err)
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("rate-%.2f", eps),
+			Values: rtSeries(results),
+		})
+	}
+	return fig, nil
+}
+
+// Fig09 reproduces paper Figures 9(a) and 9(b): a static initial policy
+// (trained for context-2) versus the adaptive (context-matched) policy under
+// context-5 and context-6.
+func (h *Harness) Fig09() (*Figure, error) {
+	staticPolicy, err := h.Policy(mustContext("context-2"))
+	if err != nil {
+		return nil, err
+	}
+	iters := h.iterations(40)
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  "Static vs adaptive policy initialization",
+		XLabel: "iteration",
+		YLabel: "mean response time (s)",
+		X:      seqX(iters),
+	}
+	for _, name := range []string{"context-5", "context-6"} {
+		ctx, err := system.ContextByName(name)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := h.Policy(ctx)
+		if err != nil {
+			return nil, err
+		}
+		phases := []Phase{{Context: ctx, Iterations: iters}}
+		for _, run := range []struct {
+			label  string
+			policy *core.Policy
+		}{
+			{name + "/adaptive-init", adaptive},
+			{name + "/static-init", staticPolicy},
+		} {
+			p := run.policy
+			mk := func(sys system.System) (core.Tuner, error) {
+				return core.NewAgent(sys, core.AgentOptions{
+					Options: h.opts.Agent,
+					Policy:  p,
+					Seed:    h.opts.Seed ^ 0x909,
+				})
+			}
+			results, err := h.RunSchedule(mk, phases, 47)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig9 %s: %w", run.label, err)
+			}
+			fig.Series = append(fig.Series, Series{Label: run.label, Values: rtSeries(results)})
+		}
+	}
+	return fig, nil
+}
+
+// Fig10 reproduces paper Figure 10: adaptive initialization vs a fixed
+// static policy vs no initialization under the Figure 5 context schedule.
+func (h *Harness) Fig10() (*Figure, error) {
+	phases, ctxs, err := h.fig5Schedule()
+	if err != nil {
+		return nil, err
+	}
+	store, err := h.Store(ctxs...)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := h.Policy(ctxs[0])
+	if err != nil {
+		return nil, err
+	}
+	staticPolicy, err := h.Policy(mustContext("context-2"))
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "fig10",
+		Title:  "Online adaptation of RL policies under context changes",
+		XLabel: "iteration",
+		YLabel: "mean response time (s)",
+	}
+	runs := []struct {
+		label  string
+		policy *core.Policy
+		store  *core.PolicyStore
+	}{
+		{"adaptive-init", initial, store},
+		{"static-init", staticPolicy, nil},
+		{"without-init", nil, nil},
+	}
+	for _, run := range runs {
+		p, s := run.policy, run.store
+		mk := func(sys system.System) (core.Tuner, error) {
+			return core.NewAgent(sys, core.AgentOptions{
+				Options: h.opts.Agent,
+				Policy:  p,
+				Store:   s,
+				Seed:    h.opts.Seed ^ 0xA0A,
+			})
+		}
+		results, err := h.RunSchedule(mk, phases, 53)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig10 %s: %w", run.label, err)
+		}
+		fig.Series = append(fig.Series, Series{Label: run.label, Values: rtSeries(results)})
+	}
+	fig.X = seqX(len(fig.Series[0].Values))
+	return fig, nil
+}
+
+// mustContext returns a Table 2 context by name; the names are compile-time
+// constants in this package, so failure is a programming error.
+func mustContext(name string) system.Context {
+	c, err := system.ContextByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Figures maps figure IDs to their generators.
+func (h *Harness) Figures() map[string]func() (*Figure, error) {
+	return map[string]func() (*Figure, error){
+		"fig1":  h.Fig01,
+		"fig2":  h.Fig02,
+		"fig3":  h.Fig03,
+		"fig4":  h.Fig04,
+		"fig5":  h.Fig05,
+		"fig6":  h.Fig06,
+		"fig7":  h.Fig07,
+		"fig8":  h.Fig08,
+		"fig9":  h.Fig09,
+		"fig10": h.Fig10,
+	}
+}
+
+// FigureIDs returns the figure identifiers in paper order.
+func FigureIDs() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+}

@@ -1,0 +1,317 @@
+// Package bench regenerates the paper's evaluation: one function per figure,
+// each returning a Figure with the same series the paper plots. The harness
+// owns policy training (with caching), system construction and agent driving
+// so every experiment is reproducible from a single seed.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/queueing"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// Options configure a Harness.
+type Options struct {
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Quick trades fidelity for speed: shorter measurement windows, fewer
+	// averaging seeds and a coarser policy-sampling lattice. Used by tests;
+	// the reported figures run with Quick=false.
+	Quick bool
+	// SimSampling trains initial policies by sampling the simulator (the
+	// paper's offline data collection). When false the harness samples the
+	// analytic queueing surface instead, which is orders of magnitude
+	// faster and yields policies of the same shape.
+	SimSampling bool
+	// Agent hyper-parameters; zero value uses core.DefaultOptions.
+	Agent core.Options
+}
+
+// Harness runs the paper's experiments.
+type Harness struct {
+	opts  Options
+	space *config.Space
+	cal   webtier.Calibration
+
+	mu       sync.Mutex
+	policies map[string]*core.Policy
+}
+
+// New builds a harness.
+func New(opts Options) *Harness {
+	if opts.Agent == (core.Options{}) {
+		opts.Agent = core.DefaultOptions()
+	}
+	return &Harness{
+		opts:     opts,
+		space:    config.Default(),
+		cal:      webtier.DefaultCalibration(),
+		policies: make(map[string]*core.Policy),
+	}
+}
+
+// Space returns the harness's configuration space.
+func (h *Harness) Space() *config.Space { return h.space }
+
+// measureWindows returns (settle, measure) in virtual seconds.
+func (h *Harness) measureWindows() (float64, float64) {
+	if h.opts.Quick {
+		return 15, 60
+	}
+	return 30, 270
+}
+
+// averagingSeeds returns how many independent seeds sweeps average over.
+func (h *Harness) averagingSeeds() int {
+	if h.opts.Quick {
+		return 2
+	}
+	return 4
+}
+
+// coarseLevels returns the per-group sampling granularity for policy
+// initialization.
+func (h *Harness) coarseLevels() int {
+	if h.opts.Quick {
+		return 3
+	}
+	return 4
+}
+
+// iterations scales a full-size iteration count down in quick mode.
+func (h *Harness) iterations(full int) int {
+	if h.opts.Quick {
+		n := full / 3
+		if n < 4 {
+			n = 4
+		}
+		return n
+	}
+	return full
+}
+
+// newSystem builds a simulated system in the context with a derived seed.
+func (h *Harness) newSystem(ctx system.Context, salt uint64) (*system.Simulated, error) {
+	settle, measure := h.measureWindows()
+	return system.NewSimulated(system.SimulatedOptions{
+		Space:          h.space,
+		Context:        ctx,
+		Seed:           h.opts.Seed*2654435761 + salt,
+		SettleSeconds:  settle,
+		MeasureSeconds: measure,
+	})
+}
+
+// measureConfig measures one configuration in a fresh system (averaged over
+// the harness's averaging seeds).
+func (h *Harness) measureConfig(ctx system.Context, cfg config.Config, seeds int) (float64, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var sum float64
+	for s := 0; s < seeds; s++ {
+		sys, err := h.newSystem(ctx, uint64(s)*7919+uint64(len(cfg)))
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.Apply(cfg); err != nil {
+			return 0, err
+		}
+		m, err := sys.Measure()
+		if err != nil {
+			return 0, err
+		}
+		sum += m.MeanRT
+	}
+	return sum / float64(seeds), nil
+}
+
+// analyticRT predicts a configuration's response time from the queueing
+// surface.
+func (h *Harness) analyticRT(ctx system.Context, cfg config.Config) (float64, error) {
+	params, err := webtier.ParamsFromConfig(h.space, cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := queueing.SolveWebsite(h.cal, params, ctx.Workload, ctx.Level)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanRT, nil
+}
+
+// Policy returns (training and caching on first use) the initial policy for
+// a context.
+func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
+	key := fmt.Sprintf("%s|%v|%v|%d", ctx.Name, h.opts.Quick, h.opts.SimSampling, h.opts.Seed)
+	h.mu.Lock()
+	if p, ok := h.policies[key]; ok {
+		h.mu.Unlock()
+		return p, nil
+	}
+	h.mu.Unlock()
+
+	var sampler core.Sampler
+	if h.opts.SimSampling {
+		sys, err := h.newSystem(ctx, 0xA11CE)
+		if err != nil {
+			return nil, err
+		}
+		sampler = func(cfg config.Config) (float64, error) {
+			if err := sys.Apply(cfg); err != nil {
+				return 0, err
+			}
+			m, err := sys.Measure()
+			if err != nil {
+				return 0, err
+			}
+			return m.MeanRT, nil
+		}
+	} else {
+		sampler = func(cfg config.Config) (float64, error) {
+			return h.analyticRT(ctx, cfg)
+		}
+	}
+
+	p, err := core.LearnPolicy(ctx.Name, h.space, sampler, core.InitOptions{
+		CoarseLevels: h.coarseLevels(),
+		SLASeconds:   h.opts.Agent.SLASeconds,
+		Seed:         h.opts.Seed ^ 0xBEEF,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: learn policy for %s: %w", ctx.Name, err)
+	}
+	h.mu.Lock()
+	h.policies[key] = p
+	h.mu.Unlock()
+	return p, nil
+}
+
+// Store builds a policy store covering the given contexts.
+func (h *Harness) Store(contexts ...system.Context) (*core.PolicyStore, error) {
+	store := core.NewPolicyStore()
+	for _, ctx := range contexts {
+		p, err := h.Policy(ctx)
+		if err != nil {
+			return nil, err
+		}
+		store.Add(p)
+	}
+	return store, nil
+}
+
+// Phase is one segment of a context schedule.
+type Phase struct {
+	Context    system.Context
+	Iterations int
+}
+
+// TunerFactory builds an agent bound to a system.
+type TunerFactory func(sys system.System) (core.Tuner, error)
+
+// RunSchedule drives an agent through the context phases on its own
+// simulated system, returning one StepResult per iteration. The driver — not
+// the agent — applies the context changes, exactly like the paper's testbed
+// operator changing traffic or VM allocation.
+func (h *Harness) RunSchedule(mk TunerFactory, phases []Phase, salt uint64) ([]core.StepResult, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("bench: empty schedule")
+	}
+	sys, err := h.newSystem(phases[0].Context, salt)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := mk(sys)
+	if err != nil {
+		return nil, err
+	}
+	var results []core.StepResult
+	for pi, phase := range phases {
+		if pi > 0 {
+			if err := system.ApplyContext(sys, phase.Context); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < phase.Iterations; i++ {
+			res, err := tuner.Step()
+			if err != nil {
+				return nil, fmt.Errorf("bench: phase %d iter %d: %w", pi, i, err)
+			}
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+// bestGroupedConfig searches the coarse grouped sublattice for the
+// configuration with the lowest measured response time in the context — the
+// paper's "best configuration (out of our test cases)".
+func (h *Harness) bestGroupedConfig(ctx system.Context) (config.Config, float64, error) {
+	k := h.coarseLevels()
+	groups := config.GroupMembers(h.space)
+	order := make([]config.Group, 0, len(groups))
+	for _, g := range config.Groups() {
+		if len(groups[g]) > 0 {
+			order = append(order, g)
+		}
+	}
+	coarse := make(map[config.Group][]int, len(order))
+	for _, g := range order {
+		vals, err := config.CoarseValues(h.space, g, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		coarse[g] = vals
+	}
+
+	var (
+		bestCfg config.Config
+		bestRT  float64
+		found   bool
+	)
+	assign := make(map[config.Group]int, len(order))
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(order) {
+			cfg, err := config.GroupedConfig(h.space, assign)
+			if err != nil {
+				return err
+			}
+			rt, err := h.analyticRT(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			if !found || rt < bestRT {
+				bestCfg, bestRT, found = cfg, rt, true
+			}
+			return nil
+		}
+		for _, v := range coarse[order[i]] {
+			assign[order[i]] = v
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, 0, err
+	}
+	return bestCfg, bestRT, nil
+}
+
+// contextWith returns a paper context overridden to the given mix or level.
+func contextWith(mix tpcw.Mix, level vmenv.Level) system.Context {
+	return system.Context{
+		Name:     fmt.Sprintf("%s@%s", mix, level.Name),
+		Workload: tpcw.Workload{Mix: mix, Clients: system.DefaultClients},
+		Level:    level,
+	}
+}

@@ -1,0 +1,150 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestActionsCount(t *testing.T) {
+	s := Default()
+	acts := Actions(s)
+	if len(acts) != 2*s.Len()+1 {
+		t.Fatalf("got %d actions, want %d", len(acts), 2*s.Len()+1)
+	}
+	if acts[0].Dir != Keep {
+		t.Fatal("first action is not keep")
+	}
+}
+
+func TestActionsOrderingStable(t *testing.T) {
+	s := Default()
+	a := Actions(s)
+	b := Actions(s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("action ordering unstable at %d", i)
+		}
+	}
+	// Convention relied on by core.Policy.Seeder: index 1+2i increases
+	// parameter i, index 2+2i decreases it.
+	for i := 0; i < s.Len(); i++ {
+		if a[1+2*i].ParamIndex != i || a[1+2*i].Dir != Increase {
+			t.Fatalf("action %d is not increase(param %d)", 1+2*i, i)
+		}
+		if a[2+2*i].ParamIndex != i || a[2+2*i].Dir != Decrease {
+			t.Fatalf("action %d is not decrease(param %d)", 2+2*i, i)
+		}
+	}
+}
+
+func TestActionApply(t *testing.T) {
+	s := Default()
+	cfg := s.DefaultConfig()
+	idx, _ := s.Lookup(MaxClients)
+	def := s.Def(idx)
+
+	up := Action{ParamIndex: idx, Dir: Increase}
+	next, ok := up.Apply(s, cfg)
+	if !ok {
+		t.Fatal("increase infeasible from default")
+	}
+	if next[idx] != cfg[idx]+def.Step {
+		t.Fatalf("increase moved to %d", next[idx])
+	}
+	if cfg[idx] != 150 {
+		t.Fatal("Apply mutated input")
+	}
+
+	keep := Action{Dir: Keep}
+	same, ok := keep.Apply(s, cfg)
+	if !ok || !same.Equal(cfg) {
+		t.Fatal("keep changed the configuration")
+	}
+}
+
+func TestActionApplyEdges(t *testing.T) {
+	s := Default()
+	cfg := s.DefaultConfig()
+	idx, _ := s.Lookup(MaxClients)
+	def := s.Def(idx)
+
+	atMax := cfg.Clone()
+	atMax[idx] = def.Max
+	if _, ok := (Action{ParamIndex: idx, Dir: Increase}).Apply(s, atMax); ok {
+		t.Fatal("increase beyond max allowed")
+	}
+	atMin := cfg.Clone()
+	atMin[idx] = def.Min
+	if _, ok := (Action{ParamIndex: idx, Dir: Decrease}).Apply(s, atMin); ok {
+		t.Fatal("decrease below min allowed")
+	}
+}
+
+func TestActionApplyBadIndex(t *testing.T) {
+	s := Default()
+	cfg := s.DefaultConfig()
+	if _, ok := (Action{ParamIndex: 99, Dir: Increase}).Apply(s, cfg); ok {
+		t.Fatal("out-of-range parameter applied")
+	}
+	if _, ok := (Action{ParamIndex: -1, Dir: Decrease}).Apply(s, cfg); ok {
+		t.Fatal("negative parameter applied")
+	}
+}
+
+func TestActionApplyStaysOnLattice(t *testing.T) {
+	s := Default()
+	acts := Actions(s)
+	check := func(seed uint16) bool {
+		cfg := make(Config, s.Len())
+		v := int(seed)
+		for i, d := range s.Defs() {
+			v = (v*17 + 3) % d.Levels()
+			cfg[i] = d.Value(v)
+		}
+		for _, a := range acts {
+			next, ok := a.Apply(s, cfg)
+			if !ok {
+				continue
+			}
+			if err := s.Validate(next); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActionInverse(t *testing.T) {
+	// increase then decrease returns to the origin wherever both apply.
+	s := Default()
+	cfg := s.DefaultConfig()
+	for i := 0; i < s.Len(); i++ {
+		up, okUp := (Action{ParamIndex: i, Dir: Increase}).Apply(s, cfg)
+		if !okUp {
+			continue
+		}
+		back, okDown := (Action{ParamIndex: i, Dir: Decrease}).Apply(s, up)
+		if !okDown || !back.Equal(cfg) {
+			t.Fatalf("param %d: inc/dec not inverse", i)
+		}
+	}
+}
+
+func TestActionDescribe(t *testing.T) {
+	s := Default()
+	if got := (Action{Dir: Keep}).Describe(s); got != "keep" {
+		t.Fatalf("keep described as %q", got)
+	}
+	if got := (Action{ParamIndex: 0, Dir: Increase}).Describe(s); got != "increase MaxClients" {
+		t.Fatalf("described as %q", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Increase.String() != "increase" || Decrease.String() != "decrease" || Keep.String() != "keep" {
+		t.Fatal("direction names wrong")
+	}
+}

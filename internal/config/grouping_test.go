@@ -1,0 +1,144 @@
+package config
+
+import "testing"
+
+func TestGroupMembersCoversAllParams(t *testing.T) {
+	s := Default()
+	members := GroupMembers(s)
+	total := 0
+	for _, idx := range members {
+		total += len(idx)
+	}
+	if total != s.Len() {
+		t.Fatalf("group members cover %d of %d params", total, s.Len())
+	}
+	// The paper's example groupings.
+	cap := members[GroupCapacity]
+	if len(cap) != 2 {
+		t.Fatalf("capacity group has %d members", len(cap))
+	}
+	for _, i := range cap {
+		name := s.Def(i).Name
+		if name != "MaxClients" && name != "MaxThreads" {
+			t.Fatalf("capacity group contains %s", name)
+		}
+	}
+	to := members[GroupTimeout]
+	for _, i := range to {
+		name := s.Def(i).Name
+		if name != "KeepaliveTimeout" && name != "SessionTimeout" {
+			t.Fatalf("timeout group contains %s", name)
+		}
+	}
+}
+
+func TestCoarseValues(t *testing.T) {
+	s := Default()
+	vals, err := CoarseValues(s, GroupCapacity, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 4 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	if vals[0] != 50 || vals[3] != 600 {
+		t.Fatalf("capacity coarse values %v", vals)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("coarse values not increasing: %v", vals)
+		}
+	}
+}
+
+func TestCoarseValuesErrors(t *testing.T) {
+	s := Default()
+	if _, err := CoarseValues(s, GroupCapacity, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := CoarseValues(s, Group(99), 3); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestGroupedConfig(t *testing.T) {
+	s := Default()
+	values := map[Group]int{
+		GroupCapacity: 300,
+		GroupTimeout:  11,
+		GroupMinSpare: 45,
+		GroupMaxSpare: 55,
+	}
+	cfg, err := GroupedConfig(s, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(cfg); err != nil {
+		t.Fatalf("grouped config off lattice: %v", err)
+	}
+	mc, _ := cfg.Get(s, MaxClients)
+	mt, _ := cfg.Get(s, MaxThreads)
+	if mc != 300 || mt != 300 {
+		t.Fatalf("capacity group not shared: MaxClients=%d MaxThreads=%d", mc, mt)
+	}
+}
+
+func TestGroupedConfigMissingGroup(t *testing.T) {
+	s := Default()
+	if _, err := GroupedConfig(s, map[Group]int{GroupCapacity: 100}); err == nil {
+		t.Fatal("missing groups accepted")
+	}
+}
+
+func TestGroupVector(t *testing.T) {
+	s := Default()
+	values := map[Group]int{
+		GroupCapacity: 200,
+		GroupTimeout:  7,
+		GroupMinSpare: 25,
+		GroupMaxSpare: 35,
+	}
+	cfg, err := GroupedConfig(s, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := GroupVector(s, cfg)
+	if len(vec) != 4 {
+		t.Fatalf("vector length %d", len(vec))
+	}
+	// Capacity members share 200 exactly.
+	if vec[0] != 200 {
+		t.Fatalf("capacity mean %v", vec[0])
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	s := Default()
+	feats, dim := Features(s)
+	if dim != 1+2*s.Len() {
+		t.Fatalf("dim = %d", dim)
+	}
+	min := make(Config, s.Len())
+	max := make(Config, s.Len())
+	for i, d := range s.Defs() {
+		min[i], max[i] = d.Min, d.Max
+	}
+	fMin := feats(min.Key())
+	fMax := feats(max.Key())
+	if len(fMin) != dim || fMin[0] != 1 {
+		t.Fatalf("bad bias/dim: %v", fMin)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if fMin[1+2*i] != 0 || fMin[2+2*i] != 0 {
+			t.Fatalf("min features not zero: %v", fMin)
+		}
+		if fMax[1+2*i] != 1 || fMax[2+2*i] != 1 {
+			t.Fatalf("max features not one: %v", fMax)
+		}
+	}
+	// Garbage states get the bias-only vector.
+	g := feats("garbage")
+	if g[0] != 1 || g[1] != 0 {
+		t.Fatalf("garbage features %v", g)
+	}
+}

@@ -1,0 +1,361 @@
+// Package config models the web-system configuration space the RAC agent
+// searches: the eight performance-critical parameters of paper Table 1, the
+// discrete value lattice each parameter is tuned over, the per-parameter
+// increase/decrease/keep actions, and the parameter groups used during
+// policy-initialization sampling.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tier identifies which tier of the web system a parameter belongs to.
+type Tier int
+
+// Tiers of the three-tier system. The database tier keeps its defaults in the
+// paper, so no parameter carries TierDatabase, but the constant exists for
+// completeness and for the live stack.
+const (
+	TierWeb Tier = iota + 1
+	TierApp
+	TierDatabase
+)
+
+// String returns the lowercase tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierWeb:
+		return "web"
+	case TierApp:
+		return "app"
+	case TierDatabase:
+		return "db"
+	default:
+		return "unknown"
+	}
+}
+
+// Group labels parameters with similar characteristics; during policy
+// initialization all parameters in a group are sampled with a single shared
+// value (paper §4.1 "parameter grouping").
+type Group int
+
+// The four groups of paper §4.1: concurrency limits, connection/session
+// timeouts, minimum spare pool sizes and maximum spare pool sizes.
+const (
+	GroupCapacity Group = iota + 1
+	GroupTimeout
+	GroupMinSpare
+	GroupMaxSpare
+)
+
+// String returns the group name.
+func (g Group) String() string {
+	switch g {
+	case GroupCapacity:
+		return "capacity"
+	case GroupTimeout:
+		return "timeout"
+	case GroupMinSpare:
+		return "minspare"
+	case GroupMaxSpare:
+		return "maxspare"
+	default:
+		return "unknown"
+	}
+}
+
+// Groups returns the group identifiers in a stable order.
+func Groups() []Group {
+	return []Group{GroupCapacity, GroupTimeout, GroupMinSpare, GroupMaxSpare}
+}
+
+// Param identifies one of the eight tunable parameters.
+type Param int
+
+// The eight parameters of paper Table 1.
+const (
+	MaxClients Param = iota + 1 // web: maximum simultaneous requests
+	KeepAliveTimeout
+	MinSpareServers
+	MaxSpareServers
+	MaxThreads // app: maximum worker threads
+	SessionTimeout
+	MinSpareThreads
+	MaxSpareThreads
+)
+
+// Def describes one tunable parameter: its lattice (Min..Max in Step
+// increments), the Apache/Tomcat default, the owning tier and its sampling
+// group.
+type Def struct {
+	Param   Param
+	Name    string
+	Tier    Tier
+	Group   Group
+	Min     int
+	Max     int
+	Step    int
+	Default int
+	// Unit is a human-readable unit for docs and CLIs ("", "s", "min").
+	Unit string
+}
+
+// Levels returns the number of lattice points for the parameter.
+func (d Def) Levels() int { return (d.Max-d.Min)/d.Step + 1 }
+
+// Value returns the lattice value at index i, clamped to the lattice.
+func (d Def) Value(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if max := d.Levels() - 1; i > max {
+		i = max
+	}
+	return d.Min + i*d.Step
+}
+
+// Index returns the nearest lattice index for value v.
+func (d Def) Index(v int) int {
+	if v <= d.Min {
+		return 0
+	}
+	if v >= d.Max {
+		return d.Levels() - 1
+	}
+	// Round to the nearest step.
+	return (v - d.Min + d.Step/2) / d.Step
+}
+
+// Table1 returns the eight parameter definitions of paper Table 1.
+//
+// The published table lost trailing zeros in typesetting; the ranges below
+// are the standard reconstruction (MaxClients 50..600 etc.) consistent with
+// the Apache/Tomcat defaults named in the text. Step sizes define the online
+// learning lattice; the paper tunes on a finer lattice than it samples during
+// policy initialization, which CoarseValues reproduces.
+func Table1() []Def {
+	return []Def{
+		{Param: MaxClients, Name: "MaxClients", Tier: TierWeb, Group: GroupCapacity,
+			Min: 50, Max: 600, Step: 50, Default: 150},
+		{Param: KeepAliveTimeout, Name: "KeepaliveTimeout", Tier: TierWeb, Group: GroupTimeout,
+			Min: 1, Max: 21, Step: 2, Default: 15, Unit: "s"},
+		{Param: MinSpareServers, Name: "MinSpareServers", Tier: TierWeb, Group: GroupMinSpare,
+			Min: 5, Max: 85, Step: 10, Default: 5},
+		{Param: MaxSpareServers, Name: "MaxSpareServers", Tier: TierWeb, Group: GroupMaxSpare,
+			Min: 15, Max: 95, Step: 10, Default: 15},
+		{Param: MaxThreads, Name: "MaxThreads", Tier: TierApp, Group: GroupCapacity,
+			Min: 50, Max: 600, Step: 50, Default: 200},
+		{Param: SessionTimeout, Name: "SessionTimeout", Tier: TierApp, Group: GroupTimeout,
+			Min: 1, Max: 35, Step: 2, Default: 29, Unit: "min"},
+		{Param: MinSpareThreads, Name: "MinSpareThreads", Tier: TierApp, Group: GroupMinSpare,
+			Min: 5, Max: 85, Step: 10, Default: 5},
+		{Param: MaxSpareThreads, Name: "MaxSpareThreads", Tier: TierApp, Group: GroupMaxSpare,
+			Min: 15, Max: 95, Step: 10, Default: 55},
+	}
+}
+
+// Space is an ordered set of parameter definitions; it defines the discrete
+// configuration lattice the agent searches.
+type Space struct {
+	defs  []Def
+	index map[Param]int
+}
+
+// NewSpace builds a space from defs. It returns an error for empty input,
+// duplicate parameters, or malformed lattices.
+func NewSpace(defs []Def) (*Space, error) {
+	if len(defs) == 0 {
+		return nil, errors.New("config: empty parameter space")
+	}
+	s := &Space{
+		defs:  make([]Def, len(defs)),
+		index: make(map[Param]int, len(defs)),
+	}
+	copy(s.defs, defs)
+	for i, d := range s.defs {
+		if d.Step <= 0 || d.Max < d.Min || (d.Max-d.Min)%d.Step != 0 {
+			return nil, fmt.Errorf("config: malformed lattice for %s [%d,%d] step %d",
+				d.Name, d.Min, d.Max, d.Step)
+		}
+		if d.Default < d.Min || d.Default > d.Max {
+			return nil, fmt.Errorf("config: default %d outside [%d,%d] for %s",
+				d.Default, d.Min, d.Max, d.Name)
+		}
+		if _, dup := s.index[d.Param]; dup {
+			return nil, fmt.Errorf("config: duplicate parameter %s", d.Name)
+		}
+		s.index[d.Param] = i
+	}
+	return s, nil
+}
+
+// MustSpace is NewSpace for statically known-good definitions; it panics on
+// error and is intended for package-level defaults and tests.
+func MustSpace(defs []Def) *Space {
+	s, err := NewSpace(defs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Default returns the full eight-parameter space of paper Table 1.
+func Default() *Space { return MustSpace(Table1()) }
+
+// Len returns the number of parameters.
+func (s *Space) Len() int { return len(s.defs) }
+
+// Defs returns a copy of the parameter definitions in order.
+func (s *Space) Defs() []Def {
+	out := make([]Def, len(s.defs))
+	copy(out, s.defs)
+	return out
+}
+
+// Def returns the definition at position i.
+func (s *Space) Def(i int) Def { return s.defs[i] }
+
+// Lookup returns the position of param within the space.
+func (s *Space) Lookup(param Param) (int, bool) {
+	i, ok := s.index[param]
+	return i, ok
+}
+
+// States returns the total number of lattice points (the product of
+// per-parameter level counts). It saturates at math.MaxInt on overflow,
+// which cannot happen for Table 1 (12·11·9·9·12·18·9·9 ≈ 1.2e7).
+func (s *Space) States() int {
+	total := 1
+	for _, d := range s.defs {
+		total *= d.Levels()
+	}
+	return total
+}
+
+// DefaultConfig returns the configuration with every parameter at its
+// default, snapped onto the lattice.
+func (s *Space) DefaultConfig() Config {
+	c := make(Config, len(s.defs))
+	for i, d := range s.defs {
+		c[i] = d.Value(d.Index(d.Default))
+	}
+	return c
+}
+
+// Clamp snaps every value of c onto the parameter lattice, returning a new
+// configuration. Inputs of the wrong length cause an error.
+func (s *Space) Clamp(c Config) (Config, error) {
+	if len(c) != len(s.defs) {
+		return nil, fmt.Errorf("config: got %d values for %d parameters", len(c), len(s.defs))
+	}
+	out := make(Config, len(c))
+	for i, d := range s.defs {
+		out[i] = d.Value(d.Index(c[i]))
+	}
+	return out, nil
+}
+
+// Validate reports whether c is exactly on the lattice.
+func (s *Space) Validate(c Config) error {
+	if len(c) != len(s.defs) {
+		return fmt.Errorf("config: got %d values for %d parameters", len(c), len(s.defs))
+	}
+	for i, d := range s.defs {
+		v := c[i]
+		if v < d.Min || v > d.Max || (v-d.Min)%d.Step != 0 {
+			return fmt.Errorf("config: %s=%d not on lattice [%d,%d] step %d",
+				d.Name, v, d.Min, d.Max, d.Step)
+		}
+	}
+	return nil
+}
+
+// Config is a point in the configuration lattice: one value per parameter, in
+// space order.
+type Config []int
+
+// Clone returns a deep copy.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports value equality.
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for Q-table and cache lookups.
+func (c Config) Key() string {
+	var b strings.Builder
+	b.Grow(len(c) * 4)
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// ParseKey parses a Key back into a configuration.
+func ParseKey(key string) (Config, error) {
+	if key == "" {
+		return nil, errors.New("config: empty key")
+	}
+	parts := strings.Split(key, ",")
+	c := make(Config, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("config: bad key %q: %w", key, err)
+		}
+		c[i] = v
+	}
+	return c, nil
+}
+
+// Get returns the value of param within the space, or false when absent.
+func (c Config) Get(s *Space, param Param) (int, bool) {
+	i, ok := s.Lookup(param)
+	if !ok || i >= len(c) {
+		return 0, false
+	}
+	return c[i], true
+}
+
+// With returns a copy of c with param set to v (not lattice-checked).
+func (c Config) With(s *Space, param Param, v int) Config {
+	out := c.Clone()
+	if i, ok := s.Lookup(param); ok && i < len(out) {
+		out[i] = v
+	}
+	return out
+}
+
+// Format renders the configuration with parameter names for logs.
+func (c Config) Format(s *Space) string {
+	var b strings.Builder
+	for i, d := range s.defs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if i < len(c) {
+			fmt.Fprintf(&b, "%s=%d", d.Name, c[i])
+		}
+	}
+	return b.String()
+}

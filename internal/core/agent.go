@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/stats"
+	"github.com/rac-project/rac/internal/system"
+)
+
+// StepResult reports one trial-and-error iteration of an agent.
+type StepResult struct {
+	// Iteration counts steps from 1.
+	Iteration int
+	// Action is the reconfiguration taken this step (Keep for agents that
+	// did not move).
+	Action config.Action
+	// Config is the configuration measured this step.
+	Config config.Config
+	// MeanRT is the measured mean response time in seconds.
+	MeanRT float64
+	// Throughput is the measured completion rate in requests/second.
+	Throughput float64
+	// Reward is the immediate reward SLA − MeanRT.
+	Reward float64
+	// Switched reports that the agent detected a context change and swapped
+	// its initial policy this step.
+	Switched bool
+	// PolicyName is the active initial policy, if any.
+	PolicyName string
+	// Violations is the current consecutive-violation count.
+	Violations int
+}
+
+// Tuner is a configuration agent driven in discrete iterations. All agents
+// in this package (RAC, static default, trial-and-error, hill climbing)
+// implement it, so the experiment harness runs them interchangeably.
+type Tuner interface {
+	// Step measures one interval, possibly reconfiguring first, and reports
+	// the outcome.
+	Step() (StepResult, error)
+}
+
+// Agent is the RAC online agent (paper Algorithm 3): ε-greedy actions from a
+// Q-table seeded by an initial policy, per-interval batch retraining over the
+// measured region, and context-change detection with policy switching.
+type Agent struct {
+	sys     system.System
+	space   *config.Space
+	opts    Options
+	actions []config.Action
+	rng     *sim.RNG
+
+	q       *mdp.QTable
+	learner *mdp.Learner
+	policy  *Policy
+	store   *PolicyStore
+	frozen  bool
+
+	cur        config.Config
+	samples    map[string]float64
+	window     *stats.Window
+	violations int
+	iteration  int
+}
+
+var _ Tuner = (*Agent)(nil)
+
+// AgentOptions configure NewAgent.
+type AgentOptions struct {
+	// Options are the hyper-parameters; zero value uses DefaultOptions.
+	Options Options
+	// Policy is the initial policy (nil = no initialization: the agent
+	// starts from a zero Q-table, paper §5.4's "w/o init" configuration).
+	Policy *Policy
+	// Store enables adaptive policy switching on context changes (nil =
+	// static initialization: the agent keeps its initial policy, §5.4's
+	// "static init").
+	Store *PolicyStore
+	// Frozen disables online learning (paper §5.3 "w/o online learning"):
+	// the agent follows the initial policy greedily and never retrains.
+	Frozen bool
+	// Seed drives exploration.
+	Seed uint64
+}
+
+// NewAgent builds a RAC agent tuning the given system.
+func NewAgent(sys system.System, opts AgentOptions) (*Agent, error) {
+	if sys == nil {
+		return nil, errors.New("core: nil system")
+	}
+	o := opts.Options
+	if o == (Options{}) {
+		o = DefaultOptions()
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	space := sys.Space()
+	if opts.Policy != nil && opts.Policy.Space() != space {
+		// Policies must be trained on the same space object to guarantee
+		// identical action ordering.
+		if opts.Policy.Space().Len() != space.Len() {
+			return nil, fmt.Errorf("core: policy space has %d parameters, system %d",
+				opts.Policy.Space().Len(), space.Len())
+		}
+	}
+	rng := sim.NewRNG(opts.Seed | 1)
+	if opts.Frozen {
+		o.Online.Epsilon = 0
+	}
+	a := &Agent{
+		sys:     sys,
+		space:   space,
+		opts:    o,
+		actions: config.Actions(space),
+		rng:     rng,
+		policy:  opts.Policy,
+		store:   opts.Store,
+		frozen:  opts.Frozen,
+		cur:     sys.Config(),
+		samples: make(map[string]float64),
+		window:  stats.NewWindow(o.Window),
+	}
+	a.resetQ()
+	return a, nil
+}
+
+// resetQ rebuilds the online Q-table, seeded by the active policy.
+func (a *Agent) resetQ() {
+	a.q = mdp.NewQTable(len(a.actions), 0)
+	if a.policy != nil {
+		a.q.SetSeeder(a.policy.Seeder())
+	}
+	learner, err := mdp.NewLearner(a.q, a.opts.Online, a.rng.Split())
+	if err != nil {
+		// Options were validated in NewAgent; this cannot fail.
+		panic(err)
+	}
+	a.learner = learner
+}
+
+// Policy returns the active initial policy (nil when uninitialized).
+func (a *Agent) Policy() *Policy { return a.policy }
+
+// Config returns the agent's current configuration.
+func (a *Agent) Config() config.Config { return a.cur.Clone() }
+
+// QTable exposes the online Q-table for diagnostics.
+func (a *Agent) QTable() *mdp.QTable { return a.q }
+
+// Step performs one iteration of Algorithm 3: issue a reconfiguration action
+// from the current Q-table, measure, detect context changes (switching the
+// initial policy after s_thr consecutive violations), then retrain the
+// Q-table in batch over the measured region.
+func (a *Agent) Step() (StepResult, error) {
+	a.iteration++
+
+	// 1. Issue a reconfiguration action (ε-greedy over feasible actions).
+	feasible := a.feasibleActions(a.cur)
+	choice := a.learner.SelectAction(a.cur.Key(), feasible)
+	action := a.actions[choice]
+	next, _ := action.Apply(a.space, a.cur)
+	if err := a.sys.Apply(next); err != nil {
+		return StepResult{}, fmt.Errorf("core: apply %s: %w", next.Key(), err)
+	}
+
+	// 2. Measure the new configuration.
+	m, err := a.sys.Measure()
+	if err != nil {
+		return StepResult{}, fmt.Errorf("core: measure: %w", err)
+	}
+	rt := m.MeanRT
+	reward := a.opts.RewardOf(m)
+
+	res := StepResult{
+		Iteration:  a.iteration,
+		Action:     action,
+		Config:     next.Clone(),
+		MeanRT:     rt,
+		Throughput: m.Throughput,
+		Reward:     reward,
+	}
+
+	// 3. Context-change detection against the recent average.
+	if a.window.Len() >= 3 {
+		pvar := stats.RelChange(rt, a.window.Mean())
+		if pvar >= a.opts.ViolationThreshold {
+			a.violations++
+		} else {
+			a.violations = 0
+		}
+	}
+	a.window.Add(rt)
+	res.Violations = a.violations
+
+	// 4. Policy switching.
+	if a.violations >= a.opts.SwitchThreshold && a.store != nil && a.store.Len() > 0 {
+		if p, err := a.store.Match(next, rt); err == nil && p != nil {
+			a.policy = p
+			a.resetQ()
+			// Context changed: previous measurements describe the old
+			// context.
+			a.samples = make(map[string]float64)
+			a.window.Reset()
+			a.violations = 0
+			res.Switched = true
+		}
+	}
+	if a.policy != nil {
+		res.PolicyName = a.policy.Name()
+	}
+
+	// 5. Record the measurement and retrain the Q-table over the region
+	// (skipped when online learning is disabled).
+	if !a.frozen {
+		a.record(next.Key(), rt)
+		if err := a.retrain(); err != nil {
+			return StepResult{}, err
+		}
+	}
+
+	a.cur = next
+	return res, nil
+}
+
+// record folds a measurement into the per-state sample table.
+func (a *Agent) record(key string, rt float64) {
+	if old, ok := a.samples[key]; ok {
+		a.samples[key] = 0.5*old + 0.5*rt
+	} else {
+		a.samples[key] = rt
+	}
+}
+
+// retrain runs the per-interval batch training pass (Algorithm 3 step 9).
+func (a *Agent) retrain() error {
+	var predict func(config.Config) float64
+	if a.policy != nil {
+		predict = a.policy.PredictRT
+	}
+	model := newRegionModel(a.space, a.samples, predict, a.opts.SLASeconds)
+	cfg := mdp.BatchConfig{
+		Params:        a.opts.Batch,
+		StepsPerState: a.opts.BatchStepsPerState,
+		MaxSweeps:     a.opts.BatchSweeps,
+		Theta:         a.opts.BatchTheta,
+	}
+	if _, err := mdp.BatchTrain(a.q, model, cfg, a.rng.Split()); err != nil {
+		return fmt.Errorf("core: retrain: %w", err)
+	}
+	return nil
+}
+
+// feasibleActions lists action indices applicable at cfg.
+func (a *Agent) feasibleActions(cfg config.Config) []int {
+	out := make([]int, 0, len(a.actions))
+	for i, act := range a.actions {
+		if _, ok := act.Apply(a.space, cfg); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

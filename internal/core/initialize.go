@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/regression"
+	"github.com/rac-project/rac/internal/sim"
+)
+
+// Sampler measures the mean response time of one configuration. Policy
+// initialization drives it over the coarse grouped sublattice; it is usually
+// backed by system.System (apply + measure) or, for fast approximate
+// policies, by the analytic queueing model.
+type Sampler func(cfg config.Config) (float64, error)
+
+// InitOptions configure LearnPolicy.
+type InitOptions struct {
+	// CoarseLevels is the number of coarse sample values per parameter
+	// group (paper §4.1 "coarse granularity"); at least 2, default 4.
+	CoarseLevels int
+	// Batch configures the offline RL pass over the group lattice; zero
+	// value uses mdp.DefaultBatchConfig with the paper's offline
+	// hyper-parameters (α=0.1, γ=0.9, ε=0.1).
+	Batch mdp.BatchConfig
+	// SLASeconds is the reward reference; default 2 s (DefaultOptions).
+	SLASeconds float64
+	// Seed drives the offline training exploration.
+	Seed uint64
+}
+
+// LearnPolicy runs the paper's policy-initialization procedure (Algorithm 2)
+// for one system context:
+//
+//  1. group parameters with similar characteristics,
+//  2. sample the performance of coarse grouped configurations,
+//  3. fit a polynomial regression predicting unvisited configurations,
+//  4. train an initial Q-table offline over the group lattice.
+//
+// The sampler is invoked once per coarse grouped configuration
+// (CoarseLevels^G calls).
+func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOptions) (*Policy, error) {
+	if space == nil {
+		return nil, errors.New("core: nil space")
+	}
+	if sample == nil {
+		return nil, errors.New("core: nil sampler")
+	}
+	k := opts.CoarseLevels
+	if k == 0 {
+		k = 4
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("core: need at least 2 coarse levels, got %d", k)
+	}
+	sla := opts.SLASeconds
+	if sla == 0 {
+		sla = DefaultOptions().SLASeconds
+	}
+	if sla <= 0 {
+		return nil, fmt.Errorf("core: non-positive SLA %v", sla)
+	}
+
+	defs, err := groupDefs(space)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1–2. Sample the coarse grouped sublattice.
+	coarse := make([][]int, len(defs))
+	for gi, d := range defs {
+		vals, err := config.CoarseValues(space, d.group, k)
+		if err != nil {
+			return nil, err
+		}
+		coarse[gi] = vals
+	}
+	var (
+		xs [][]float64
+		ys []float64
+	)
+	assign := make(map[config.Group]int, len(defs))
+	var walk func(gi int) error
+	walk = func(gi int) error {
+		if gi == len(defs) {
+			cfg, err := config.GroupedConfig(space, assign)
+			if err != nil {
+				return err
+			}
+			rt, err := sample(cfg)
+			if err != nil {
+				return fmt.Errorf("core: sample %s: %w", cfg.Key(), err)
+			}
+			vec := make([]float64, len(defs))
+			for i, d := range defs {
+				vec[i] = float64(assign[d.group])
+			}
+			xs = append(xs, vec)
+			ys = append(ys, rt)
+			return nil
+		}
+		for _, v := range coarse[gi] {
+			assign[defs[gi].group] = v
+			if err := walk(gi + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+
+	// 3. Regression-based prediction of unvisited configurations. The fit is
+	// done in log space: response times span orders of magnitude once a
+	// sampled configuration hits an overload cliff, and a log-space quadratic
+	// stays positive and keeps resolution in the well-configured region.
+	logYs := make([]float64, len(ys))
+	for i, y := range ys {
+		logYs[i] = math.Log(math.Max(y, 1e-3))
+	}
+	quad, err := regression.FitQuadratic(xs, logYs)
+	if err != nil {
+		return nil, fmt.Errorf("core: regression fit: %w", err)
+	}
+	floor := minSample(ys) * 0.25
+	if floor <= 0 {
+		floor = 0.01
+	}
+	predict := func(vals []int) float64 {
+		vec := make([]float64, len(vals))
+		for i, v := range vals {
+			vec[i] = float64(v)
+		}
+		rt := math.Exp(quad.Eval(vec))
+		if rt < floor {
+			rt = floor
+		}
+		return rt
+	}
+
+	// 4. Offline RL over the group lattice. The offline pass runs many more
+	// sweeps than the per-interval retraining: seeded Q values must sit on
+	// the same asymptotic scale (≈ r/(1−γ)) as the values the online agent
+	// keeps refreshing, or unvisited states would look artificially poor and
+	// the agent would cling to its visited region.
+	model := newGroupModel(defs, predict, sla)
+	batch := opts.Batch
+	if batch.MaxSweeps == 0 {
+		batch = mdp.DefaultBatchConfig()
+		batch.MaxSweeps = 400
+		batch.Theta = 0.005
+	}
+	q := mdp.NewQTable(model.Actions(), 0)
+	if _, err := mdp.BatchTrain(q, model, batch, sim.NewRNG(opts.Seed|1)); err != nil {
+		return nil, fmt.Errorf("core: offline training: %w", err)
+	}
+
+	paramGroup := make([]int, space.Len())
+	for gi, d := range defs {
+		for _, i := range d.members {
+			paramGroup[i] = gi
+		}
+	}
+	return &Policy{
+		name:       name,
+		space:      space,
+		defs:       defs,
+		paramGroup: paramGroup,
+		q:          q,
+		quad:       quad,
+		sla:        sla,
+		floorRT:    floor,
+	}, nil
+}
+
+func minSample(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	m := ys[0]
+	for _, y := range ys[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}

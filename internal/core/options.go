@@ -1,0 +1,113 @@
+// Package core implements the paper's contribution: RAC, a reinforcement-
+// learning agent for online auto-configuration of multi-tier web systems.
+//
+// The agent is assembled from three components mirroring the paper's
+// architecture (§3.1): a performance monitor (the System.Measure calls), an
+// RL-based decision maker (a Q-table over configuration states, retrained in
+// batch every interval — Algorithms 1 and 3), and a configuration controller
+// (System.Apply). Policy initialization (Algorithm 2) samples a coarse
+// grouped sublattice, fits a polynomial-regression predictor, and trains an
+// initial group-level Q-table offline; the resulting Policy seeds the online
+// Q-table for states it has never visited.
+package core
+
+import (
+	"fmt"
+
+	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/system"
+)
+
+// Options are the agent's hyper-parameters. The defaults are the paper's
+// published settings.
+type Options struct {
+	// SLASeconds is the reference response time of the service-level
+	// agreement; the immediate reward is SLASeconds − measuredRT (§3.2).
+	SLASeconds float64
+
+	// ThroughputSLA switches the reward signal to throughput when positive:
+	// r = measuredThroughput − ThroughputSLA (requests/second). The paper
+	// names both response time and throughput as admissible application-level
+	// signals (§3.1); response time is the default.
+	ThroughputSLA float64
+
+	// Online are the online learning parameters (paper: α=0.1, γ=0.9,
+	// ε=0.05).
+	Online mdp.Params
+	// Batch are the per-interval batch retraining parameters (paper: ε=0.1).
+	Batch mdp.Params
+
+	// ViolationThreshold is v_thr: the relative deviation of the current
+	// response time from the recent average that counts as a violation
+	// (paper: 0.3).
+	ViolationThreshold float64
+	// SwitchThreshold is s_thr: consecutive violations before the agent
+	// declares a context change and switches initial policy (paper: 5).
+	SwitchThreshold int
+	// Window is n: how many recent measurements form the reference average
+	// (paper: 10).
+	Window int
+
+	// BatchSweeps bounds the per-interval batch retraining sweeps.
+	BatchSweeps int
+	// BatchStepsPerState is the trajectory length per swept state.
+	BatchStepsPerState int
+	// BatchTheta is the retraining convergence threshold.
+	BatchTheta float64
+}
+
+// DefaultOptions returns the paper's hyper-parameters with an SLA of two
+// seconds (positive reward at well-configured operating points in every
+// Table 2 context, negative when misconfigured).
+func DefaultOptions() Options {
+	return Options{
+		SLASeconds:         2.0,
+		Online:             mdp.DefaultOnline(),
+		Batch:              mdp.DefaultOffline(),
+		ViolationThreshold: 0.3,
+		SwitchThreshold:    5,
+		Window:             10,
+		BatchSweeps:        12,
+		BatchStepsPerState: 6,
+		BatchTheta:         0.01,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.SLASeconds <= 0 {
+		return fmt.Errorf("core: non-positive SLA %v", o.SLASeconds)
+	}
+	if err := o.Online.Validate(); err != nil {
+		return fmt.Errorf("core: online params: %w", err)
+	}
+	if err := o.Batch.Validate(); err != nil {
+		return fmt.Errorf("core: batch params: %w", err)
+	}
+	if o.ViolationThreshold <= 0 {
+		return fmt.Errorf("core: non-positive violation threshold %v", o.ViolationThreshold)
+	}
+	if o.SwitchThreshold < 1 {
+		return fmt.Errorf("core: switch threshold %d < 1", o.SwitchThreshold)
+	}
+	if o.Window < 1 {
+		return fmt.Errorf("core: window %d < 1", o.Window)
+	}
+	return nil
+}
+
+// Reward converts a measured mean response time into the paper's immediate
+// reward r = SLA − perf.
+func (o Options) Reward(meanRT float64) float64 {
+	return o.SLASeconds - meanRT
+}
+
+// RewardOf computes the immediate reward from a full measurement, honoring
+// the configured signal (response time by default, throughput when
+// ThroughputSLA is set).
+func (o Options) RewardOf(m system.Metrics) float64 {
+	if o.ThroughputSLA > 0 {
+		return m.Throughput - o.ThroughputSLA
+	}
+	return o.Reward(m.MeanRT)
+}

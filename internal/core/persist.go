@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/regression"
+)
+
+// policyJSON is the serialized form of a Policy. The configuration space is
+// not serialized; loading requires the same space the policy was trained on
+// (validated structurally via the group lattices).
+type policyJSON struct {
+	Name    string           `json:"name"`
+	SLA     float64          `json:"slaSeconds"`
+	FloorRT float64          `json:"floorRtSeconds"`
+	Groups  []groupDefJSON   `json:"groups"`
+	Coeffs  []float64        `json:"regressionCoeffs"`
+	QTable  *json.RawMessage `json:"qtable"`
+}
+
+type groupDefJSON struct {
+	Group   int   `json:"group"`
+	Members []int `json:"members"`
+	Min     int   `json:"min"`
+	Max     int   `json:"max"`
+	Step    int   `json:"step"`
+}
+
+// Save writes the policy as JSON. Policies embed the offline-trained group
+// Q-table and the regression surface, so a saved policy restores without
+// re-sampling the system.
+func (p *Policy) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := p.q.Save(&buf); err != nil {
+		return fmt.Errorf("core: save qtable: %w", err)
+	}
+	qbuf := json.RawMessage(buf.Bytes())
+	out := policyJSON{
+		Name:    p.name,
+		SLA:     p.sla,
+		FloorRT: p.floorRT,
+		Coeffs:  p.quad.Coeffs(),
+		QTable:  &qbuf,
+	}
+	for _, d := range p.defs {
+		out.Groups = append(out.Groups, groupDefJSON{
+			Group:   int(d.group),
+			Members: d.members,
+			Min:     d.min,
+			Max:     d.max,
+			Step:    d.step,
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadPolicy reads a policy previously written by Save, binding it to the
+// given configuration space. The space must structurally match the one the
+// policy was trained on (same parameters and group lattices).
+func LoadPolicy(r io.Reader, space *config.Space) (*Policy, error) {
+	if space == nil {
+		return nil, errors.New("core: nil space")
+	}
+	var raw policyJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decode policy: %w", err)
+	}
+	defs, err := groupDefs(space)
+	if err != nil {
+		return nil, err
+	}
+	if len(defs) != len(raw.Groups) {
+		return nil, fmt.Errorf("core: policy has %d groups, space %d", len(raw.Groups), len(defs))
+	}
+	for i, g := range raw.Groups {
+		d := defs[i]
+		if int(d.group) != g.Group || d.min != g.Min || d.max != g.Max || d.step != g.Step {
+			return nil, fmt.Errorf("core: group %d lattice mismatch (policy %+v, space %+v)", i, g, d)
+		}
+		if len(d.members) != len(g.Members) {
+			return nil, fmt.Errorf("core: group %d member mismatch", i)
+		}
+	}
+	if raw.SLA <= 0 {
+		return nil, fmt.Errorf("core: policy SLA %v", raw.SLA)
+	}
+	quad, err := regression.QuadraticFromCoeffs(len(defs), raw.Coeffs)
+	if err != nil {
+		return nil, err
+	}
+	if raw.QTable == nil {
+		return nil, errors.New("core: policy lacks a Q-table")
+	}
+	q, err := mdp.LoadQTable(bytes.NewReader(*raw.QTable))
+	if err != nil {
+		return nil, err
+	}
+	if q.Actions() != 2*len(defs)+1 {
+		return nil, fmt.Errorf("core: policy Q-table has %d actions, want %d",
+			q.Actions(), 2*len(defs)+1)
+	}
+	paramGroup := make([]int, space.Len())
+	for gi, d := range defs {
+		for _, idx := range d.members {
+			paramGroup[idx] = gi
+		}
+	}
+	return &Policy{
+		name:       raw.Name,
+		space:      space,
+		defs:       defs,
+		paramGroup: paramGroup,
+		q:          q,
+		quad:       quad,
+		sla:        raw.SLA,
+		floorRT:    raw.FloorRT,
+	}, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/regression"
+)
+
+// groupDef is the lattice of one parameter group: the intersection of its
+// members' ranges at the finest member step.
+type groupDef struct {
+	group   config.Group
+	members []int // parameter indices in the space
+	min     int
+	max     int
+	step    int
+}
+
+func (g groupDef) levels() int { return (g.max-g.min)/g.step + 1 }
+
+func (g groupDef) clamp(v int) int {
+	if v <= g.min {
+		return g.min
+	}
+	if v >= g.max {
+		return g.max
+	}
+	return g.min + (v-g.min+g.step/2)/g.step*g.step
+}
+
+// groupDefs derives the group lattices of a space, in config.Groups() order.
+func groupDefs(space *config.Space) ([]groupDef, error) {
+	members := config.GroupMembers(space)
+	var defs []groupDef
+	for _, g := range config.Groups() {
+		idx := members[g]
+		if len(idx) == 0 {
+			continue
+		}
+		d := groupDef{
+			group:   g,
+			members: idx,
+			min:     space.Def(idx[0]).Min,
+			max:     space.Def(idx[0]).Max,
+			step:    space.Def(idx[0]).Step,
+		}
+		for _, i := range idx[1:] {
+			pd := space.Def(i)
+			if pd.Min > d.min {
+				d.min = pd.Min
+			}
+			if pd.Max < d.max {
+				d.max = pd.Max
+			}
+			if pd.Step < d.step {
+				d.step = pd.Step
+			}
+		}
+		if d.max < d.min {
+			return nil, fmt.Errorf("core: group %s member ranges do not overlap", g)
+		}
+		// Align the top of the lattice to the step grid.
+		d.max = d.min + (d.max-d.min)/d.step*d.step
+		defs = append(defs, d)
+	}
+	if len(defs) == 0 {
+		return nil, errors.New("core: space has no groups")
+	}
+	return defs, nil
+}
+
+// groupKey renders group lattice values as a state key.
+func groupKey(vals []int) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// Policy is an initial configuration policy for one system context: a
+// regression predictor of the response-time surface plus a Q-table trained
+// offline over the grouped sublattice (paper Algorithm 2). It seeds the
+// online Q-table for unvisited states and supplies reward estimates for
+// states without measurements.
+type Policy struct {
+	name  string
+	space *config.Space
+	defs  []groupDef
+	// paramGroup maps each parameter index to its position in defs.
+	paramGroup []int
+	q          *mdp.QTable
+	quad       *regression.Quadratic
+	sla        float64
+	// floorRT guards against regression extrapolation below zero.
+	floorRT float64
+}
+
+// Name returns the policy's label (usually the context it was trained for).
+func (p *Policy) Name() string { return p.name }
+
+// Space returns the configuration space the policy covers.
+func (p *Policy) Space() *config.Space { return p.space }
+
+// SLA returns the SLA the policy was trained against.
+func (p *Policy) SLA() float64 { return p.sla }
+
+// PredictRT estimates the mean response time of a configuration from the
+// fitted regression surface (a log-space quadratic; see LearnPolicy).
+func (p *Policy) PredictRT(cfg config.Config) float64 {
+	vec := p.groupVector(cfg)
+	rt := math.Exp(p.quad.Eval(vec))
+	if rt < p.floorRT {
+		rt = p.floorRT
+	}
+	return rt
+}
+
+// groupVector projects a configuration onto per-group mean values in defs
+// order.
+func (p *Policy) groupVector(cfg config.Config) []float64 {
+	vec := make([]float64, len(p.defs))
+	for gi, d := range p.defs {
+		var sum float64
+		for _, i := range d.members {
+			if i < len(cfg) {
+				sum += float64(cfg[i])
+			}
+		}
+		vec[gi] = sum / float64(len(d.members))
+	}
+	return vec
+}
+
+// groupState snaps a configuration onto the group lattice.
+func (p *Policy) groupState(cfg config.Config) []int {
+	vec := p.groupVector(cfg)
+	vals := make([]int, len(p.defs))
+	for gi, d := range p.defs {
+		vals[gi] = d.clamp(int(math.Round(vec[gi])))
+	}
+	return vals
+}
+
+// Seeder returns an mdp.Seeder that initializes a full-lattice Q row from
+// the group-level policy: a full action touching parameter i inherits the
+// group action's value for i's group; keep inherits keep.
+func (p *Policy) Seeder() mdp.Seeder {
+	nActions := 2*p.space.Len() + 1
+	return func(state string) []float64 {
+		cfg, err := config.ParseKey(state)
+		if err != nil || len(cfg) != p.space.Len() {
+			return nil
+		}
+		gRow := p.q.Row(groupKey(p.groupState(cfg)))
+		row := make([]float64, nActions)
+		row[0] = gRow[0]
+		for i := 0; i < p.space.Len(); i++ {
+			gi := p.paramGroup[i]
+			row[1+2*i] = gRow[1+2*gi] // increase
+			row[2+2*i] = gRow[2+2*gi] // decrease
+		}
+		return row
+	}
+}
+
+// GroupQTable exposes the offline-trained group Q-table (diagnostics).
+func (p *Policy) GroupQTable() *mdp.QTable { return p.q }
+
+// groupModel is the deterministic MDP over the group lattice used for
+// offline training: actions move one group one step; the reward of entering
+// a state is SLA − predictedRT.
+type groupModel struct {
+	defs    []groupDef
+	actions int
+	reward  map[string]float64
+	states  []string
+}
+
+var _ mdp.Model = (*groupModel)(nil)
+
+func newGroupModel(defs []groupDef, predict func(vals []int) float64, sla float64) *groupModel {
+	m := &groupModel{
+		defs:    defs,
+		actions: 2*len(defs) + 1,
+		reward:  make(map[string]float64),
+	}
+	// Enumerate the lattice.
+	var rec func(i int)
+	var cur []int
+	rec = func(i int) {
+		if i == len(defs) {
+			key := groupKey(cur)
+			m.states = append(m.states, key)
+			m.reward[key] = sla - predict(cur)
+			return
+		}
+		for v := defs[i].min; v <= defs[i].max; v += defs[i].step {
+			cur = append(cur, v)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return m
+}
+
+func (m *groupModel) States() []string { return m.states }
+
+func (m *groupModel) Actions() int { return m.actions }
+
+func (m *groupModel) Reward(state string) float64 { return m.reward[state] }
+
+func (m *groupModel) Next(state string, action int) (string, bool) {
+	if action == 0 {
+		return state, true
+	}
+	gi := (action - 1) / 2
+	dir := 1
+	if (action-1)%2 == 1 {
+		dir = -1
+	}
+	if gi < 0 || gi >= len(m.defs) {
+		return state, false
+	}
+	vals, err := parseGroupKey(state, len(m.defs))
+	if err != nil {
+		return state, false
+	}
+	d := m.defs[gi]
+	v := vals[gi] + dir*d.step
+	if v < d.min || v > d.max {
+		return state, false
+	}
+	vals[gi] = v
+	return groupKey(vals), true
+}
+
+func parseGroupKey(key string, want int) ([]int, error) {
+	parts := strings.Split(key, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("core: group key %q has %d fields, want %d", key, len(parts), want)
+	}
+	vals := make([]int, want)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad group key %q: %w", key, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}

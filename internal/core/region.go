@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/mdp"
+)
+
+// regionModel is the bounded configuration MDP the agent retrains over each
+// interval: every state it has measured plus the one-action frontier around
+// them. Rewards come from measurements where available and from the current
+// policy's regression predictor elsewhere, which is how fresh observations
+// propagate to neighbouring states during batch training (paper §4.2).
+//
+// The full Table 1 lattice has ~1.9·10⁸ states, so sweeping all of it — as a
+// literal reading of Algorithm 1 would — is infeasible for either the paper's
+// testbed or this reproduction; the bounded region keeps retraining O(visited
+// states) while the Seeder generalizes the offline policy everywhere else.
+type regionModel struct {
+	space   *config.Space
+	actions []config.Action
+	region  map[string]config.Config
+	states  []string
+	reward  map[string]float64
+}
+
+var _ mdp.Model = (*regionModel)(nil)
+
+// newRegionModel builds the region from the measured samples. predict may be
+// nil, in which case frontier states fall back to the SLA-neutral reward 0.
+func newRegionModel(space *config.Space, samples map[string]float64,
+	predict func(config.Config) float64, sla float64) *regionModel {
+
+	m := &regionModel{
+		space:   space,
+		actions: config.Actions(space),
+		region:  make(map[string]config.Config, len(samples)*len(config.Actions(space))),
+		reward:  make(map[string]float64),
+	}
+	add := func(key string, cfg config.Config) {
+		if _, ok := m.region[key]; ok {
+			return
+		}
+		m.region[key] = cfg
+		m.states = append(m.states, key)
+	}
+	// Iterate samples in sorted order: the sweep order drives the learner's
+	// RNG stream, and experiments must be reproducible from their seeds.
+	keys := make([]string, 0, len(samples))
+	for key := range samples {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		cfg, err := config.ParseKey(key)
+		if err != nil || space.Validate(cfg) != nil {
+			continue
+		}
+		add(key, cfg)
+		for _, a := range m.actions {
+			next, ok := a.Apply(space, cfg)
+			if !ok {
+				continue
+			}
+			add(next.Key(), next)
+		}
+	}
+	for key, cfg := range m.region {
+		if rt, ok := samples[key]; ok {
+			m.reward[key] = sla - rt
+		} else if predict != nil {
+			m.reward[key] = sla - predict(cfg)
+		}
+	}
+	return m
+}
+
+func (m *regionModel) States() []string { return m.states }
+
+func (m *regionModel) Actions() int { return len(m.actions) }
+
+func (m *regionModel) Reward(state string) float64 { return m.reward[state] }
+
+func (m *regionModel) Next(state string, action int) (string, bool) {
+	cfg, ok := m.region[state]
+	if !ok {
+		return state, false
+	}
+	next, ok := m.actions[action].Apply(m.space, cfg)
+	if !ok {
+		return state, false
+	}
+	key := next.Key()
+	if _, in := m.region[key]; !in {
+		return state, false
+	}
+	return key, true
+}

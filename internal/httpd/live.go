@@ -1,0 +1,130 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// LoadDriver is what the live system needs from a load generator; package
+// loadgen provides the production implementation (an interface here avoids
+// an import cycle and lets tests fake traffic).
+type LoadDriver interface {
+	Run(ctx context.Context, duration time.Duration) (MeasureResult, error)
+	SetWorkload(w tpcw.Workload) error
+	Workload() tpcw.Workload
+}
+
+// MeasureResult is one live measurement interval, in paper-scale seconds.
+type MeasureResult struct {
+	MeanRT     float64
+	P95RT      float64
+	Throughput float64
+	Completed  int
+	Errors     int
+}
+
+// Live adapts the real HTTP stack plus a load generator to the
+// system.System interface, so the RAC agent tunes live traffic exactly as it
+// tunes the simulator.
+type Live struct {
+	space  *config.Space
+	server *Server
+	driver LoadDriver
+	cfg    config.Config
+
+	// Interval is the wall-clock measurement window per Measure call.
+	Interval time.Duration
+}
+
+var (
+	_ system.System     = (*Live)(nil)
+	_ system.Adjustable = (*Live)(nil)
+)
+
+// NewLive wraps a started server and a load driver. The initial
+// configuration must match what the server is running.
+func NewLive(space *config.Space, server *Server, driver LoadDriver, initial config.Config) (*Live, error) {
+	if space == nil {
+		space = config.Default()
+	}
+	if server == nil {
+		return nil, errors.New("httpd: nil server")
+	}
+	if driver == nil {
+		return nil, errors.New("httpd: nil driver")
+	}
+	if initial == nil {
+		initial = space.DefaultConfig()
+	}
+	if err := space.Validate(initial); err != nil {
+		return nil, err
+	}
+	return &Live{
+		space:    space,
+		server:   server,
+		driver:   driver,
+		cfg:      initial.Clone(),
+		Interval: 2 * time.Second,
+	}, nil
+}
+
+// Space returns the configuration space.
+func (l *Live) Space() *config.Space { return l.space }
+
+// Config returns the applied configuration.
+func (l *Live) Config() config.Config { return l.cfg.Clone() }
+
+// Apply reconfigures the live server.
+func (l *Live) Apply(cfg config.Config) error {
+	if err := l.space.Validate(cfg); err != nil {
+		return err
+	}
+	params, err := webtier.ParamsFromConfig(l.space, cfg)
+	if err != nil {
+		return err
+	}
+	if err := l.server.Reconfigure(params); err != nil {
+		return err
+	}
+	l.cfg = cfg.Clone()
+	return nil
+}
+
+// Measure generates load for one interval and returns application-level
+// metrics in paper-scale units.
+func (l *Live) Measure() (system.Metrics, error) {
+	res, err := l.driver.Run(context.Background(), l.Interval)
+	if err != nil {
+		return system.Metrics{}, fmt.Errorf("httpd: measure: %w", err)
+	}
+	if res.Completed == 0 {
+		return system.Metrics{}, errors.New("httpd: interval completed no requests")
+	}
+	return system.Metrics{
+		MeanRT:          res.MeanRT,
+		P95RT:           res.P95RT,
+		Throughput:      res.Throughput,
+		Completed:       res.Completed,
+		IntervalSeconds: l.Interval.Seconds() * TimeScale,
+	}, nil
+}
+
+// SetWorkload changes the generated traffic (driver-side context change).
+func (l *Live) SetWorkload(w tpcw.Workload) error { return l.driver.SetWorkload(w) }
+
+// SetAppLevel reallocates the simulated app/db VM.
+func (l *Live) SetAppLevel(level vmenv.Level) error { return l.server.SetLevel(level) }
+
+// Workload returns the generated traffic.
+func (l *Live) Workload() tpcw.Workload { return l.driver.Workload() }
+
+// AppLevel returns the app/db VM level.
+func (l *Live) AppLevel() vmenv.Level { return l.server.Level() }

@@ -1,0 +1,473 @@
+// Package httpd implements a real, runnable three-tier web application over
+// net/http with the same eight knobs as the paper's testbed: a web front
+// with an in-flight request cap (MaxClients) and keep-alive control, an
+// application layer with a bounded thread pool (MaxThreads) and TTL'd
+// sessions (SessionTimeout), and an in-memory bookstore database with
+// artificial service times that scale with a VM level.
+//
+// It exists so the RAC agent can be demonstrated against live HTTP traffic —
+// the agent only sees response times from the load generator and
+// configuration knobs through Reconfigure, exactly matching the paper's
+// non-intrusive design. The time scale is compressed: service demands are in
+// the hundreds of microseconds so examples converge in seconds.
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// TimeScale compresses the paper's service demands: live demands are the
+// TPC-W class demands divided by this factor, so a 20 ms database query
+// becomes 200 µs and whole tuning sessions run in seconds.
+const TimeScale = 100.0
+
+// Server is the live three-tier stack.
+type Server struct {
+	mu     sync.Mutex
+	params webtier.Params
+	level  vmenv.Level
+
+	webSlots   *semaphore
+	appThreads *semaphore
+	sessions   *sessionStore
+	db         *bookstore
+
+	httpSrv  *http.Server
+	listener net.Listener
+	done     chan struct{}
+
+	// Idle keep-alive connections are reaped by per-connection timers so the
+	// timeout can change at runtime (http.Server.IdleTimeout cannot be
+	// mutated while serving).
+	idleMu     sync.Mutex
+	idleTimers map[net.Conn]*time.Timer
+
+	// Counters (atomic; exposed via /admin/stats).
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewServer builds the stack with the given initial configuration and level.
+func NewServer(params webtier.Params, level vmenv.Level) (*Server, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if !level.Valid() {
+		return nil, fmt.Errorf("httpd: invalid level %+v", level)
+	}
+	s := &Server{
+		params:     params,
+		level:      level,
+		webSlots:   newSemaphore(params.MaxClients),
+		appThreads: newSemaphore(params.MaxThreads),
+		sessions:   newSessionStore(time.Duration(params.SessionTimeoutMin * float64(time.Minute) / TimeScale)),
+		db:         newBookstore(level),
+		done:       make(chan struct{}),
+	}
+	return s, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("httpd: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.idleTimers = make(map[net.Conn]*time.Timer)
+	s.httpSrv = &http.Server{
+		Handler: s.Handler(),
+		// A generous fixed ceiling; the configured keep-alive timeout is
+		// enforced dynamically by per-connection reaper timers.
+		IdleTimeout: time.Duration(30 * float64(time.Second) / TimeScale),
+		ReadTimeout: 10 * time.Second,
+		ConnState:   s.trackConn,
+	}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal shutdown signal.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The error cannot be returned; it surfaces through failed
+			// requests at the load generator.
+			_ = err
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the server and waits for the serve loop to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	<-s.done
+	// Stop any leftover reaper timers.
+	s.idleMu.Lock()
+	for c, t := range s.idleTimers {
+		t.Stop()
+		delete(s.idleTimers, c)
+	}
+	s.idleMu.Unlock()
+	return err
+}
+
+func (s *Server) keepAlive() time.Duration {
+	return time.Duration(s.params.KeepAliveTimeoutSec * float64(time.Second) / TimeScale)
+}
+
+// Params returns the current configuration.
+func (s *Server) Params() webtier.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params
+}
+
+// Level returns the simulated VM level of the app/db tier.
+func (s *Server) Level() vmenv.Level {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.level
+}
+
+// Reconfigure applies a new configuration at runtime: semaphores resize
+// live, the session TTL changes for subsequent touches.
+func (s *Server) Reconfigure(params webtier.Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.params = params
+	s.webSlots.resize(params.MaxClients)
+	s.appThreads.resize(params.MaxThreads)
+	s.sessions.setTTL(time.Duration(params.SessionTimeoutMin * float64(time.Minute) / TimeScale))
+	// The keep-alive change applies to connections that go idle from now on
+	// via the per-connection reaper timers.
+	return nil
+}
+
+// trackConn reaps connections that stay idle beyond the configured
+// keep-alive timeout.
+func (s *Server) trackConn(c net.Conn, state http.ConnState) {
+	switch state {
+	case http.StateIdle:
+		ttl := s.keepAliveLocked()
+		s.idleMu.Lock()
+		if old, ok := s.idleTimers[c]; ok {
+			old.Stop()
+		}
+		s.idleTimers[c] = time.AfterFunc(ttl, func() { c.Close() })
+		s.idleMu.Unlock()
+	case http.StateActive, http.StateHijacked, http.StateClosed:
+		s.idleMu.Lock()
+		if t, ok := s.idleTimers[c]; ok {
+			t.Stop()
+			delete(s.idleTimers, c)
+		}
+		s.idleMu.Unlock()
+	}
+}
+
+// keepAliveLocked reads the configured keep-alive timeout under the lock.
+func (s *Server) keepAliveLocked() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keepAlive()
+}
+
+// SetLevel reallocates the simulated VM hosting the app and db tiers.
+func (s *Server) SetLevel(level vmenv.Level) error {
+	if !level.Valid() {
+		return fmt.Errorf("httpd: invalid level %+v", level)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.level = level
+	s.db.setLevel(level)
+	return nil
+}
+
+// Stats is the server-side counter snapshot.
+type Stats struct {
+	Served   int64 `json:"served"`
+	Rejected int64 `json:"rejected"`
+	Sessions int   `json:"sessions"`
+}
+
+// Stats returns the counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Served:   s.served.Load(),
+		Rejected: s.rejected.Load(),
+		Sessions: s.sessions.len(),
+	}
+}
+
+// Handler returns the HTTP routes (also usable under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/home", s.page(tpcw.ClassHome))
+	mux.HandleFunc("/detail", s.page(tpcw.ClassProductDetail))
+	mux.HandleFunc("/search", s.page(tpcw.ClassSearch))
+	mux.HandleFunc("/cart", s.page(tpcw.ClassShoppingCart))
+	mux.HandleFunc("/buy", s.page(tpcw.ClassBuyConfirm))
+	mux.HandleFunc("/admin-task", s.page(tpcw.ClassAdmin))
+	mux.HandleFunc("/admin/config", s.handleConfig)
+	mux.HandleFunc("/admin/stats", s.handleStats)
+	mux.HandleFunc("/admin/level", s.handleLevel)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// page builds the three-tier request path for one interaction class.
+func (s *Server) page(class tpcw.Class) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Web tier admission: MaxClients.
+		if !s.webSlots.tryAcquire(2 * time.Second) {
+			s.rejected.Add(1)
+			http.Error(w, "server busy", http.StatusServiceUnavailable)
+			return
+		}
+		defer s.webSlots.release()
+
+		demand := tpcw.ClassDemand(class)
+		spin(scaled(demand.Web))
+
+		// Session handling (app tier entry).
+		sid, fresh := s.sessionFor(w, r)
+		if fresh {
+			spin(scaled(webtier.DefaultCalibration().SessionCreateCostSec))
+		}
+
+		// App tier: bounded thread pool.
+		if !s.appThreads.tryAcquire(2 * time.Second) {
+			s.rejected.Add(1)
+			http.Error(w, "app pool exhausted", http.StatusServiceUnavailable)
+			return
+		}
+		result := func() string {
+			defer s.appThreads.release()
+			spin(scaled(demand.App))
+			// Database tier.
+			return s.db.query(class, r.URL.Query().Get("q"))
+		}()
+
+		s.served.Add(1)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "class=%s session=%s result=%s\n", class, sid, result)
+	}
+}
+
+// sessionFor resolves or creates the request's session.
+func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if c, err := r.Cookie("RACSESSION"); err == nil {
+		if s.sessions.touch(c.Value) {
+			return c.Value, false
+		}
+	}
+	sid := s.sessions.create()
+	http.SetCookie(w, &http.Cookie{Name: "RACSESSION", Value: sid, Path: "/"})
+	return sid, true
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		params := s.params
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(params); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case http.MethodPost, http.MethodPut:
+		var params webtier.Params
+		if err := json.NewDecoder(r.Body).Decode(&params); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Reconfigure(params); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		fmt.Fprintln(w, s.Level().Name)
+	case http.MethodPost, http.MethodPut:
+		name := r.URL.Query().Get("name")
+		level, err := vmenv.ByName(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.SetLevel(level); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// scaled converts a paper-scale demand (seconds) to the compressed live
+// duration.
+func scaled(seconds float64) time.Duration {
+	return time.Duration(seconds / TimeScale * float64(time.Second))
+}
+
+// spin simulates CPU work for the given duration. Sleeping (rather than
+// burning cycles) keeps tests cheap while preserving latency structure.
+func spin(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// semaphore is a resizable counting semaphore.
+type semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	inUse int
+}
+
+func newSemaphore(capacity int) *semaphore {
+	s := &semaphore{cap: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// tryAcquire waits up to timeout for a slot.
+func (s *semaphore) tryAcquire(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.inUse >= s.cap {
+		if time.Now().After(deadline) {
+			return false
+		}
+		// Wake periodically to honor the deadline without a dedicated timer
+		// goroutine per waiter.
+		waker := time.AfterFunc(10*time.Millisecond, s.cond.Broadcast)
+		s.cond.Wait()
+		waker.Stop()
+	}
+	s.inUse++
+	return true
+}
+
+func (s *semaphore) release() {
+	s.mu.Lock()
+	s.inUse--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *semaphore) resize(capacity int) {
+	s.mu.Lock()
+	s.cap = capacity
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// sessionStore is a TTL'd session table.
+type sessionStore struct {
+	mu   sync.Mutex
+	ttl  time.Duration
+	next int64
+	data map[string]time.Time // session id → expiry
+}
+
+func newSessionStore(ttl time.Duration) *sessionStore {
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	return &sessionStore{ttl: ttl, data: make(map[string]time.Time)}
+}
+
+func (st *sessionStore) setTTL(ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	st.mu.Lock()
+	st.ttl = ttl
+	st.mu.Unlock()
+}
+
+func (st *sessionStore) create() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := "s" + strconv.FormatInt(st.next, 36)
+	st.data[id] = time.Now().Add(st.ttl)
+	st.gcLocked()
+	return id
+}
+
+// touch refreshes the session and reports whether it was alive.
+func (st *sessionStore) touch(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	expiry, ok := st.data[id]
+	if !ok || time.Now().After(expiry) {
+		delete(st.data, id)
+		return false
+	}
+	st.data[id] = time.Now().Add(st.ttl)
+	return true
+}
+
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gcLocked()
+	return len(st.data)
+}
+
+// gcLocked drops expired sessions; called with the lock held.
+func (st *sessionStore) gcLocked() {
+	now := time.Now()
+	for id, expiry := range st.data {
+		if now.After(expiry) {
+			delete(st.data, id)
+		}
+	}
+}

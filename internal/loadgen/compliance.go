@@ -1,0 +1,6 @@
+package loadgen
+
+import "github.com/rac-project/rac/internal/httpd"
+
+// Driver implements the live system's load-generation contract.
+var _ httpd.LoadDriver = (*Driver)(nil)

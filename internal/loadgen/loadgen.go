@@ -1,0 +1,191 @@
+// Package loadgen drives HTTP load against the live three-tier stack with
+// TPC-W-style emulated browsers: each browser loops think → request → think
+// with mix-weighted interaction classes and per-browser cookie jars, on the
+// same compressed time scale as package httpd.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"sync"
+	"time"
+
+	"github.com/rac-project/rac/internal/httpd"
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/stats"
+	"github.com/rac-project/rac/internal/tpcw"
+)
+
+// classPath maps interaction classes to server routes.
+func classPath(c tpcw.Class) string {
+	switch c {
+	case tpcw.ClassHome:
+		return "/home"
+	case tpcw.ClassProductDetail:
+		return "/detail?q=widget"
+	case tpcw.ClassSearch:
+		return "/search?q=systems"
+	case tpcw.ClassShoppingCart:
+		return "/cart"
+	case tpcw.ClassBuyConfirm:
+		return "/buy"
+	default:
+		return "/admin-task"
+	}
+}
+
+// Result is one measurement interval of generated load. Response times are
+// reported in *paper-scale* seconds (wall-clock times multiplied back by
+// httpd.TimeScale) so they are directly comparable with the simulator's
+// metrics; the alias makes Driver satisfy httpd.LoadDriver.
+type Result = httpd.MeasureResult
+
+// Driver generates load against a base URL.
+type Driver struct {
+	base     string
+	workload tpcw.Workload
+	seed     uint64
+}
+
+// New builds a driver for the base URL ("http://127.0.0.1:port").
+func New(base string, workload tpcw.Workload, seed uint64) (*Driver, error) {
+	if _, err := url.Parse(base); err != nil {
+		return nil, fmt.Errorf("loadgen: base url: %w", err)
+	}
+	if err := workload.Validate(); err != nil {
+		return nil, err
+	}
+	return &Driver{base: base, workload: workload, seed: seed}, nil
+}
+
+// SetWorkload changes the emulated population for subsequent runs.
+func (d *Driver) SetWorkload(w tpcw.Workload) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	d.workload = w
+	return nil
+}
+
+// Workload returns the current workload.
+func (d *Driver) Workload() tpcw.Workload { return d.workload }
+
+// Run generates load for the given wall-clock duration and returns interval
+// statistics. It is synchronous; every browser goroutine exits before Run
+// returns.
+func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error) {
+	if duration <= 0 {
+		return Result{}, errors.New("loadgen: non-positive duration")
+	}
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	var (
+		mu   sync.Mutex
+		rts  []float64
+		nErr int
+	)
+	record := func(rt float64, failed bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed {
+			nErr++
+			return
+		}
+		rts = append(rts, rt)
+	}
+
+	root := sim.NewRNG(d.seed)
+	var wg sync.WaitGroup
+	for i := 0; i < d.workload.Clients; i++ {
+		rng := root.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.browser(runCtx, rng, record)
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	res := Result{Completed: len(rts), Errors: nErr}
+	if len(rts) > 0 {
+		sum := stats.Summarize(rts)
+		res.MeanRT = sum.Mean
+		res.P95RT = sum.P95
+	}
+	paperSeconds := duration.Seconds() * httpd.TimeScale
+	if paperSeconds > 0 {
+		res.Throughput = float64(len(rts)) / paperSeconds
+	}
+	return res, nil
+}
+
+// browser runs one emulated browser until the context ends.
+func (d *Driver) browser(ctx context.Context, rng *sim.RNG, record func(float64, bool)) {
+	gen, err := tpcw.NewGenerator(d.workload.Mix, rng)
+	if err != nil {
+		return
+	}
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return
+	}
+	client := &http.Client{
+		Jar:     jar,
+		Timeout: 5 * time.Second,
+	}
+	defer client.CloseIdleConnections()
+
+	for {
+		// Think (compressed time scale).
+		think := time.Duration(gen.ThinkTime() / httpd.TimeScale * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(think):
+		}
+
+		class := gen.NextClass()
+		start := time.Now()
+		ok := d.request(ctx, client, class)
+		if ctx.Err() != nil {
+			return // do not record requests cut off by the interval end
+		}
+		elapsed := time.Since(start).Seconds() * httpd.TimeScale
+		record(elapsed, !ok)
+
+		if gen.SessionOver() {
+			// New user: drop cookies and the connection.
+			jar, err = cookiejar.New(nil)
+			if err != nil {
+				return
+			}
+			client.CloseIdleConnections()
+			client.Jar = jar
+		}
+	}
+}
+
+// request performs one interaction; it reports success.
+func (d *Driver) request(ctx context.Context, client *http.Client, class tpcw.Class) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+classPath(class), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/rac-project/rac/internal/httpd"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+func startStack(t *testing.T) (*httpd.Server, string) {
+	t.Helper()
+	srv, err := httpd.NewServer(webtier.DefaultParams(), vmenv.Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, "http://" + addr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("http://x", tpcw.Workload{}, 1); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestDriverGeneratesTraffic(t *testing.T) {
+	srv, base := startStack(t)
+	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 20}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.MeanRT <= 0 {
+		t.Fatalf("MeanRT %v", res.MeanRT)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if srv.Stats().Served == 0 {
+		t.Fatal("server saw no traffic")
+	}
+}
+
+func TestDriverRejectsNonPositiveDuration(t *testing.T) {
+	_, base := startStack(t)
+	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background(), 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestDriverSetWorkload(t *testing.T) {
+	_, base := startStack(t)
+	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetWorkload(tpcw.Workload{Mix: tpcw.Ordering, Clients: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Workload().Mix != tpcw.Ordering {
+		t.Fatal("workload not applied")
+	}
+	if err := d.SetWorkload(tpcw.Workload{}); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+}
+
+func TestDriverCountsErrors(t *testing.T) {
+	// Point at a dead address: every request fails, none complete.
+	d, err := New("http://127.0.0.1:1", tpcw.Workload{Mix: tpcw.Shopping, Clients: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed %d against a dead server", res.Completed)
+	}
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded against a dead server")
+	}
+}
+
+func TestLiveSystemEndToEnd(t *testing.T) {
+	srv, base := startStack(t)
+	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 25}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := httpd.NewLive(nil, srv, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Interval = time.Second
+
+	m, err := live.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanRT <= 0 || m.Completed == 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+
+	// Reconfigure through the System interface.
+	space := live.Space()
+	cfg := live.Config()
+	idx := 0
+	cfg[idx] = space.Def(idx).Min
+	if err := live.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Params().MaxClients != space.Def(idx).Min {
+		t.Fatal("Apply did not reach the server")
+	}
+
+	// Context controls.
+	if err := live.SetAppLevel(vmenv.Level3); err != nil {
+		t.Fatal(err)
+	}
+	if live.AppLevel() != vmenv.Level3 {
+		t.Fatal("level not propagated")
+	}
+	if err := live.SetWorkload(tpcw.Workload{Mix: tpcw.Ordering, Clients: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if live.Workload().Mix != tpcw.Ordering {
+		t.Fatal("workload not propagated")
+	}
+}
+
+func TestLiveWeakerLevelSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live load test")
+	}
+	srv, base := startStack(t)
+	d, err := New(base, tpcw.Workload{Mix: tpcw.Ordering, Clients: 30}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := httpd.NewLive(nil, srv, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Interval = 1500 * time.Millisecond
+
+	m1, err := live.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.SetAppLevel(vmenv.Level3); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := live.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.MeanRT <= m1.MeanRT {
+		t.Fatalf("Level-3 live RT %v not worse than Level-1 %v", m3.MeanRT, m1.MeanRT)
+	}
+}

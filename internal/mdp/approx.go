@@ -1,0 +1,188 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rac-project/rac/internal/sim"
+)
+
+// Features maps a state key to a feature vector of fixed length. Feature
+// extractors must be deterministic; including a constant 1 as the first
+// feature (a bias term) is conventional.
+type Features func(state string) []float64
+
+// LinearQ approximates the action-value function with one linear model per
+// action: Q(s,a) = w_a · φ(s). It is the paper's §7 "function approximation"
+// future-work direction: instead of materializing a Q-table row per visited
+// configuration, values generalize across the lattice through the features,
+// trading the tabular method's asymptotic exactness for immediate
+// generalization and constant memory.
+type LinearQ struct {
+	features Features
+	dim      int
+	actions  int
+	weights  [][]float64
+}
+
+// NewLinearQ builds an approximator with the given feature extractor, whose
+// output length must always be dim.
+func NewLinearQ(features Features, dim, actions int) (*LinearQ, error) {
+	if features == nil {
+		return nil, errors.New("mdp: nil feature extractor")
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("mdp: feature dimension %d < 1", dim)
+	}
+	if actions < 1 {
+		return nil, fmt.Errorf("mdp: action count %d < 1", actions)
+	}
+	w := make([][]float64, actions)
+	for a := range w {
+		w[a] = make([]float64, dim)
+	}
+	return &LinearQ{features: features, dim: dim, actions: actions, weights: w}, nil
+}
+
+// Actions returns the action count.
+func (l *LinearQ) Actions() int { return l.actions }
+
+// Dim returns the feature dimensionality.
+func (l *LinearQ) Dim() int { return l.dim }
+
+// phi extracts and validates the features of a state.
+func (l *LinearQ) phi(state string) ([]float64, error) {
+	f := l.features(state)
+	if len(f) != l.dim {
+		return nil, fmt.Errorf("mdp: feature extractor returned %d values, want %d", len(f), l.dim)
+	}
+	return f, nil
+}
+
+// Value returns Q(state, action).
+func (l *LinearQ) Value(state string, action int) (float64, error) {
+	if action < 0 || action >= l.actions {
+		return 0, fmt.Errorf("mdp: action %d outside [0,%d)", action, l.actions)
+	}
+	f, err := l.phi(state)
+	if err != nil {
+		return 0, err
+	}
+	return dot(l.weights[action], f), nil
+}
+
+// Best returns the greedy action among allowed and its value. Allowed must
+// be non-empty.
+func (l *LinearQ) Best(state string, allowed []int) (int, float64, error) {
+	if len(allowed) == 0 {
+		return 0, 0, errors.New("mdp: Best with no allowed actions")
+	}
+	f, err := l.phi(state)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := allowed[0]
+	bestV := dot(l.weights[best], f)
+	for _, a := range allowed[1:] {
+		if a < 0 || a >= l.actions {
+			return 0, 0, fmt.Errorf("mdp: action %d outside [0,%d)", a, l.actions)
+		}
+		if v := dot(l.weights[a], f); v > bestV {
+			best, bestV = a, v
+		}
+	}
+	return best, bestV, nil
+}
+
+// Weights returns a deep copy of the per-action weight vectors.
+func (l *LinearQ) Weights() [][]float64 {
+	out := make([][]float64, len(l.weights))
+	for a, w := range l.weights {
+		cp := make([]float64, len(w))
+		copy(cp, w)
+		out[a] = cp
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// ApproxLearner performs gradient SARSA updates on a LinearQ.
+type ApproxLearner struct {
+	q      *LinearQ
+	params Params
+	rng    *sim.RNG
+}
+
+// NewApproxLearner wraps the approximator with hyper-parameters and an RNG.
+// The learning rate is applied per unit feature norm; callers should
+// normalize features to keep updates stable.
+func NewApproxLearner(q *LinearQ, params Params, rng *sim.RNG) (*ApproxLearner, error) {
+	if q == nil {
+		return nil, errors.New("mdp: nil approximator")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("mdp: nil rng")
+	}
+	return &ApproxLearner{q: q, params: params, rng: rng}, nil
+}
+
+// Q returns the underlying approximator.
+func (l *ApproxLearner) Q() *LinearQ { return l.q }
+
+// SelectAction picks an action ε-greedily among allowed.
+func (l *ApproxLearner) SelectAction(state string, allowed []int) (int, error) {
+	if len(allowed) == 0 {
+		return 0, errors.New("mdp: SelectAction with no allowed actions")
+	}
+	if l.rng.Float64() < l.params.Epsilon {
+		return allowed[l.rng.Intn(len(allowed))], nil
+	}
+	a, _, err := l.q.Best(state, allowed)
+	return a, err
+}
+
+// UpdateSARSA applies the gradient on-policy TD update
+//
+//	w_a += α · (r + γ Q(s',a') − Q(s,a)) · φ(s) / (1 + ‖φ(s)‖²)
+//
+// (a normalized step, which keeps the update stable for unscaled features)
+// and returns the absolute TD error.
+func (l *ApproxLearner) UpdateSARSA(state string, action int, reward float64, next string, nextAction int) (float64, error) {
+	f, err := l.q.phi(state)
+	if err != nil {
+		return 0, err
+	}
+	if action < 0 || action >= l.q.actions {
+		return 0, fmt.Errorf("mdp: action %d outside [0,%d)", action, l.q.actions)
+	}
+	nextV, err := l.q.Value(next, nextAction)
+	if err != nil {
+		return 0, err
+	}
+	cur := dot(l.q.weights[action], f)
+	delta := reward + l.params.Gamma*nextV - cur
+
+	norm := 1.0
+	for _, x := range f {
+		norm += x * x
+	}
+	step := l.params.Alpha * delta / norm
+	w := l.q.weights[action]
+	for i := range w {
+		w[i] += step * f[i]
+	}
+	if delta < 0 {
+		return -delta, nil
+	}
+	return delta, nil
+}

@@ -1,0 +1,213 @@
+package mdp
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"github.com/rac-project/rac/internal/sim"
+)
+
+// chainFeatures maps the chainModel's integer states to [1, x, x²] with x
+// normalized to [0,1].
+func chainFeatures(n int) Features {
+	return func(state string) []float64 {
+		i, err := strconv.Atoi(state)
+		if err != nil {
+			return []float64{1, 0, 0}
+		}
+		x := float64(i) / float64(n-1)
+		return []float64{1, x, x * x}
+	}
+}
+
+func TestNewLinearQValidation(t *testing.T) {
+	feats := chainFeatures(5)
+	if _, err := NewLinearQ(nil, 3, 2); err == nil {
+		t.Fatal("nil features accepted")
+	}
+	if _, err := NewLinearQ(feats, 0, 2); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := NewLinearQ(feats, 3, 0); err == nil {
+		t.Fatal("zero actions accepted")
+	}
+}
+
+func TestLinearQValueAndBest(t *testing.T) {
+	q, err := NewLinearQ(chainFeatures(5), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-set weights: action 0 value = 1; action 1 value = 2x.
+	w := q.weights
+	w[0][0] = 1
+	w[1][1] = 2
+	v0, err := q.Value("0", 0)
+	if err != nil || v0 != 1 {
+		t.Fatalf("Value(0,0) = %v, %v", v0, err)
+	}
+	v1, err := q.Value("4", 1) // x=1 → 2
+	if err != nil || v1 != 2 {
+		t.Fatalf("Value(4,1) = %v, %v", v1, err)
+	}
+	a, v, err := q.Best("4", []int{0, 1})
+	if err != nil || a != 1 || v != 2 {
+		t.Fatalf("Best = %d,%v,%v", a, v, err)
+	}
+	a, _, err = q.Best("0", []int{0, 1})
+	if err != nil || a != 0 {
+		t.Fatalf("Best at x=0 = %d", a)
+	}
+	if _, err := q.Value("0", 5); err == nil {
+		t.Fatal("out-of-range action accepted")
+	}
+	if _, _, err := q.Best("0", nil); err == nil {
+		t.Fatal("empty allowed accepted")
+	}
+}
+
+func TestLinearQWeightsAreCopies(t *testing.T) {
+	q, _ := NewLinearQ(chainFeatures(5), 3, 2)
+	w := q.Weights()
+	w[0][0] = 99
+	if v, _ := q.Value("0", 0); v != 0 {
+		t.Fatal("Weights() exposed internal state")
+	}
+}
+
+func TestLinearQFeatureDimMismatch(t *testing.T) {
+	bad := func(string) []float64 { return []float64{1} }
+	q, err := NewLinearQ(bad, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Value("s", 0); err == nil {
+		t.Fatal("dim mismatch not detected")
+	}
+}
+
+func TestApproxLearnerValidation(t *testing.T) {
+	q, _ := NewLinearQ(chainFeatures(5), 3, 2)
+	rng := sim.NewRNG(1)
+	if _, err := NewApproxLearner(nil, DefaultOnline(), rng); err == nil {
+		t.Fatal("nil q accepted")
+	}
+	if _, err := NewApproxLearner(q, Params{}, rng); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := NewApproxLearner(q, DefaultOnline(), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestApproxLearnerRegressesToTarget(t *testing.T) {
+	// A single state, single action, fixed reward and γ=0: the weight must
+	// converge so Q(s,0) → r.
+	feats := func(string) []float64 { return []float64{1} }
+	q, _ := NewLinearQ(feats, 1, 1)
+	l, err := NewApproxLearner(q, Params{Alpha: 0.5, Gamma: 0, Epsilon: 0}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := l.UpdateSARSA("s", 0, 3.0, "s", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := q.Value("s", 0)
+	if math.Abs(v-3) > 1e-6 {
+		t.Fatalf("Q = %v, want 3", v)
+	}
+}
+
+// quadChainModel is chainModel with a quadratic reward peak, exactly
+// representable by the [1, x, x²] feature basis.
+type quadChainModel struct{ chainModel }
+
+func (c quadChainModel) Reward(state string) float64 {
+	i, _ := strconv.Atoi(state)
+	d := float64(i - c.goal)
+	return -d * d
+}
+
+func TestApproxLearnerSolvesChain(t *testing.T) {
+	// Gradient SARSA with quadratic features must learn to walk the chain
+	// toward the goal, like the tabular learner.
+	model := quadChainModel{chainModel{n: 9, goal: 6}}
+	q, err := NewLinearQ(chainFeatures(model.n), 3, model.Actions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := NewApproxLearner(q, Params{Alpha: 0.3, Gamma: 0.9, Epsilon: 0.3}, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := func(state string) []int {
+		var out []int
+		for a := 0; a < model.Actions(); a++ {
+			if _, ok := model.Next(state, a); ok {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	// Train with episodes from every start state.
+	for episode := 0; episode < 3000; episode++ {
+		state := strconv.Itoa(episode % model.n)
+		action, err := learner.SelectAction(state, feasible(state))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 12; step++ {
+			next, _ := model.Next(state, action)
+			nextAction, err := learner.SelectAction(next, feasible(next))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := learner.UpdateSARSA(state, action, model.Reward(next), next, nextAction); err != nil {
+				t.Fatal(err)
+			}
+			state, action = next, nextAction
+		}
+	}
+	// The greedy policy must reach the goal from every state.
+	for start := 0; start < model.n; start++ {
+		state := strconv.Itoa(start)
+		for step := 0; step < model.n+2 && state != strconv.Itoa(model.goal); step++ {
+			a, _, err := q.Best(state, feasible(state))
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, ok := model.Next(state, a)
+			if !ok || next == state {
+				t.Fatalf("greedy policy stuck at %s (from %d)", state, start)
+			}
+			state = next
+		}
+		if state != strconv.Itoa(model.goal) {
+			t.Fatalf("greedy policy from %d ended at %s", start, state)
+		}
+	}
+}
+
+func TestApproxGeneralizesToUnseenStates(t *testing.T) {
+	// Train on even states of a linear value landscape; the approximator
+	// must rank unseen odd states consistently (what a tabular Q cannot do).
+	feats := chainFeatures(11)
+	q, _ := NewLinearQ(feats, 3, 1)
+	l, _ := NewApproxLearner(q, Params{Alpha: 0.3, Gamma: 0, Epsilon: 0}, sim.NewRNG(3))
+	for i := 0; i < 2000; i++ {
+		s := strconv.Itoa((i * 2) % 10) // even states only
+		x, _ := strconv.Atoi(s)
+		reward := float64(x) // value rises with the state index
+		if _, err := l.UpdateSARSA(s, 0, reward, s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v3, _ := q.Value("3", 0)
+	v7, _ := q.Value("7", 0)
+	if v7 <= v3 {
+		t.Fatalf("no generalization: Q(7)=%v <= Q(3)=%v", v7, v3)
+	}
+}

@@ -1,0 +1,144 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rac-project/rac/internal/sim"
+)
+
+// Model describes a deterministic MDP over string-keyed states, as induced by
+// a configuration lattice: taking an action in a state leads to exactly one
+// next state, and the reward of a transition depends on the state it reaches.
+type Model interface {
+	// States enumerates every state key of the model.
+	States() []string
+	// Next returns the state reached by taking action from state, and
+	// whether the action is feasible there. Infeasible actions are skipped
+	// by batch training and must not be selected online.
+	Next(state string, action int) (string, bool)
+	// Reward returns the immediate reward received on entering state.
+	Reward(state string) float64
+	// Actions returns the total number of actions.
+	Actions() int
+}
+
+// BatchConfig controls a batch training run (the offline RL process of paper
+// Algorithm 1 and the per-interval retraining of Algorithm 3).
+type BatchConfig struct {
+	Params Params
+	// StepsPerState is the inner trajectory length per sweep (Algorithm 1's
+	// LIMIT).
+	StepsPerState int
+	// MaxSweeps bounds the number of full state sweeps.
+	MaxSweeps int
+	// Theta is the convergence threshold on the largest per-sweep TD error
+	// (Algorithm 1's θ).
+	Theta float64
+}
+
+// DefaultBatchConfig returns the training schedule used by the experiments:
+// the paper's hyper-parameters, eight-step inner trajectories, and a 0.01
+// convergence threshold. The sweep bound keeps offline training over the
+// ~10⁴-state group lattice in the sub-second range; under ε-greedy
+// exploration the TD error stays stochastic, so the bound — not θ — usually
+// terminates training (see Algorithm 1).
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{
+		Params:        DefaultOffline(),
+		StepsPerState: 8,
+		MaxSweeps:     60,
+		Theta:         0.01,
+	}
+}
+
+// BatchResult reports how a batch training run converged.
+type BatchResult struct {
+	Sweeps    int
+	FinalErr  float64
+	Converged bool
+}
+
+// BatchTrain runs Algorithm 1 over the model: repeated sweeps over all
+// states, each starting an ε-greedy trajectory of StepsPerState SARSA
+// updates, until the largest TD error of a sweep drops below Theta or
+// MaxSweeps is exhausted. The table is updated in place.
+func BatchTrain(table *QTable, model Model, cfg BatchConfig, rng *sim.RNG) (BatchResult, error) {
+	if table == nil {
+		return BatchResult{}, errors.New("mdp: nil table")
+	}
+	if model == nil {
+		return BatchResult{}, errors.New("mdp: nil model")
+	}
+	if table.Actions() != model.Actions() {
+		return BatchResult{}, fmt.Errorf("mdp: table has %d actions, model %d",
+			table.Actions(), model.Actions())
+	}
+	if cfg.StepsPerState < 1 {
+		cfg.StepsPerState = 1
+	}
+	if cfg.MaxSweeps < 1 {
+		cfg.MaxSweeps = 1
+	}
+	learner, err := NewLearner(table, cfg.Params, rng)
+	if err != nil {
+		return BatchResult{}, err
+	}
+
+	states := model.States()
+	if len(states) == 0 {
+		return BatchResult{}, errors.New("mdp: model has no states")
+	}
+	// Precompute feasible action lists per state: the lattice does not change
+	// between sweeps.
+	feasible := make(map[string][]int, len(states))
+	for _, s := range states {
+		acts := make([]int, 0, model.Actions())
+		for a := 0; a < model.Actions(); a++ {
+			if _, ok := model.Next(s, a); ok {
+				acts = append(acts, a)
+			}
+		}
+		if len(acts) == 0 {
+			return BatchResult{}, fmt.Errorf("mdp: state %q has no feasible actions", s)
+		}
+		feasible[s] = acts
+	}
+
+	var res BatchResult
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		var maxErr float64
+		for _, start := range states {
+			state := start
+			action := learner.SelectAction(state, feasible[state])
+			for step := 0; step < cfg.StepsPerState; step++ {
+				next, ok := model.Next(state, action)
+				if !ok {
+					// Defensive: SelectAction only chooses feasible actions.
+					break
+				}
+				nextFeasible, known := feasible[next]
+				if !known {
+					// The model's transition left the enumerated region;
+					// treat the region boundary as absorbing for this
+					// trajectory. Models should keep Next closed over
+					// States(), but a bounded sweep must never panic.
+					break
+				}
+				reward := model.Reward(next)
+				nextAction := learner.SelectAction(next, nextFeasible)
+				if err := learner.UpdateSARSA(state, action, reward, next, nextAction); err > maxErr {
+					maxErr = err
+				}
+				state, action = next, nextAction
+			}
+		}
+		res.Sweeps = sweep + 1
+		res.FinalErr = maxErr
+		if maxErr < cfg.Theta {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,226 @@
+// Package mdp implements the tabular reinforcement-learning machinery of the
+// paper: a Q-value table keyed by state strings, temporal-difference updates
+// (paper Algorithm 1), ε-greedy action selection, and batch sweep training
+// over a deterministic model of the configuration MDP.
+//
+// The package is independent of web-system specifics: states are opaque
+// string keys and actions are dense indices, so the same learner is reused by
+// the offline policy-initialization pass and the online agent.
+package mdp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// QTable maps state keys to per-action Q values. All rows have the same
+// action count. The zero value is unusable; construct with NewQTable.
+type QTable struct {
+	actions int
+	rows    map[string][]float64
+	initial float64
+	seeder  Seeder
+}
+
+// Seeder produces initial Q-value rows for states the table has never seen.
+// It is how an initialization policy (paper §4.1) primes online learning: the
+// returned slice must have the table's action count, or nil to fall back to
+// the constant initial value. Seeders must be deterministic.
+type Seeder func(state string) []float64
+
+// NewQTable returns an empty table for the given action count. Unvisited
+// states read as rows filled with initial (optimistic initialization uses a
+// positive value; the paper's offline training starts from zero).
+func NewQTable(actions int, initial float64) *QTable {
+	if actions < 1 {
+		panic("mdp: QTable needs at least one action")
+	}
+	return &QTable{
+		actions: actions,
+		rows:    make(map[string][]float64),
+		initial: initial,
+	}
+}
+
+// Actions returns the per-state action count.
+func (q *QTable) Actions() int { return q.actions }
+
+// Len returns the number of materialized state rows.
+func (q *QTable) Len() int { return len(q.rows) }
+
+// SetSeeder installs (or clears, with nil) the initial-row producer. Already
+// materialized rows are unaffected; switching seeders only changes how states
+// visited in the future are primed.
+func (q *QTable) SetSeeder(s Seeder) { q.seeder = s }
+
+// Row returns the mutable Q-value row for state, materializing it on first
+// access from the seeder (if any) or the constant initial value.
+func (q *QTable) Row(state string) []float64 {
+	row, ok := q.rows[state]
+	if !ok {
+		row = q.freshRow(state)
+		q.rows[state] = row
+	}
+	return row
+}
+
+func (q *QTable) freshRow(state string) []float64 {
+	if q.seeder != nil {
+		if seeded := q.seeder(state); len(seeded) == q.actions {
+			row := make([]float64, q.actions)
+			copy(row, seeded)
+			return row
+		}
+	}
+	row := make([]float64, q.actions)
+	for i := range row {
+		row[i] = q.initial
+	}
+	return row
+}
+
+// Get returns Q(state, action) without materializing the row.
+func (q *QTable) Get(state string, action int) float64 {
+	if row, ok := q.rows[state]; ok {
+		return row[action]
+	}
+	if q.seeder != nil {
+		if seeded := q.seeder(state); len(seeded) == q.actions {
+			return seeded[action]
+		}
+	}
+	return q.initial
+}
+
+// Set assigns Q(state, action).
+func (q *QTable) Set(state string, action int, value float64) {
+	q.Row(state)[action] = value
+}
+
+// Best returns the greedy action for state and its value. Ties break toward
+// the lowest action index so greedy policies are deterministic. Unvisited
+// states consult the seeder without materializing a row.
+func (q *QTable) Best(state string) (int, float64) {
+	row, ok := q.rows[state]
+	if !ok {
+		if q.seeder != nil {
+			if seeded := q.seeder(state); len(seeded) == q.actions {
+				row = seeded
+			}
+		}
+		if row == nil {
+			return 0, q.initial
+		}
+	}
+	best, bestV := 0, row[0]
+	for i := 1; i < len(row); i++ {
+		if row[i] > bestV {
+			best, bestV = i, row[i]
+		}
+	}
+	return best, bestV
+}
+
+// MaxValue returns max_a Q(state, a).
+func (q *QTable) MaxValue(state string) float64 {
+	_, v := q.Best(state)
+	return v
+}
+
+// Visited reports whether the state has a materialized row.
+func (q *QTable) Visited(state string) bool {
+	_, ok := q.rows[state]
+	return ok
+}
+
+// Clone returns a deep copy of the table, sharing the seeder.
+func (q *QTable) Clone() *QTable {
+	out := NewQTable(q.actions, q.initial)
+	out.seeder = q.seeder
+	for k, row := range q.rows {
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		out.rows[k] = cp
+	}
+	return out
+}
+
+// States returns the materialized state keys in sorted order.
+func (q *QTable) States() []string {
+	keys := make([]string, 0, len(q.rows))
+	for k := range q.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// qtableJSON is the serialized form of a QTable.
+type qtableJSON struct {
+	Actions int                  `json:"actions"`
+	Initial float64              `json:"initial"`
+	Rows    map[string][]float64 `json:"rows"`
+}
+
+// Save writes the table as JSON.
+func (q *QTable) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(qtableJSON{Actions: q.actions, Initial: q.initial, Rows: q.rows})
+}
+
+// LoadQTable reads a table previously written by Save.
+func LoadQTable(r io.Reader) (*QTable, error) {
+	var raw qtableJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("mdp: decode qtable: %w", err)
+	}
+	if raw.Actions < 1 {
+		return nil, fmt.Errorf("mdp: qtable with %d actions", raw.Actions)
+	}
+	q := NewQTable(raw.Actions, raw.Initial)
+	for k, row := range raw.Rows {
+		if len(row) != raw.Actions {
+			return nil, fmt.Errorf("mdp: state %q has %d actions, want %d", k, len(row), raw.Actions)
+		}
+		q.rows[k] = row
+	}
+	return q, nil
+}
+
+// MaxAbsDiff returns the largest absolute per-entry difference between two
+// tables over the union of their states. Tables with different action counts
+// return +Inf.
+func MaxAbsDiff(a, b *QTable) float64 {
+	if a.actions != b.actions {
+		return math.Inf(1)
+	}
+	var max float64
+	seen := make(map[string]bool, len(a.rows))
+	for k, row := range a.rows {
+		seen[k] = true
+		other, ok := b.rows[k]
+		for i, v := range row {
+			var ov float64 = b.initial
+			if ok {
+				ov = other[i]
+			}
+			if d := math.Abs(v - ov); d > max {
+				max = d
+			}
+		}
+	}
+	for k, row := range b.rows {
+		if seen[k] {
+			continue
+		}
+		for _, v := range row {
+			if d := math.Abs(v - a.initial); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,182 @@
+package mdp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestQTableBasics(t *testing.T) {
+	q := NewQTable(3, 0.5)
+	if q.Actions() != 3 {
+		t.Fatalf("Actions = %d", q.Actions())
+	}
+	if q.Len() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	if got := q.Get("s", 1); got != 0.5 {
+		t.Fatalf("unvisited Get = %v, want initial", got)
+	}
+	q.Set("s", 1, 2.0)
+	if got := q.Get("s", 1); got != 2.0 {
+		t.Fatalf("Get after Set = %v", got)
+	}
+	if got := q.Get("s", 0); got != 0.5 {
+		t.Fatalf("other action = %v, want initial", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestQTableBest(t *testing.T) {
+	q := NewQTable(3, 0)
+	a, v := q.Best("unseen")
+	if a != 0 || v != 0 {
+		t.Fatalf("unseen Best = %d,%v", a, v)
+	}
+	q.Set("s", 0, 1)
+	q.Set("s", 1, 5)
+	q.Set("s", 2, 5)
+	a, v = q.Best("s")
+	if a != 1 || v != 5 {
+		t.Fatalf("Best = %d,%v; ties must break low", a, v)
+	}
+	if q.MaxValue("s") != 5 {
+		t.Fatal("MaxValue mismatch")
+	}
+}
+
+func TestQTablePanicsOnBadActions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQTable(0) did not panic")
+		}
+	}()
+	NewQTable(0, 0)
+}
+
+func TestQTableSeeder(t *testing.T) {
+	q := NewQTable(2, 0)
+	q.SetSeeder(func(state string) []float64 {
+		if state == "seeded" {
+			return []float64{3, 7}
+		}
+		return nil
+	})
+	// Get without materializing.
+	if got := q.Get("seeded", 1); got != 7 {
+		t.Fatalf("seeded Get = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatal("Get materialized a row")
+	}
+	a, v := q.Best("seeded")
+	if a != 1 || v != 7 {
+		t.Fatalf("seeded Best = %d,%v", a, v)
+	}
+	// Row materializes a copy of the seed.
+	row := q.Row("seeded")
+	if row[0] != 3 || row[1] != 7 {
+		t.Fatalf("seeded Row = %v", row)
+	}
+	row[0] = 100
+	if q.Get("seeded", 0) != 100 {
+		t.Fatal("Row is not the live row")
+	}
+	// Fallback for unknown states.
+	if got := q.Get("other", 0); got != 0 {
+		t.Fatalf("unseeded Get = %v", got)
+	}
+	// Wrong-length seeds are ignored.
+	q2 := NewQTable(2, -1)
+	q2.SetSeeder(func(string) []float64 { return []float64{1} })
+	if got := q2.Get("x", 0); got != -1 {
+		t.Fatalf("short seed used: %v", got)
+	}
+}
+
+func TestQTableSeederDoesNotAffectExistingRows(t *testing.T) {
+	q := NewQTable(2, 0)
+	q.Set("s", 0, 9)
+	q.SetSeeder(func(string) []float64 { return []float64{1, 1} })
+	if q.Get("s", 0) != 9 {
+		t.Fatal("seeder overwrote existing row")
+	}
+}
+
+func TestQTableClone(t *testing.T) {
+	q := NewQTable(2, 0)
+	q.Set("s", 0, 1)
+	c := q.Clone()
+	c.Set("s", 0, 5)
+	if q.Get("s", 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Actions() != 2 {
+		t.Fatal("clone lost action count")
+	}
+}
+
+func TestQTableStatesSorted(t *testing.T) {
+	q := NewQTable(1, 0)
+	for _, s := range []string{"c", "a", "b"} {
+		q.Row(s)
+	}
+	states := q.States()
+	if len(states) != 3 || states[0] != "a" || states[2] != "c" {
+		t.Fatalf("States = %v", states)
+	}
+}
+
+func TestQTableSaveLoad(t *testing.T) {
+	q := NewQTable(3, 0.25)
+	q.Set("a", 0, 1.5)
+	q.Set("b", 2, -2)
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(q, loaded) != 0 {
+		t.Fatal("round trip changed values")
+	}
+	if loaded.Get("unseen", 0) != 0.25 {
+		t.Fatal("initial value lost")
+	}
+}
+
+func TestLoadQTableRejectsGarbage(t *testing.T) {
+	if _, err := LoadQTable(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	if _, err := LoadQTable(bytes.NewBufferString(`{"actions":0,"rows":{}}`)); err == nil {
+		t.Fatal("zero actions loaded")
+	}
+	if _, err := LoadQTable(bytes.NewBufferString(`{"actions":2,"rows":{"s":[1]}}`)); err == nil {
+		t.Fatal("ragged row loaded")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewQTable(2, 0)
+	b := NewQTable(2, 0)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("empty tables differ")
+	}
+	a.Set("s", 0, 3)
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Fatalf("diff = %v", got)
+	}
+	b.Set("t", 1, -4)
+	if got := MaxAbsDiff(a, b); got != 4 {
+		t.Fatalf("diff = %v", got)
+	}
+	c := NewQTable(3, 0)
+	if !math.IsInf(MaxAbsDiff(a, c), 1) {
+		t.Fatal("different action counts should be +Inf")
+	}
+}

@@ -1,0 +1,172 @@
+// Package queueing implements exact Mean Value Analysis (MVA) for closed,
+// single-class queueing networks with load-dependent service stations. It is
+// the analytical counterpart of the webtier simulator: the same configuration
+// maps onto a network of load-dependent stations, and the solver returns the
+// steady-state response time and throughput in microseconds instead of
+// simulated minutes.
+//
+// The load-dependent recursion follows Reiser & Lavenberg's exact MVA with
+// marginal queue-length probabilities:
+//
+//	R_i(n)   = Σ_{j=1..n} (j/μ_i(j)) · p_i(j-1 | n-1)
+//	X(n)     = n / (Z + Σ_i R_i(n))
+//	p_i(j|n) = (X(n)/μ_i(j)) · p_i(j-1 | n-1)          j = 1..n
+//	p_i(0|n) = 1 − Σ_{j=1..n} p_i(j|n)
+//
+// Fixed-rate and multi-server stations are special cases of the rate
+// function μ_i(j).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Station is one service center of a closed network.
+type Station struct {
+	// Name identifies the station in results.
+	Name string
+	// Demand is the mean service demand per visit in seconds (at rate 1).
+	Demand float64
+	// Rate returns the relative service rate with j jobs present (j >= 1);
+	// the absolute completion rate is Rate(j)/Demand. A nil Rate means a
+	// fixed-rate (single-server) station, i.e. Rate(j) = 1.
+	Rate func(j int) float64
+}
+
+// MultiServer returns a rate function for a station with c parallel servers:
+// Rate(j) = min(j, c).
+func MultiServer(c int) func(int) float64 {
+	return func(j int) float64 {
+		if j < c {
+			return float64(j)
+		}
+		return float64(c)
+	}
+}
+
+// Capped returns a rate function equal to inner up to cap jobs in service;
+// beyond the cap the rate stays flat (extra jobs queue). It models admission
+// limits such as MaxClients.
+func Capped(inner func(int) float64, cap int) func(int) float64 {
+	return func(j int) float64 {
+		if j > cap {
+			j = cap
+		}
+		return inner(j)
+	}
+}
+
+// Result is the steady-state solution of the network.
+type Result struct {
+	// N is the population the network was solved for.
+	N int
+	// Throughput is the system throughput X(N) in jobs/second.
+	Throughput float64
+	// ResponseTime is the total residence time Σ R_i in seconds (excluding
+	// think time).
+	ResponseTime float64
+	// StationResidence holds per-station residence times in station order.
+	StationResidence []float64
+	// StationUtilization holds per-station utilization estimates
+	// (1 − p_i(0|N)).
+	StationUtilization []float64
+}
+
+// Solve runs exact load-dependent MVA for a closed network with population n
+// and think time z seconds.
+func Solve(n int, z float64, stations []Station) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("queueing: population %d < 1", n)
+	}
+	if z < 0 {
+		return Result{}, errors.New("queueing: negative think time")
+	}
+	if len(stations) == 0 {
+		return Result{}, errors.New("queueing: no stations")
+	}
+	for _, s := range stations {
+		if s.Demand < 0 {
+			return Result{}, fmt.Errorf("queueing: station %q has negative demand", s.Name)
+		}
+	}
+
+	k := len(stations)
+	// p[i][j] = p_i(j | current population); updated in place per iteration.
+	p := make([][]float64, k)
+	for i := range p {
+		p[i] = make([]float64, n+1)
+		p[i][0] = 1
+	}
+	resid := make([]float64, k)
+
+	var x float64
+	for pop := 1; pop <= n; pop++ {
+		var total float64
+		for i, s := range stations {
+			if s.Demand == 0 {
+				resid[i] = 0
+				continue
+			}
+			var r float64
+			for j := 1; j <= pop; j++ {
+				r += float64(j) * s.Demand / s.rate(j) * p[i][j-1]
+			}
+			resid[i] = r
+			total += r
+		}
+		x = float64(pop) / (z + total)
+		// Update marginal probabilities from high to low so p[i][j-1] is
+		// still the (pop-1)-population value when computing p[i][j].
+		for i, s := range stations {
+			if s.Demand == 0 {
+				continue
+			}
+			var sum float64
+			for j := pop; j >= 1; j-- {
+				p[i][j] = x * s.Demand / s.rate(j) * p[i][j-1]
+				sum += p[i][j]
+			}
+			if sum > 1 {
+				// Numerical guard: renormalize rather than emit a negative
+				// idle probability.
+				for j := 1; j <= pop; j++ {
+					p[i][j] /= sum
+				}
+				sum = 1
+			}
+			p[i][0] = 1 - sum
+		}
+	}
+
+	res := Result{
+		N:                  n,
+		Throughput:         x,
+		StationResidence:   make([]float64, k),
+		StationUtilization: make([]float64, k),
+	}
+	for i := range stations {
+		res.StationResidence[i] = resid[i]
+		res.ResponseTime += resid[i]
+		res.StationUtilization[i] = 1 - p[i][0]
+	}
+	if math.IsNaN(res.Throughput) || math.IsInf(res.Throughput, 0) {
+		return Result{}, errors.New("queueing: MVA diverged")
+	}
+	return res, nil
+}
+
+// rate returns the station's relative rate with j jobs, defaulting to 1.
+func (s Station) rate(j int) float64 {
+	if s.Rate == nil {
+		return 1
+	}
+	r := s.Rate(j)
+	if r <= 0 {
+		// A zero rate with jobs present would deadlock the recursion; treat
+		// it as a minimal trickle instead.
+		return 1e-9
+	}
+	return r
+}

@@ -1,0 +1,178 @@
+package queueing
+
+import (
+	"math"
+
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// WebsiteResult is the analytic steady-state prediction for a configured
+// three-tier website.
+type WebsiteResult struct {
+	// MeanRT is the predicted mean response time in seconds.
+	MeanRT float64
+	// Throughput is the predicted completion rate in requests/second.
+	Throughput float64
+	// Result is the final underlying network solution.
+	Network Result
+	// IOFactor is the converged DB cache-miss amplification.
+	IOFactor float64
+}
+
+// SolveWebsite predicts the steady-state performance of the simulated
+// three-tier website analytically. The configuration maps onto a closed
+// network of three load-dependent stations (web CPU, app/db CPU, disk) plus
+// a delay station for think time. Occupancy-dependent quantities (worker
+// pools, open connections, session memory, hence the DB I/O factor and web
+// thrash) are resolved by a short fixed-point iteration: solve, re-estimate
+// occupancies from the solution, repeat.
+//
+// The analytic model deliberately omits the simulator's transient mechanisms
+// (GC stalls, listen-backlog retransmits, pool spawn latency); it is the
+// smooth surface those transients fluctuate around, which is what the policy
+// initializer needs.
+func SolveWebsite(cal webtier.Calibration, p webtier.Params, w tpcw.Workload, level vmenv.Level) (WebsiteResult, error) {
+	if err := p.Validate(); err != nil {
+		return WebsiteResult{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return WebsiteResult{}, err
+	}
+
+	demand := tpcw.MeanDemand(w.Mix)
+
+	// Connection reuse: a think shorter than the keep-alive timeout reuses
+	// the connection. Long thinks and session ends always reconnect.
+	shortThink := 1 - cal.LongThinkProb
+	pReuse := shortThink * (1 - math.Exp(-p.KeepAliveTimeoutSec/tpcw.MeanThinkTimeSeconds)) *
+		(1 - 1/float64(tpcw.MeanSessionLength))
+	webDemand := demand.Web + (1-pReuse)*cal.ConnectCostSec
+
+	// Session creation: new sessions at session start plus timeout expiries
+	// during long thinks.
+	pExpire := cal.LongThinkProb * math.Exp(-p.SessionTimeoutMin*60/cal.LongThinkMeanSec)
+	pCreate := 1/float64(tpcw.MeanSessionLength) + pExpire
+	appDemand := demand.App + pCreate*cal.SessionCreateCostSec
+
+	// Effective think time per interaction, including the long-pause mixture
+	// and the end-of-session pause.
+	think := shortThink*tpcw.MeanThinkTimeSeconds + cal.LongThinkProb*cal.LongThinkMeanSec
+	z := (1-1/float64(tpcw.MeanSessionLength))*think + 1/float64(tpcw.MeanSessionLength)*cal.LongThinkMeanSec
+
+	// Fixed-point over occupancy-dependent factors.
+	var (
+		res      Result
+		ioFactor = 1.0
+		inFlight = math.Min(float64(w.Clients)/4, float64(p.MaxClients))
+		err      error
+	)
+	for iter := 0; iter < 5; iter++ {
+		conns := estimateConns(p, w, z, res)
+		workers := math.Min(inFlight+float64(p.MinSpareServers+p.MaxSpareServers)/2, float64(p.MaxClients))
+		thrash := webThrash(cal, workers, conns)
+
+		threads := math.Min(inFlight+float64(p.MinSpareThreads+p.MaxSpareThreads)/2, float64(p.MaxThreads))
+		sessions := estimateSessions(p, w, z, res)
+		ioFactor = dbIOFactor(cal, level, threads, sessions)
+
+		stations := []Station{
+			{
+				Name:   "web",
+				Demand: webDemand,
+				Rate: Capped(func(j int) float64 {
+					return float64(cal.WebVCPUs) * efficiency(cal, j, cal.WebVCPUs) / thrash * boundedBy(j, cal.WebVCPUs)
+				}, p.MaxClients),
+			},
+			{
+				Name:   "appdb",
+				Demand: appDemand + demand.DB,
+				Rate: Capped(func(j int) float64 {
+					return level.CPUCapacity() * efficiency(cal, j, level.VCPUs) * boundedBy(j, level.VCPUs)
+				}, p.MaxThreads),
+			},
+			{
+				Name:   "disk",
+				Demand: demand.IO * ioFactor,
+				Rate: func(j int) float64 {
+					return math.Min(float64(j), cal.DiskCapacity)
+				},
+			},
+		}
+		res, err = SolveApprox(w.Clients, z, stations)
+		if err != nil {
+			return WebsiteResult{}, err
+		}
+		inFlight = res.Throughput * res.ResponseTime // Little's law
+	}
+
+	return WebsiteResult{
+		MeanRT:     res.ResponseTime,
+		Throughput: res.Throughput,
+		Network:    res,
+		IOFactor:   ioFactor,
+	}, nil
+}
+
+// boundedBy limits a station's rate with fewer jobs than cores: each job can
+// use at most one core, so rate scales with j until the core count.
+func boundedBy(j, cores int) float64 {
+	if j < cores {
+		return float64(j) / float64(cores)
+	}
+	return 1
+}
+
+// efficiency mirrors webtier's context-switch model.
+func efficiency(cal webtier.Calibration, active, vcpus int) float64 {
+	excess := float64(active - vcpus)
+	if excess <= 0 {
+		return 1
+	}
+	return 1 / (1 + cal.CtxSwitchCoeff*excess + cal.CtxSwitchQuad*excess*excess)
+}
+
+// estimateConns predicts the number of open keep-alive connections from the
+// hold time per cycle.
+func estimateConns(p webtier.Params, w tpcw.Workload, z float64, res Result) float64 {
+	rt := res.ResponseTime // zero on the first iteration
+	hold := tpcw.MeanThinkTimeSeconds * (1 - math.Exp(-p.KeepAliveTimeoutSec/tpcw.MeanThinkTimeSeconds))
+	return float64(w.Clients) * (hold + rt) / (z + rt)
+}
+
+// estimateSessions predicts live server-side session objects: one per active
+// client plus abandoned sessions lingering until their timeout.
+func estimateSessions(p webtier.Params, w tpcw.Workload, z float64, res Result) float64 {
+	live := float64(w.Clients)
+	x := res.Throughput
+	if x <= 0 {
+		x = float64(w.Clients) / (z + 1)
+	}
+	endRate := x / float64(tpcw.MeanSessionLength)
+	return live + endRate*p.SessionTimeoutMin*60
+}
+
+// webThrash mirrors webtier's web-VM memory penalty.
+func webThrash(cal webtier.Calibration, workers, conns float64) float64 {
+	used := cal.WebBaseMemMB + cal.WorkerMemMB*workers + cal.ConnMemMB*conns
+	over := used/cal.WebMemMB - 1
+	if over <= 0 {
+		return 1
+	}
+	thrash := 1 + cal.ThrashCoeff*math.Pow(over, cal.ThrashExponent)
+	if cal.ThrashMax > 1 && thrash > cal.ThrashMax {
+		thrash = cal.ThrashMax
+	}
+	return thrash
+}
+
+// dbIOFactor mirrors webtier's buffer-cache model.
+func dbIOFactor(cal webtier.Calibration, level vmenv.Level, threads, sessions float64) float64 {
+	used := cal.AppBaseMemMB + cal.ThreadMemMB*threads + cal.SessionMemMB*sessions
+	cache := float64(level.MemoryMB) - used
+	if cache < cal.DBMinCacheMB {
+		cache = cal.DBMinCacheMB
+	}
+	return math.Pow(cal.DBRefCacheMB/cache, cal.DBIOExponent)
+}

@@ -1,0 +1,96 @@
+package regression
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("regression: singular system")
+
+// solveLinear solves A x = b in place using Gaussian elimination with partial
+// pivoting. A is a square matrix in row-major [][]float64 form; both A and b
+// are clobbered. The returned slice aliases b.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("regression: dimension mismatch")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in column.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for row := col + 1; row < n; row++ {
+			if v := math.Abs(a[row][col]); v > best {
+				best, pivot = v, row
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a[pivot], a[col] = a[col], a[pivot]
+			b[pivot], b[col] = b[col], b[pivot]
+		}
+		inv := 1 / a[col][col]
+		for row := col + 1; row < n; row++ {
+			factor := a[row][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[row][k] -= factor * a[col][k]
+			}
+			b[row] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		sum := b[col]
+		for k := col + 1; k < n; k++ {
+			sum -= a[col][k] * b[k]
+		}
+		b[col] = sum / a[col][col]
+	}
+	return b, nil
+}
+
+// leastSquares solves min ||X beta - y||^2 via the normal equations
+// (X'X) beta = X'y. X has one row per observation.
+func leastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("regression: dimension mismatch")
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("regression: no features")
+	}
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r, row := range x {
+		if len(row) != p {
+			return nil, errors.New("regression: ragged design matrix")
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	// Tiny ridge term keeps near-collinear designs solvable without visibly
+	// biasing the fit.
+	for i := 0; i < p; i++ {
+		xtx[i][i] += 1e-9
+	}
+	return solveLinear(xtx, xty)
+}

@@ -1,0 +1,26 @@
+package sim
+
+import "time"
+
+// Clock is a virtual clock measured from the start of a simulation run.
+// The zero value reads as time zero.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored so a
+// clock can never run backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Seconds returns the current virtual time in seconds.
+func (c *Clock) Seconds() float64 { return c.now.Seconds() }
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,146 @@
+package system
+
+import (
+	"fmt"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/queueing"
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// Analytic is a System backed by the MVA queueing model: instantaneous,
+// deterministic measurements (optionally perturbed by lognormal noise so
+// agents can be exercised against stochastic readings without paying
+// simulation time).
+type Analytic struct {
+	space    *config.Space
+	cal      webtier.Calibration
+	cfg      config.Config
+	workload tpcw.Workload
+	level    vmenv.Level
+	noise    float64
+	rng      *sim.RNG
+}
+
+// AnalyticOptions configure NewAnalytic.
+type AnalyticOptions struct {
+	// Space defaults to config.Default().
+	Space *config.Space
+	// Initial defaults to the space default configuration.
+	Initial config.Config
+	// Context defaults to context-1.
+	Context Context
+	// NoiseSigma adds multiplicative lognormal noise with the given sigma to
+	// measured response times (0 = deterministic).
+	NoiseSigma float64
+	// Seed drives the noise stream.
+	Seed uint64
+	// Calibration overrides the physical constants.
+	Calibration *webtier.Calibration
+}
+
+var (
+	_ System     = (*Analytic)(nil)
+	_ Adjustable = (*Analytic)(nil)
+)
+
+// NewAnalytic builds an analytic system in the given context.
+func NewAnalytic(opts AnalyticOptions) (*Analytic, error) {
+	space := opts.Space
+	if space == nil {
+		space = config.Default()
+	}
+	cfg := opts.Initial
+	if cfg == nil {
+		cfg = space.DefaultConfig()
+	}
+	if err := space.Validate(cfg); err != nil {
+		return nil, err
+	}
+	ctx := opts.Context
+	if ctx.Workload.Clients == 0 {
+		ctx = Table2()[0]
+	}
+	cal := webtier.DefaultCalibration()
+	if opts.Calibration != nil {
+		cal = *opts.Calibration
+	}
+	return &Analytic{
+		space:    space,
+		cal:      cal,
+		cfg:      cfg.Clone(),
+		workload: ctx.Workload,
+		level:    ctx.Level,
+		noise:    opts.NoiseSigma,
+		rng:      sim.NewRNG(opts.Seed),
+	}, nil
+}
+
+// Space returns the configuration space.
+func (a *Analytic) Space() *config.Space { return a.space }
+
+// Config returns the applied configuration.
+func (a *Analytic) Config() config.Config { return a.cfg.Clone() }
+
+// Apply stores the configuration after validation.
+func (a *Analytic) Apply(cfg config.Config) error {
+	if cfg == nil {
+		return errNilConfig
+	}
+	if err := a.space.Validate(cfg); err != nil {
+		return err
+	}
+	a.cfg = cfg.Clone()
+	return nil
+}
+
+// Measure solves the queueing network for the current configuration.
+func (a *Analytic) Measure() (Metrics, error) {
+	params, err := webtier.ParamsFromConfig(a.space, a.cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	res, err := queueing.SolveWebsite(a.cal, params, a.workload, a.level)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("analytic measure: %w", err)
+	}
+	rt := res.MeanRT
+	if a.noise > 0 {
+		rt *= a.rng.LogNormFloat64(-a.noise*a.noise/2, a.noise)
+	}
+	const interval = 300
+	return Metrics{
+		MeanRT:          rt,
+		P95RT:           rt * 2.5, // heuristic tail factor for the smooth model
+		Throughput:      res.Throughput,
+		Completed:       int(res.Throughput * interval),
+		IntervalSeconds: interval,
+	}, nil
+}
+
+// SetWorkload changes the traffic (driver-side context change).
+func (a *Analytic) SetWorkload(w tpcw.Workload) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	a.workload = w
+	return nil
+}
+
+// SetAppLevel reallocates the app/db VM (driver-side context change).
+func (a *Analytic) SetAppLevel(level vmenv.Level) error {
+	if !level.Valid() {
+		return fmt.Errorf("system: invalid level %+v", level)
+	}
+	a.level = level
+	return nil
+}
+
+// Workload returns the current traffic.
+func (a *Analytic) Workload() tpcw.Workload { return a.workload }
+
+// AppLevel returns the current VM allocation.
+func (a *Analytic) AppLevel() vmenv.Level { return a.level }

@@ -1,0 +1,116 @@
+// Package system defines the boundary between auto-configuration agents and
+// the web system they tune. Agents see only the System interface — apply a
+// configuration, measure application-level performance — mirroring the
+// paper's non-intrusive design: no OS- or hypervisor-level information is
+// exposed.
+//
+// Three implementations are provided: Simulated (the webtier discrete-time
+// model), Analytic (the queueing MVA surface, optionally with measurement
+// noise) and, in package httpd, a live HTTP stack. Experiment drivers — not
+// agents — additionally control workload and VM allocation through the
+// Adjustable interface to create the paper's context changes.
+package system
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+)
+
+// Metrics is one interval's application-level measurement.
+type Metrics struct {
+	// MeanRT is the mean response time in seconds — the paper's performance
+	// signal.
+	MeanRT float64
+	// P95RT is the 95th-percentile response time in seconds.
+	P95RT float64
+	// Throughput is completed requests per second.
+	Throughput float64
+	// Completed is the number of requests finished in the interval.
+	Completed int
+	// IntervalSeconds is the measurement duration in (virtual) seconds.
+	IntervalSeconds float64
+}
+
+// System is what an agent tunes: it can reconfigure the web system and
+// measure its application-level performance over one interval.
+type System interface {
+	// Space returns the configuration space of the system.
+	Space() *config.Space
+	// Config returns the currently applied configuration.
+	Config() config.Config
+	// Apply reconfigures the system. Implementations must validate against
+	// Space.
+	Apply(cfg config.Config) error
+	// Measure runs one measurement interval and returns its metrics.
+	Measure() (Metrics, error)
+}
+
+// Adjustable is the experiment driver's control surface for the environment
+// dynamics agents must adapt to: traffic changes and VM reallocation.
+// Agents must not use it.
+type Adjustable interface {
+	SetWorkload(w tpcw.Workload) error
+	SetAppLevel(level vmenv.Level) error
+	Workload() tpcw.Workload
+	AppLevel() vmenv.Level
+}
+
+// Context is a combination of traffic mix and VM resource level — the
+// paper's "system context" (§4.3, Table 2).
+type Context struct {
+	Name     string
+	Workload tpcw.Workload
+	Level    vmenv.Level
+}
+
+// String renders the context.
+func (c Context) String() string {
+	if c.Name != "" {
+		return fmt.Sprintf("%s(%s on %s)", c.Name, c.Workload, c.Level)
+	}
+	return fmt.Sprintf("%s on %s", c.Workload, c.Level)
+}
+
+// DefaultClients is the emulated-browser population used by the paper-style
+// contexts. It puts Level-3 near saturation and Level-1 at moderate load.
+const DefaultClients = 1100
+
+// Table2 returns the six contexts of paper Table 2.
+func Table2() []Context {
+	w := func(m tpcw.Mix) tpcw.Workload {
+		return tpcw.Workload{Mix: m, Clients: DefaultClients}
+	}
+	return []Context{
+		{Name: "context-1", Workload: w(tpcw.Shopping), Level: vmenv.Level1},
+		{Name: "context-2", Workload: w(tpcw.Ordering), Level: vmenv.Level1},
+		{Name: "context-3", Workload: w(tpcw.Ordering), Level: vmenv.Level3},
+		{Name: "context-4", Workload: w(tpcw.Shopping), Level: vmenv.Level2},
+		{Name: "context-5", Workload: w(tpcw.Ordering), Level: vmenv.Level2},
+		{Name: "context-6", Workload: w(tpcw.Browsing), Level: vmenv.Level1},
+	}
+}
+
+// ContextByName returns the paper context with the given name.
+func ContextByName(name string) (Context, error) {
+	for _, c := range Table2() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Context{}, fmt.Errorf("system: unknown context %q", name)
+}
+
+// ApplyContext drives an adjustable system into the given context.
+func ApplyContext(sys Adjustable, ctx Context) error {
+	if err := sys.SetWorkload(ctx.Workload); err != nil {
+		return err
+	}
+	return sys.SetAppLevel(ctx.Level)
+}
+
+// errNotValidated guards Apply implementations.
+var errNilConfig = errors.New("system: nil configuration")

@@ -1,0 +1,79 @@
+// Package vmenv models the virtualized hosting environment of the paper's
+// testbed: Xen-style VMs whose CPU and memory allocations change at runtime.
+// The paper provisions the VM hosting the application and database tiers at
+// three levels (§2.2); reallocation shifts the whole response-time surface
+// and is one of the two dynamics the RAC agent must adapt to.
+package vmenv
+
+import "fmt"
+
+// Level is a VM resource allocation: virtual CPUs and memory.
+type Level struct {
+	Name     string
+	VCPUs    int
+	MemoryMB int
+}
+
+// The paper's three provisioning levels (§2.2): Level-1 (4 vCPU, 4 GB),
+// Level-2 (3 vCPU, 3 GB), Level-3 (2 vCPU, 2 GB).
+var (
+	Level1 = Level{Name: "Level-1", VCPUs: 4, MemoryMB: 4096}
+	Level2 = Level{Name: "Level-2", VCPUs: 3, MemoryMB: 3072}
+	Level3 = Level{Name: "Level-3", VCPUs: 2, MemoryMB: 2048}
+)
+
+// Levels returns the paper's three levels in decreasing capacity order.
+func Levels() []Level { return []Level{Level1, Level2, Level3} }
+
+// ByName returns the level with the given name.
+func ByName(name string) (Level, error) {
+	for _, l := range Levels() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Level{}, fmt.Errorf("vmenv: unknown level %q", name)
+}
+
+// String returns the level name.
+func (l Level) String() string { return l.Name }
+
+// CPUCapacity returns the level's aggregate processing capacity in work
+// units per second, where one work unit is one second of a single reference
+// vCPU. A Level-1 VM therefore processes 4 units/s.
+func (l Level) CPUCapacity() float64 { return float64(l.VCPUs) }
+
+// Valid reports whether the level describes a usable VM.
+func (l Level) Valid() bool { return l.VCPUs > 0 && l.MemoryMB > 0 }
+
+// VM is a virtual machine with a mutable resource allocation. It models the
+// driver-domain view: the hosted tiers read capacity and memory from it each
+// simulation tick, so a reallocation takes effect immediately, exactly like a
+// Xen credit-scheduler or balloon adjustment.
+type VM struct {
+	name  string
+	level Level
+}
+
+// NewVM returns a VM with the given initial allocation.
+func NewVM(name string, level Level) (*VM, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("vmenv: invalid level %+v", level)
+	}
+	return &VM{name: name, level: level}, nil
+}
+
+// Name returns the VM's name.
+func (v *VM) Name() string { return v.name }
+
+// Level returns the current allocation.
+func (v *VM) Level() Level { return v.level }
+
+// Reallocate changes the VM's resource allocation.
+func (v *VM) Reallocate(level Level) error {
+	if !level.Valid() {
+		return fmt.Errorf("vmenv: invalid level %+v", level)
+	}
+	v.level = level
+	return nil
+}

@@ -1,0 +1,88 @@
+package vmenv
+
+import "testing"
+
+func TestPaperLevels(t *testing.T) {
+	tests := []struct {
+		level Level
+		cpus  int
+		mem   int
+	}{
+		{Level1, 4, 4096},
+		{Level2, 3, 3072},
+		{Level3, 2, 2048},
+	}
+	for _, tt := range tests {
+		if tt.level.VCPUs != tt.cpus || tt.level.MemoryMB != tt.mem {
+			t.Errorf("%s = %+v, want %d vCPUs / %d MB", tt.level.Name, tt.level, tt.cpus, tt.mem)
+		}
+	}
+}
+
+func TestLevelsOrderedByCapacity(t *testing.T) {
+	ls := Levels()
+	if len(ls) != 3 {
+		t.Fatalf("got %d levels", len(ls))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i].CPUCapacity() >= ls[i-1].CPUCapacity() {
+			t.Fatal("levels not in decreasing capacity order")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	l, err := ByName("Level-2")
+	if err != nil || l != Level2 {
+		t.Fatalf("ByName(Level-2) = %+v, %v", l, err)
+	}
+	if _, err := ByName("Level-9"); err == nil {
+		t.Fatal("unknown level found")
+	}
+}
+
+func TestLevelValid(t *testing.T) {
+	if !Level1.Valid() {
+		t.Fatal("Level1 invalid")
+	}
+	if (Level{VCPUs: 0, MemoryMB: 100}).Valid() {
+		t.Fatal("zero-CPU level valid")
+	}
+	if (Level{VCPUs: 1, MemoryMB: 0}).Valid() {
+		t.Fatal("zero-memory level valid")
+	}
+}
+
+func TestVMReallocate(t *testing.T) {
+	vm, err := NewVM("appdb", Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Name() != "appdb" || vm.Level() != Level1 {
+		t.Fatalf("fresh VM %+v", vm)
+	}
+	if err := vm.Reallocate(Level3); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Level() != Level3 {
+		t.Fatal("reallocation did not take")
+	}
+	if err := vm.Reallocate(Level{}); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+	if vm.Level() != Level3 {
+		t.Fatal("failed reallocation changed the level")
+	}
+}
+
+func TestNewVMRejectsInvalid(t *testing.T) {
+	if _, err := NewVM("x", Level{}); err == nil {
+		t.Fatal("invalid level accepted at construction")
+	}
+}
+
+func TestCPUCapacity(t *testing.T) {
+	if Level1.CPUCapacity() != 4 || Level3.CPUCapacity() != 2 {
+		t.Fatal("capacity does not match vCPU count")
+	}
+}

@@ -1,0 +1,133 @@
+package webtier
+
+// Calibration bundles the physical constants of the simulated testbed. The
+// defaults are chosen so the paper's qualitative curves appear at the default
+// workload sizes; they are exported so ablation benches can probe
+// sensitivity, and EXPERIMENTS.md records the calibrated values used for the
+// reported figures.
+type Calibration struct {
+	// TickSeconds is the simulation time slice.
+	TickSeconds float64
+
+	// Web VM (fixed allocation; the paper only reallocates the app/db VM).
+	WebVCPUs int
+	WebMemMB float64
+
+	// Memory footprints, MB.
+	WebBaseMemMB   float64 // OS + Apache parent
+	WorkerMemMB    float64 // per Apache worker process
+	ConnMemMB      float64 // per open keep-alive connection
+	AppBaseMemMB   float64 // OS + JVM + MySQL code on the app/db VM
+	ThreadMemMB    float64 // per Tomcat worker thread
+	SessionMemMB   float64 // per live HTTP session
+	DBConnMemMB    float64 // per active database connection
+	DBRefCacheMB   float64 // buffer-cache size at which DB I/O factor is 1
+	DBMinCacheMB   float64 // cache floor under memory pressure
+	DBIOExponent   float64 // miss amplification: (ref/cache)^exponent
+	ThrashExponent float64 // web-VM overcommit penalty exponent
+	ThrashCoeff    float64
+	ThrashMax      float64 // swap penalty ceiling (the OS starts refusing work)
+
+	// CPU contention: efficiency = 1/(1 + lin*excess + quad*excess²) with
+	// excess = max(0, runnable-vcpus). The quadratic term models scheduler
+	// and cache-pressure collapse at extreme concurrency.
+	CtxSwitchCoeff float64
+	CtxSwitchQuad  float64
+
+	// Disk subsystem of the app/db VM: concurrent I/O capacity in
+	// I/O-seconds per second.
+	DiskCapacity float64
+
+	// Connection and session management costs, in reference-vCPU seconds.
+	ConnectCostSec       float64 // TCP+TLS-less accept on a fresh connection
+	SessionCreateCostSec float64 // building a new server-side session
+
+	// Pool dynamics.
+	WorkerSpawnPerSec float64 // Apache child-spawn rate cap
+	WorkerReapPerSec  float64 // Apache kills at most one idle child per second
+	ThreadSpawnPerSec float64
+	ThreadReapPerSec  float64
+
+	// Database concurrency cap (the paper keeps MySQL defaults;
+	// max_connections defaults to 100).
+	DBMaxConns int
+
+	// Think-time model: a small fraction of thinks are long "walked away"
+	// pauses, which is what makes low session timeouts costly.
+	LongThinkProb    float64
+	LongThinkMeanSec float64
+
+	// ListenBacklog is the accept-queue depth. Fresh connections arriving
+	// while the backlog is full are dropped and retransmitted with
+	// exponential backoff — the classic latency cliff of an undersized
+	// MaxClients. Requests reusing a keep-alive connection bypass the
+	// backlog.
+	ListenBacklog     int
+	RetransmitBaseSec float64
+	RetransmitMaxSec  float64
+
+	// The app/db VM suffers periodic service stalls (JVM garbage collection,
+	// MySQL checkpoints) during which it processes nothing. Stalls create the
+	// admission bursts that MaxClients must absorb; their duration scales
+	// inversely with the VM's CPU capacity.
+	StallMeanIntervalSec float64
+	StallBaseDurSec      float64 // duration at 4 vCPUs; scaled by 4/vcpus
+
+	// RequestTimeoutSec is how long an emulated browser waits before
+	// abandoning a request (TPC-W's web-interaction response-time limit).
+	// Abandonment bounds the damage of pathological configurations and lets
+	// a jammed system recover once reconfigured; an abandoned request is
+	// recorded at the full timeout, a strong negative reward.
+	RequestTimeoutSec float64
+}
+
+// DefaultCalibration returns the constants used for all reported figures.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		TickSeconds: 0.025,
+
+		WebVCPUs: 1,
+		WebMemMB: 1024,
+
+		WebBaseMemMB:   256,
+		WorkerMemMB:    3,
+		ConnMemMB:      0.2,
+		AppBaseMemMB:   700,
+		ThreadMemMB:    1.2,
+		SessionMemMB:   0.1,
+		DBConnMemMB:    2,
+		DBRefCacheMB:   1536,
+		DBMinCacheMB:   192,
+		DBIOExponent:   1.2,
+		ThrashExponent: 1.5,
+		ThrashCoeff:    3,
+		ThrashMax:      3,
+
+		CtxSwitchCoeff: 0.002,
+		CtxSwitchQuad:  0.00002,
+
+		DiskCapacity: 16,
+
+		ConnectCostSec:       0.0020,
+		SessionCreateCostSec: 0.0060,
+
+		WorkerSpawnPerSec: 24,
+		WorkerReapPerSec:  1,
+		ThreadSpawnPerSec: 40,
+		ThreadReapPerSec:  2,
+
+		DBMaxConns: 100,
+
+		LongThinkProb:    0.08,
+		LongThinkMeanSec: 45,
+
+		ListenBacklog:     64,
+		RetransmitBaseSec: 3.0,
+		RetransmitMaxSec:  8.0,
+
+		StallMeanIntervalSec: 22,
+		StallBaseDurSec:      2.2,
+
+		RequestTimeoutSec: 30,
+	}
+}

@@ -1,0 +1,85 @@
+package webtier
+
+import (
+	"testing"
+
+	"github.com/rac-project/rac/internal/config"
+)
+
+// configDefault builds the Table 1 space for tests, failing fast on error.
+func configDefault(t *testing.T) *config.Space {
+	t.Helper()
+	return config.Default()
+}
+
+func TestParamsFromConfigPartialSpace(t *testing.T) {
+	// A reduced space tuning only MaxClients keeps other defaults.
+	space, err := config.NewSpace([]config.Def{{
+		Param: config.MaxClients, Name: "MaxClients", Tier: config.TierWeb,
+		Group: config.GroupCapacity, Min: 50, Max: 600, Step: 50, Default: 150,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Config{300}
+	p, err := ParamsFromConfig(space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxClients != 300 {
+		t.Fatalf("MaxClients = %d", p.MaxClients)
+	}
+	def := DefaultParams()
+	if p.MaxThreads != def.MaxThreads || p.SessionTimeoutMin != def.SessionTimeoutMin {
+		t.Fatalf("defaults not preserved: %+v", p)
+	}
+}
+
+func TestParamsFromConfigRejectsOffLattice(t *testing.T) {
+	space := configDefault(t)
+	cfg := space.DefaultConfig()
+	cfg[0] = 47
+	if _, err := ParamsFromConfig(space, cfg); err == nil {
+		t.Fatal("off-lattice config accepted")
+	}
+}
+
+func TestParamsFromConfigAllLatticePoints(t *testing.T) {
+	// Every per-parameter extreme maps to valid Params.
+	space := configDefault(t)
+	base := space.DefaultConfig()
+	for i, d := range space.Defs() {
+		for _, v := range []int{d.Min, d.Max} {
+			cfg := base.Clone()
+			cfg[i] = v
+			if _, err := ParamsFromConfig(space, cfg); err != nil {
+				t.Fatalf("%s=%d: %v", d.Name, v, err)
+			}
+		}
+	}
+}
+
+func TestCalibrationDefaultsSane(t *testing.T) {
+	cal := DefaultCalibration()
+	if cal.TickSeconds <= 0 || cal.TickSeconds > 0.2 {
+		t.Fatalf("tick %v", cal.TickSeconds)
+	}
+	if cal.WebVCPUs < 1 || cal.WebMemMB <= 0 {
+		t.Fatal("web VM unusable")
+	}
+	if cal.DBMaxConns < 1 {
+		t.Fatal("no db connections")
+	}
+	if cal.ListenBacklog < 1 {
+		t.Fatal("no listen backlog")
+	}
+	if cal.RetransmitMaxSec < cal.RetransmitBaseSec {
+		t.Fatal("retransmit cap below base")
+	}
+	if cal.ThrashMax < 1 {
+		t.Fatal("thrash ceiling below 1")
+	}
+	if cal.LongThinkProb < 0 || cal.LongThinkProb > 1 {
+		t.Fatal("long-think probability out of range")
+	}
+}

@@ -1,0 +1,177 @@
+package webtier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	var q queue
+	for i := 0; i < 10; i++ {
+		q.push(i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after draining", q.len())
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	// Interleaved push/pop across the compaction threshold must preserve
+	// FIFO order exactly.
+	var q queue
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.push(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.pop(); got != expect {
+				t.Fatalf("round %d: pop = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for q.len() > 0 {
+		if got := q.pop(); got != expect {
+			t.Fatalf("drain: pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, pushed %d", expect, next)
+	}
+}
+
+func TestQueueFIFOProperty(t *testing.T) {
+	// Any interleaving of pushes and pops yields pops in push order.
+	check := func(ops []bool) bool {
+		var q queue
+		pushed, popped := 0, 0
+		for _, push := range ops {
+			if push {
+				q.push(pushed)
+				pushed++
+			} else if q.len() > 0 {
+				if q.pop() != popped {
+					return false
+				}
+				popped++
+			}
+		}
+		for q.len() > 0 {
+			if q.pop() != popped {
+				return false
+			}
+			popped++
+		}
+		return popped == pushed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	var q queue
+	q.push(1)
+	q.push(2)
+	q.reset()
+	if q.len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	q.push(7)
+	if q.pop() != 7 {
+		t.Fatal("queue unusable after reset")
+	}
+}
+
+func TestFifoExpiry(t *testing.T) {
+	var f fifoExpiry
+	f.push(1.0)
+	f.push(2.0)
+	f.push(3.0)
+	if f.len() != 3 {
+		t.Fatalf("len = %d", f.len())
+	}
+	f.prune(0.5)
+	if f.len() != 3 {
+		t.Fatal("prune removed unexpired entries")
+	}
+	f.prune(2.0) // expiries <= now drop
+	if f.len() != 1 {
+		t.Fatalf("len after prune(2.0) = %d", f.len())
+	}
+	f.prune(10)
+	if f.len() != 0 {
+		t.Fatal("prune left expired entries")
+	}
+	f.reset()
+	f.push(5)
+	if f.len() != 1 {
+		t.Fatal("unusable after reset")
+	}
+}
+
+func TestFifoExpiryMonotonePruneProperty(t *testing.T) {
+	// Pruning at increasing times is monotone: the count never grows and
+	// every remaining expiry exceeds the prune time.
+	check := func(seed uint8) bool {
+		var f fifoExpiry
+		exp := 0.0
+		for i := 0; i < 40; i++ {
+			exp += float64((int(seed)+i)%7) * 0.3
+			f.push(exp)
+		}
+		prev := f.len()
+		for now := 0.0; now < exp+1; now += 0.9 {
+			f.prune(now)
+			if f.len() > prev {
+				return false
+			}
+			prev = f.len()
+		}
+		return f.len() == 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxClampHelpers(t *testing.T) {
+	if minInt(2, 3) != 2 || minInt(3, 2) != 2 {
+		t.Fatal("minInt wrong")
+	}
+	if maxInt(2, 3) != 3 || maxInt(3, 2) != 3 {
+		t.Fatal("maxInt wrong")
+	}
+	if clampInt(5, 1, 10) != 5 || clampInt(-1, 1, 10) != 1 || clampInt(99, 1, 10) != 10 {
+		t.Fatal("clampInt wrong")
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	m := newTestModel(t, tpcw.Shopping, 10, vmenv.Level1, 1)
+	prev := 1.0
+	for n := 1; n <= 600; n += 13 {
+		e := m.efficiency(n, 2)
+		if e > prev+1e-12 {
+			t.Fatalf("efficiency increased at n=%d: %v > %v", n, e, prev)
+		}
+		if e <= 0 || e > 1 {
+			t.Fatalf("efficiency out of range at n=%d: %v", n, e)
+		}
+		prev = e
+	}
+	if m.efficiency(1, 2) != 1 {
+		t.Fatal("under-committed VM not at full efficiency")
+	}
+}

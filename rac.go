@@ -1,0 +1,305 @@
+// Package rac is a reproduction of "A Reinforcement Learning Approach to
+// Online Web Systems Auto-configuration" (Bu, Rao, Xu — ICDCS 2009): a
+// Q-learning agent (RAC) that tunes the performance-critical configuration
+// parameters of a multi-tier web system online, adapting to both workload
+// changes and VM resource reallocation.
+//
+// The package re-exports the project's public API:
+//
+//   - the configuration space of paper Table 1 (DefaultSpace, Config, Action),
+//   - systems to tune: a discrete-time simulator of the paper's
+//     Apache/Tomcat/MySQL testbed (NewSimulatedSystem), an analytic queueing
+//     surface (NewAnalyticSystem), and a live HTTP stack (NewLiveSystem),
+//   - the RAC agent with policy initialization and online learning
+//     (LearnPolicy, NewAgent), plus the paper's baselines,
+//   - the experiment harness that regenerates every figure of the paper's
+//     evaluation (NewHarness).
+//
+// Quick start:
+//
+//	sys, _ := rac.NewSimulatedSystem(rac.SimulatedOptions{Seed: 1})
+//	policy, _ := rac.LearnPolicy("ctx", sys.Space(), sampler, rac.InitOptions{})
+//	agent, _ := rac.NewAgent(sys, rac.AgentOptions{Policy: policy})
+//	for i := 0; i < 25; i++ {
+//	    step, _ := agent.Step()
+//	    fmt.Printf("iter %d: rt=%.3fs\n", step.Iteration, step.MeanRT)
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package rac
+
+import (
+	"io"
+
+	"github.com/rac-project/rac/internal/bench"
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/httpd"
+	"github.com/rac-project/rac/internal/loadgen"
+	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// Configuration space (paper Table 1).
+type (
+	// Space is the discrete configuration lattice the agent searches.
+	Space = config.Space
+	// Config is one point of the lattice: a value per parameter.
+	Config = config.Config
+	// Param identifies one of the eight tunable parameters.
+	Param = config.Param
+	// ParamDef describes one parameter's lattice and default.
+	ParamDef = config.Def
+	// Action is a one-step reconfiguration (increase/decrease/keep).
+	Action = config.Action
+)
+
+// The eight parameters of paper Table 1.
+const (
+	MaxClients       = config.MaxClients
+	KeepAliveTimeout = config.KeepAliveTimeout
+	MinSpareServers  = config.MinSpareServers
+	MaxSpareServers  = config.MaxSpareServers
+	MaxThreads       = config.MaxThreads
+	SessionTimeout   = config.SessionTimeout
+	MinSpareThreads  = config.MinSpareThreads
+	MaxSpareThreads  = config.MaxSpareThreads
+)
+
+// DefaultSpace returns the eight-parameter space of paper Table 1.
+func DefaultSpace() *Space { return config.Default() }
+
+// Workload model (TPC-W).
+type (
+	// Mix is a TPC-W traffic mix.
+	Mix = tpcw.Mix
+	// Workload pairs a mix with an emulated-browser population.
+	Workload = tpcw.Workload
+)
+
+// The three TPC-W mixes.
+const (
+	Browsing = tpcw.Browsing
+	Shopping = tpcw.Shopping
+	Ordering = tpcw.Ordering
+)
+
+// VM environment.
+type Level = vmenv.Level
+
+// The paper's three VM resource levels.
+var (
+	Level1 = vmenv.Level1
+	Level2 = vmenv.Level2
+	Level3 = vmenv.Level3
+)
+
+// Systems.
+type (
+	// System is what agents tune: apply a configuration, measure one
+	// interval of application-level performance.
+	System = system.System
+	// Adjustable is the experiment driver's control surface for context
+	// changes (traffic and VM reallocation).
+	Adjustable = system.Adjustable
+	// Metrics is one interval's measurement.
+	Metrics = system.Metrics
+	// Context is a workload × VM-level combination (paper Table 2).
+	Context = system.Context
+	// SimulatedOptions configure NewSimulatedSystem.
+	SimulatedOptions = system.SimulatedOptions
+	// AnalyticOptions configure NewAnalyticSystem.
+	AnalyticOptions = system.AnalyticOptions
+	// SimulatedSystem is the discrete-time testbed simulation.
+	SimulatedSystem = system.Simulated
+	// AnalyticSystem is the queueing-model surface.
+	AnalyticSystem = system.Analytic
+)
+
+// NewSimulatedSystem builds the simulated three-tier website.
+func NewSimulatedSystem(opts SimulatedOptions) (*SimulatedSystem, error) {
+	return system.NewSimulated(opts)
+}
+
+// NewAnalyticSystem builds the analytic (MVA) website surface.
+func NewAnalyticSystem(opts AnalyticOptions) (*AnalyticSystem, error) {
+	return system.NewAnalytic(opts)
+}
+
+// Contexts returns the six system contexts of paper Table 2.
+func Contexts() []Context { return system.Table2() }
+
+// ContextByName returns a paper context ("context-1" … "context-6").
+func ContextByName(name string) (Context, error) { return system.ContextByName(name) }
+
+// ApplyContext drives an adjustable system into a context (traffic + level).
+func ApplyContext(sys Adjustable, ctx Context) error { return system.ApplyContext(sys, ctx) }
+
+// The RAC agent and its components.
+type (
+	// Options are the agent's hyper-parameters (paper defaults via
+	// DefaultOptions).
+	Options = core.Options
+	// AgentOptions configure NewAgent.
+	AgentOptions = core.AgentOptions
+	// Agent is the RAC online agent (paper Algorithm 3).
+	Agent = core.Agent
+	// StepResult reports one trial-and-error iteration.
+	StepResult = core.StepResult
+	// Tuner is the common interface of RAC and the baselines.
+	Tuner = core.Tuner
+	// Policy is an initial policy learned offline (paper Algorithm 2).
+	Policy = core.Policy
+	// PolicyStore holds per-context initial policies for adaptive switching.
+	PolicyStore = core.PolicyStore
+	// InitOptions configure LearnPolicy.
+	InitOptions = core.InitOptions
+	// Sampler measures one configuration during policy initialization.
+	Sampler = core.Sampler
+	// RLParams are the tabular-learning hyper-parameters (α, γ, ε).
+	RLParams = mdp.Params
+	// LinearQ is a linear value-function approximator — the paper's §7
+	// future-work alternative to the tabular Q-table.
+	LinearQ = mdp.LinearQ
+	// ApproxLearner performs gradient SARSA on a LinearQ.
+	ApproxLearner = mdp.ApproxLearner
+)
+
+// DefaultOptions returns the paper's hyper-parameters.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewAgent builds a RAC agent tuning the given system.
+func NewAgent(sys System, opts AgentOptions) (*Agent, error) { return core.NewAgent(sys, opts) }
+
+// LearnPolicy runs policy initialization (paper Algorithm 2) for one system
+// context: coarse grouped sampling, polynomial-regression prediction, and
+// offline RL over the group lattice.
+func LearnPolicy(name string, space *Space, sample Sampler, opts InitOptions) (*Policy, error) {
+	return core.LearnPolicy(name, space, sample, opts)
+}
+
+// NewPolicyStore builds a store of initial policies.
+func NewPolicyStore(policies ...*Policy) *PolicyStore { return core.NewPolicyStore(policies...) }
+
+// LoadPolicy reads a policy previously written with Policy.Save, binding it
+// to the configuration space it was trained on.
+func LoadPolicy(r io.Reader, space *Space) (*Policy, error) { return core.LoadPolicy(r, space) }
+
+// NewLinearQ builds a linear action-value approximator over the feature
+// basis returned by ConfigFeatures (or any custom extractor).
+func NewLinearQ(features mdp.Features, dim, actions int) (*LinearQ, error) {
+	return mdp.NewLinearQ(features, dim, actions)
+}
+
+// NewApproxLearner wraps a LinearQ with gradient SARSA updates.
+func NewApproxLearner(q *LinearQ, params RLParams, seed uint64) (*ApproxLearner, error) {
+	return mdp.NewApproxLearner(q, params, sim.NewRNG(seed|1))
+}
+
+// ConfigFeatures returns a quadratic feature basis over the configuration
+// space (bias, normalized values, squares) and its dimensionality, for use
+// with NewLinearQ.
+func ConfigFeatures(space *Space) (mdp.Features, int) {
+	f, dim := config.Features(space)
+	return f, dim
+}
+
+// SystemSampler adapts a System into a policy-initialization Sampler
+// (apply + measure per probed configuration).
+func SystemSampler(sys System) Sampler {
+	return func(cfg Config) (float64, error) {
+		if err := sys.Apply(cfg); err != nil {
+			return 0, err
+		}
+		m, err := sys.Measure()
+		if err != nil {
+			return 0, err
+		}
+		return m.MeanRT, nil
+	}
+}
+
+// Baselines.
+
+// NewStaticAgent wraps a system without ever reconfiguring it (the paper's
+// static default baseline).
+func NewStaticAgent(sys System, opts Options) (Tuner, error) {
+	return core.NewStaticAgent(sys, opts)
+}
+
+// NewTrialAndErrorAgent builds the paper's coordinate-descent baseline.
+func NewTrialAndErrorAgent(sys System, opts Options) (Tuner, error) {
+	return core.NewTrialAndErrorAgent(sys, opts)
+}
+
+// NewHillClimbAgent builds the hill-climbing baseline (an extension beyond
+// the paper's two baselines).
+func NewHillClimbAgent(sys System, opts Options) (Tuner, error) {
+	return core.NewHillClimbAgent(sys, opts)
+}
+
+// NewApproxAgent builds the function-approximation variant of the RAC agent
+// (the paper's §7 future-work direction): online SARSA over per-action
+// linear models of the configuration features instead of a tabular Q-table.
+func NewApproxAgent(sys System, opts Options, seed uint64) (Tuner, error) {
+	return core.NewApproxAgent(sys, opts, seed)
+}
+
+// Live stack.
+type (
+	// LiveServer is the real in-process three-tier HTTP application.
+	LiveServer = httpd.Server
+	// LiveSystem adapts the live server + load generator to System.
+	LiveSystem = httpd.Live
+	// LoadDriver generates TPC-W-style HTTP load.
+	LoadDriver = loadgen.Driver
+	// ServerParams are the web-system knobs in natural units.
+	ServerParams = webtier.Params
+)
+
+// DefaultServerParams returns the Table 1 defaults in natural units.
+func DefaultServerParams() ServerParams { return webtier.DefaultParams() }
+
+// NewLiveServer builds the real three-tier stack.
+func NewLiveServer(params ServerParams, level Level) (*LiveServer, error) {
+	return httpd.NewServer(params, level)
+}
+
+// NewLoadDriver builds an HTTP load generator against a base URL.
+func NewLoadDriver(base string, w Workload, seed uint64) (*LoadDriver, error) {
+	return loadgen.New(base, w, seed)
+}
+
+// NewLiveSystem adapts a started live server and a load driver to the System
+// interface so the agent can tune real traffic.
+func NewLiveSystem(space *Space, server *LiveServer, driver *LoadDriver, initial Config) (*LiveSystem, error) {
+	return httpd.NewLive(space, server, driver, initial)
+}
+
+// ParamsFromConfig converts a lattice configuration to natural units.
+func ParamsFromConfig(space *Space, cfg Config) (ServerParams, error) {
+	return webtier.ParamsFromConfig(space, cfg)
+}
+
+// Experiments.
+type (
+	// Harness regenerates the paper's evaluation figures.
+	Harness = bench.Harness
+	// HarnessOptions configure NewHarness.
+	HarnessOptions = bench.Options
+	// Figure is one reproduced experiment result.
+	Figure = bench.Figure
+	// Series is one labeled line of a figure.
+	Series = bench.Series
+)
+
+// NewHarness builds the experiment harness.
+func NewHarness(opts HarnessOptions) *Harness { return bench.New(opts) }
+
+// FigureIDs returns the reproducible figure identifiers in paper order.
+func FigureIDs() []string { return bench.FigureIDs() }
