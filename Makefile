@@ -1,0 +1,29 @@
+# Tier-1 gate: everything `make check` runs must pass before a PR lands.
+GO ?= go
+
+.PHONY: check fmt vet build test race bench-telemetry
+
+check: fmt vet build race
+
+# fmt fails (listing the offending files) when anything is not gofmt-clean.
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The telemetry hot path must stay allocation-free; see internal/telemetry.
+bench-telemetry:
+	$(GO) test -run xxx -bench . -benchmem ./internal/telemetry/

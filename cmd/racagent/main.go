@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,8 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "seed")
 		interval   = fs.Duration("interval", 1500*time.Millisecond, "wall-clock measurement interval")
 		maxClients = fs.Int("maxclients", 50, "starting MaxClients (a poor default shows tuning)")
+		telemetry  = fs.String("telemetry", "", "dump a telemetry snapshot (metrics + decision trace) at exit to this file, or - for stdout")
+		traceCap   = fs.Int("tracecap", 512, "decision-trace ring capacity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,11 +81,16 @@ func run(args []string) error {
 		_ = server.Shutdown(ctx)
 	}()
 	fmt.Printf("bookstore on http://%s  (%s, %d browsers, %s)\n", addr, mix, *clients, level)
+	fmt.Printf("observability: http://%s/metrics  http://%s/admin/trace\n", addr, addr)
+
+	trace := rac.NewTrace(*traceCap)
+	server.SetTrace(trace)
 
 	driver, err := rac.NewLoadDriver("http://"+addr, rac.Workload{Mix: mix, Clients: *clients}, *seed)
 	if err != nil {
 		return err
 	}
+	driver.SetTelemetry(server.Telemetry())
 	live, err := rac.NewLiveSystem(space, server, driver, start)
 	if err != nil {
 		return err
@@ -92,7 +100,11 @@ func run(args []string) error {
 	var tuner rac.Tuner
 	switch *agentKind {
 	case "rac":
-		tuner, err = rac.NewAgent(live, rac.AgentOptions{Seed: *seed})
+		tuner, err = rac.NewAgent(live, rac.AgentOptions{
+			Seed:      *seed,
+			Telemetry: server.Telemetry(),
+			Trace:     trace,
+		})
 	case "static":
 		tuner, err = rac.NewStaticAgent(live, rac.DefaultOptions())
 	case "trial-and-error":
@@ -118,7 +130,34 @@ func run(args []string) error {
 	st := server.Stats()
 	fmt.Printf("\nserver stats: served=%d rejected=%d sessions=%d\n",
 		st.Served, st.Rejected, st.Sessions)
+	if *telemetry != "" {
+		if err := dumpTelemetry(*telemetry, server.Telemetry(), trace); err != nil {
+			return fmt.Errorf("telemetry dump: %w", err)
+		}
+	}
 	return nil
+}
+
+// dumpTelemetry writes the end-of-run snapshot (registry state plus the full
+// decision trace) as JSON to path, or stdout for "-".
+func dumpTelemetry(path string, reg *rac.Telemetry, trace *rac.Trace) error {
+	dump := struct {
+		Metrics rac.TelemetrySnapshot `json:"metrics"`
+		Trace   []rac.TraceEvent      `json:"trace"`
+	}{Metrics: reg.Snapshot(), Trace: trace.Snapshot()}
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
 }
 
 func parseMix(name string) (rac.Mix, error) {

@@ -10,12 +10,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
@@ -39,6 +41,7 @@ func run(args []string) error {
 		interval = fs.Float64("interval", 120, "measurement interval seconds (virtual)")
 		sweep    = fs.String("sweep", "", "sweep one parameter by name (e.g. MaxClients)")
 		cfgStr   = fs.String("config", "", "comma-separated configuration vector (Table 1 order)")
+		telPath  = fs.String("telemetry", "", "dump a telemetry snapshot at exit to this file, or - for stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,14 +68,62 @@ func run(args []string) error {
 	}
 	workload := tpcw.Workload{Mix: mix, Clients: *clients}
 
+	tel := newSimTelemetry()
+	var runErr error
 	if *sweep != "" {
-		return runSweep(space, cfg, workload, lvl, *sweep, *seed, *warmup, *interval)
+		runErr = runSweep(space, cfg, workload, lvl, *sweep, *seed, *warmup, *interval, tel)
+	} else {
+		runErr = runOnce(space, cfg, workload, lvl, *seed, *warmup, *interval, tel)
 	}
-	return runOnce(space, cfg, workload, lvl, *seed, *warmup, *interval)
+	if runErr == nil && *telPath != "" {
+		runErr = tel.dump(*telPath)
+	}
+	return runErr
+}
+
+// simTelemetry instruments the simulator runs so -telemetry snapshots record
+// what was measured.
+type simTelemetry struct {
+	reg          *telemetry.Registry
+	measurements *telemetry.Counter
+	meanRT       *telemetry.Histogram
+}
+
+func newSimTelemetry() *simTelemetry {
+	reg := telemetry.NewRegistry()
+	return &simTelemetry{
+		reg: reg,
+		measurements: reg.Counter("racsim_measurements_total",
+			"Simulated measurement intervals run.", nil),
+		meanRT: reg.Histogram("racsim_mean_rt_seconds",
+			"Mean response times measured across runs, in paper seconds.", nil, nil),
+	}
+}
+
+// record folds one measurement into the instruments.
+func (t *simTelemetry) record(st webtier.Stats) {
+	t.measurements.Inc()
+	t.meanRT.Observe(st.MeanRT)
+}
+
+// dump writes the registry snapshot as JSON to path, or stdout for "-".
+func (t *simTelemetry) dump(path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.reg.Snapshot())
 }
 
 func measure(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
-	seed uint64, warmup, interval float64) (webtier.Stats, error) {
+	seed uint64, warmup, interval float64, tel *simTelemetry) (webtier.Stats, error) {
 
 	params, err := webtier.ParamsFromConfig(space, cfg)
 	if err != nil {
@@ -88,13 +139,17 @@ func measure(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.
 		return webtier.Stats{}, err
 	}
 	model.Warmup(warmup)
-	return model.Run(interval)
+	st, err := model.Run(interval)
+	if err == nil {
+		tel.record(st)
+	}
+	return st, err
 }
 
 func runOnce(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
-	seed uint64, warmup, interval float64) error {
+	seed uint64, warmup, interval float64, tel *simTelemetry) error {
 
-	st, err := measure(space, cfg, w, lvl, seed, warmup, interval)
+	st, err := measure(space, cfg, w, lvl, seed, warmup, interval, tel)
 	if err != nil {
 		return err
 	}
@@ -107,7 +162,7 @@ func runOnce(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.
 }
 
 func runSweep(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
-	paramName string, seed uint64, warmup, interval float64) error {
+	paramName string, seed uint64, warmup, interval float64, tel *simTelemetry) error {
 
 	var def config.Def
 	found := false
@@ -128,7 +183,7 @@ func runSweep(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv
 		v := def.Value(lvlIdx)
 		c := cfg.Clone()
 		c[idx] = v
-		st, err := measure(space, c, w, lvl, seed, warmup, interval)
+		st, err := measure(space, c, w, lvl, seed, warmup, interval, tel)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/queueing"
 	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
@@ -42,6 +43,11 @@ type Harness struct {
 
 	mu       sync.Mutex
 	policies map[string]*core.Policy
+
+	tel           *telemetry.Registry
+	policyTrains  *telemetry.Counter
+	policyHits    *telemetry.Counter
+	scheduleSteps *telemetry.Counter
 }
 
 // New builds a harness.
@@ -49,16 +55,29 @@ func New(opts Options) *Harness {
 	if opts.Agent == (core.Options{}) {
 		opts.Agent = core.DefaultOptions()
 	}
+	tel := telemetry.NewRegistry()
 	return &Harness{
 		opts:     opts,
 		space:    config.Default(),
 		cal:      webtier.DefaultCalibration(),
 		policies: make(map[string]*core.Policy),
+		tel:      tel,
+		policyTrains: tel.Counter("bench_policy_trainings_total",
+			"Initial policies trained (offline Algorithm 2 passes).", nil),
+		policyHits: tel.Counter("bench_policy_cache_hits_total",
+			"Policy requests served from the harness cache.", nil),
+		scheduleSteps: tel.Counter("bench_schedule_steps_total",
+			"Agent iterations driven through RunSchedule.", nil),
 	}
 }
 
 // Space returns the harness's configuration space.
 func (h *Harness) Space() *config.Space { return h.space }
+
+// Telemetry returns the harness registry. Experiment commands snapshot it at
+// exit; TunerFactory implementations may also register agent instruments on
+// it to observe Q-learning convergence during a schedule.
+func (h *Harness) Telemetry() *telemetry.Registry { return h.tel }
 
 // measureWindows returns (settle, measure) in virtual seconds.
 func (h *Harness) measureWindows() (float64, float64) {
@@ -154,9 +173,11 @@ func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
 	h.mu.Lock()
 	if p, ok := h.policies[key]; ok {
 		h.mu.Unlock()
+		h.policyHits.Inc()
 		return p, nil
 	}
 	h.mu.Unlock()
+	h.policyTrains.Inc()
 
 	var sampler core.Sampler
 	if h.opts.SimSampling {
@@ -244,6 +265,7 @@ func (h *Harness) RunSchedule(mk TunerFactory, phases []Phase, salt uint64) ([]c
 			if err != nil {
 				return nil, fmt.Errorf("bench: phase %d iter %d: %w", pi, i, err)
 			}
+			h.scheduleSteps.Inc()
 			results = append(results, res)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/rac-project/rac/internal/sim"
 	"github.com/rac-project/rac/internal/stats"
 	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
 )
 
 // StepResult reports one trial-and-error iteration of an agent.
@@ -65,6 +66,41 @@ type Agent struct {
 	window     *stats.Window
 	violations int
 	iteration  int
+
+	tel   *agentInstruments
+	trace *telemetry.Trace
+}
+
+// agentInstruments are the agent's registry metrics; nil when telemetry is
+// not wired.
+type agentInstruments struct {
+	steps      *telemetry.Counter
+	switches   *telemetry.Counter
+	retrains   *telemetry.Counter
+	epsilon    *telemetry.Gauge
+	violations *telemetry.Gauge
+	reward     *telemetry.Gauge
+	qDelta     *telemetry.Gauge
+}
+
+// newAgentInstruments registers the agent's instruments on reg.
+func newAgentInstruments(reg *telemetry.Registry) *agentInstruments {
+	return &agentInstruments{
+		steps: reg.Counter("rac_agent_steps_total",
+			"Tuning iterations the agent has run (paper Algorithm 3).", nil),
+		switches: reg.Counter("rac_agent_policy_switches_total",
+			"Context changes detected: initial-policy switches after s_thr consecutive violations.", nil),
+		retrains: reg.Counter("rac_agent_retrains_total",
+			"Per-interval batch Q-table retraining passes.", nil),
+		epsilon: reg.Gauge("rac_agent_epsilon",
+			"Exploration rate in force for online action selection.", nil),
+		violations: reg.Gauge("rac_agent_consecutive_violations",
+			"Current consecutive SLA-deviation count feeding context-change detection.", nil),
+		reward: reg.Gauge("rac_agent_last_reward",
+			"Immediate reward of the most recent step (SLA − meanRT).", nil),
+		qDelta: reg.Gauge("rac_agent_last_q_delta",
+			"Change of the visited state's best Q-value across the last retrain.", nil),
+	}
 }
 
 var _ Tuner = (*Agent)(nil)
@@ -85,6 +121,13 @@ type AgentOptions struct {
 	Frozen bool
 	// Seed drives exploration.
 	Seed uint64
+	// Telemetry, when non-nil, receives the agent's step/retrain/policy-
+	// switch counters and gauges. Sharing the live server's registry puts
+	// them on the same /metrics page as the request histograms.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives one structured decision event per step,
+	// retrain and policy switch (exposed by the live server's /admin/trace).
+	Trace *telemetry.Trace
 }
 
 // NewAgent builds a RAC agent tuning the given system.
@@ -124,6 +167,11 @@ func NewAgent(sys system.System, opts AgentOptions) (*Agent, error) {
 		cur:     sys.Config(),
 		samples: make(map[string]float64),
 		window:  stats.NewWindow(o.Window),
+		trace:   opts.Trace,
+	}
+	if opts.Telemetry != nil {
+		a.tel = newAgentInstruments(opts.Telemetry)
+		a.tel.epsilon.Set(o.Online.Epsilon)
 	}
 	a.resetQ()
 	return a, nil
@@ -200,6 +248,10 @@ func (a *Agent) Step() (StepResult, error) {
 	// 4. Policy switching.
 	if a.violations >= a.opts.SwitchThreshold && a.store != nil && a.store.Len() > 0 {
 		if p, err := a.store.Match(next, rt); err == nil && p != nil {
+			oldName := ""
+			if a.policy != nil {
+				oldName = a.policy.Name()
+			}
 			a.policy = p
 			a.resetQ()
 			// Context changed: previous measurements describe the old
@@ -208,6 +260,19 @@ func (a *Agent) Step() (StepResult, error) {
 			a.window.Reset()
 			a.violations = 0
 			res.Switched = true
+			if a.tel != nil {
+				a.tel.switches.Inc()
+			}
+			if a.trace != nil {
+				a.trace.Add(telemetry.Event{
+					Kind:      telemetry.KindPolicySwitch,
+					Iteration: a.iteration,
+					State:     next.Key(),
+					MeanRT:    rt,
+					Policy:    p.Name(),
+					Detail:    oldName + " -> " + p.Name(),
+				})
+			}
 		}
 	}
 	if a.policy != nil {
@@ -216,11 +281,50 @@ func (a *Agent) Step() (StepResult, error) {
 
 	// 5. Record the measurement and retrain the Q-table over the region
 	// (skipped when online learning is disabled).
+	var qDelta float64
 	if !a.frozen {
 		a.record(next.Key(), rt)
-		if err := a.retrain(); err != nil {
+		qBefore := a.q.MaxValue(next.Key())
+		batch, err := a.retrain()
+		if err != nil {
 			return StepResult{}, err
 		}
+		qDelta = a.q.MaxValue(next.Key()) - qBefore
+		if a.tel != nil {
+			a.tel.retrains.Inc()
+		}
+		if a.trace != nil {
+			a.trace.Add(telemetry.Event{
+				Kind:      telemetry.KindRetrain,
+				Iteration: a.iteration,
+				State:     next.Key(),
+				QDelta:    qDelta,
+				Sweeps:    batch.Sweeps,
+				Converged: batch.Converged,
+			})
+		}
+	}
+
+	if a.tel != nil {
+		a.tel.steps.Inc()
+		a.tel.epsilon.Set(a.learner.Params().Epsilon)
+		a.tel.violations.Set(float64(a.violations))
+		a.tel.reward.Set(reward)
+		a.tel.qDelta.Set(qDelta)
+	}
+	if a.trace != nil {
+		a.trace.Add(telemetry.Event{
+			Kind:       telemetry.KindStep,
+			Iteration:  a.iteration,
+			State:      next.Key(),
+			Action:     action.Describe(a.space),
+			MeanRT:     rt,
+			Reward:     reward,
+			Epsilon:    a.learner.Params().Epsilon,
+			QDelta:     qDelta,
+			Violations: a.violations,
+			Policy:     res.PolicyName,
+		})
 	}
 
 	a.cur = next
@@ -236,8 +340,9 @@ func (a *Agent) record(key string, rt float64) {
 	}
 }
 
-// retrain runs the per-interval batch training pass (Algorithm 3 step 9).
-func (a *Agent) retrain() error {
+// retrain runs the per-interval batch training pass (Algorithm 3 step 9) and
+// reports how it converged.
+func (a *Agent) retrain() (mdp.BatchResult, error) {
 	var predict func(config.Config) float64
 	if a.policy != nil {
 		predict = a.policy.PredictRT
@@ -249,10 +354,11 @@ func (a *Agent) retrain() error {
 		MaxSweeps:     a.opts.BatchSweeps,
 		Theta:         a.opts.BatchTheta,
 	}
-	if _, err := mdp.BatchTrain(a.q, model, cfg, a.rng.Split()); err != nil {
-		return fmt.Errorf("core: retrain: %w", err)
+	batch, err := mdp.BatchTrain(a.q, model, cfg, a.rng.Split())
+	if err != nil {
+		return mdp.BatchResult{}, fmt.Errorf("core: retrain: %w", err)
 	}
-	return nil
+	return batch, nil
 }
 
 // feasibleActions lists action indices applicable at cfg.

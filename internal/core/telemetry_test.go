@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rac-project/rac/internal/telemetry"
+)
+
+func TestAgentEmitsTelemetry(t *testing.T) {
+	sys := newBowlSystem(bowlTargets)
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTrace(256)
+	agent, err := NewAgent(sys, AgentOptions{Seed: 7, Telemetry: reg, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 8
+	for i := 0; i < iters; i++ {
+		if _, err := agent.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := reg.Counter("rac_agent_steps_total", "", nil).Value(); got != iters {
+		t.Errorf("steps counter = %d, want %d", got, iters)
+	}
+	if got := reg.Counter("rac_agent_retrains_total", "", nil).Value(); got != iters {
+		t.Errorf("retrains counter = %d, want %d", got, iters)
+	}
+	if got := reg.Gauge("rac_agent_epsilon", "", nil).Value(); got != agent.opts.Online.Epsilon {
+		t.Errorf("epsilon gauge = %v, want %v", got, agent.opts.Online.Epsilon)
+	}
+
+	// Each iteration emits one retrain and one step event, in that order.
+	events := trace.Snapshot()
+	if len(events) != 2*iters {
+		t.Fatalf("trace has %d events, want %d", len(events), 2*iters)
+	}
+	for i := 0; i < iters; i++ {
+		re, st := events[2*i], events[2*i+1]
+		if re.Kind != telemetry.KindRetrain || st.Kind != telemetry.KindStep {
+			t.Fatalf("event pair %d = %s,%s, want retrain,step", i, re.Kind, st.Kind)
+		}
+		if st.Iteration != i+1 || re.Iteration != i+1 {
+			t.Errorf("event pair %d iteration = %d/%d, want %d", i, re.Iteration, st.Iteration, i+1)
+		}
+		if st.State == "" || st.Action == "" {
+			t.Errorf("step event %d missing state/action: %+v", i, st)
+		}
+	}
+}
+
+func TestAgentTracesPolicySwitch(t *testing.T) {
+	sys := newBowlSystem(bowlTargets)
+	pA := bowlPolicy(t, bowlTargets, "ctx-A")
+	otherTargets := []float64{100, 3, 15, 85}
+	pB := bowlPolicy(t, otherTargets, "ctx-B")
+	store := NewPolicyStore(pA, pB)
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTrace(1024)
+
+	agent, err := NewAgent(sys, AgentOptions{
+		Policy: pA, Store: store, Seed: 19, Telemetry: reg, Trace: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := agent.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.targets = otherTargets
+	sys.shift = 3
+	switched := false
+	for i := 0; i < 15 && !switched; i++ {
+		res, err := agent.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switched = res.Switched
+	}
+	if !switched {
+		t.Fatal("agent never switched policy")
+	}
+
+	if got := reg.Counter("rac_agent_policy_switches_total", "", nil).Value(); got != 1 {
+		t.Errorf("switch counter = %d, want 1", got)
+	}
+	var ev *telemetry.Event
+	for _, e := range trace.Snapshot() {
+		if e.Kind == telemetry.KindPolicySwitch {
+			e := e
+			ev = &e
+		}
+	}
+	if ev == nil {
+		t.Fatal("no policy-switch event in trace")
+	}
+	if ev.Policy != "ctx-B" || ev.Detail != "ctx-A -> ctx-B" {
+		t.Errorf("switch event = %+v, want policy ctx-B, detail ctx-A -> ctx-B", ev)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
@@ -42,6 +43,11 @@ type Live struct {
 
 	// Interval is the wall-clock measurement window per Measure call.
 	Interval time.Duration
+
+	// Measurement instruments on the server's shared registry.
+	intervals *telemetry.Counter
+	reqErrors *telemetry.Counter
+	empty     *telemetry.Counter
 }
 
 var (
@@ -67,12 +73,19 @@ func NewLive(space *config.Space, server *Server, driver LoadDriver, initial con
 	if err := space.Validate(initial); err != nil {
 		return nil, err
 	}
+	reg := server.Telemetry()
 	return &Live{
 		space:    space,
 		server:   server,
 		driver:   driver,
 		cfg:      initial.Clone(),
 		Interval: 2 * time.Second,
+		intervals: reg.Counter("live_measure_intervals_total",
+			"Measurement intervals driven against the live stack.", nil),
+		reqErrors: reg.Counter("live_request_errors_total",
+			"Failed or timed-out requests observed by the load driver during measurement.", nil),
+		empty: reg.Counter("live_measure_empty_total",
+			"Measurement intervals that completed no requests at all.", nil),
 	}, nil
 }
 
@@ -99,13 +112,24 @@ func (l *Live) Apply(cfg config.Config) error {
 }
 
 // Measure generates load for one interval and returns application-level
-// metrics in paper-scale units.
+// metrics in paper-scale units. Request errors and timeouts are reported in
+// the returned Metrics (and counted on the registry) rather than folded into
+// a generic failure; the interval only errors when nothing completed, and
+// that error distinguishes an idle interval from an all-errors one.
 func (l *Live) Measure() (system.Metrics, error) {
 	res, err := l.driver.Run(context.Background(), l.Interval)
 	if err != nil {
 		return system.Metrics{}, fmt.Errorf("httpd: measure: %w", err)
 	}
+	l.intervals.Inc()
+	if res.Errors > 0 {
+		l.reqErrors.Add(int64(res.Errors))
+	}
 	if res.Completed == 0 {
+		l.empty.Inc()
+		if res.Errors > 0 {
+			return system.Metrics{}, fmt.Errorf("httpd: interval completed no requests (%d errored or timed out)", res.Errors)
+		}
 		return system.Metrics{}, errors.New("httpd: interval completed no requests")
 	}
 	return system.Metrics{
@@ -113,6 +137,7 @@ func (l *Live) Measure() (system.Metrics, error) {
 		P95RT:           res.P95RT,
 		Throughput:      res.Throughput,
 		Completed:       res.Completed,
+		Errors:          res.Errors,
 		IntervalSeconds: l.Interval.Seconds() * TimeScale,
 	}, nil
 }

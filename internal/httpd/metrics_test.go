@@ -1,0 +1,86 @@
+package httpd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/rac-project/rac/internal/telemetry"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/home", "/home", "/search?q=systems"} {
+		if code, body := get(t, ts.URL+path); code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, code, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != telemetry.PrometheusContentType {
+		t.Errorf("content type %q, want %q", got, telemetry.PrometheusContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE httpd_request_seconds histogram",
+		`httpd_request_seconds_bucket{class="home",le="+Inf"} 2`,
+		`httpd_request_seconds_count{class="home"} 2`,
+		`httpd_requests_total{class="home"} 2`,
+		`httpd_requests_total{class="search"} 1`,
+		`httpd_rejected_total{tier="web"} 0`,
+		"# TYPE httpd_sessions gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsSharedRegistry(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// A foreign layer registering on the server's registry (the way the
+	// agent and load driver do) must appear on the same /metrics page.
+	srv.Telemetry().Counter("rac_agent_steps_total", "steps", nil).Add(3)
+
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, "rac_agent_steps_total 3") {
+		t.Fatalf("agent counter not exposed:\n%s", body)
+	}
+}
+
+func TestAdminTraceEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	// Without a trace attached the endpoint serves an empty array.
+	code, body := get(t, ts.URL+"/admin/trace")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty trace: %d %q", code, body)
+	}
+
+	tr := telemetry.NewTrace(8)
+	tr.Add(telemetry.Event{Kind: telemetry.KindStep, Iteration: 1, State: "30|10", Reward: 0.4})
+	tr.Add(telemetry.Event{Kind: telemetry.KindPolicySwitch, Iteration: 2, Policy: "ctx-2"})
+	srv.SetTrace(tr)
+
+	_, body = get(t, ts.URL+"/admin/trace")
+	var events []telemetry.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 2 || events[0].Kind != telemetry.KindStep || events[1].Policy != "ctx-2" {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Fatalf("sequence numbers = %d, %d", events[0].Seq, events[1].Seq)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
@@ -58,6 +59,20 @@ type Server struct {
 	// Counters (atomic; exposed via /admin/stats).
 	served   atomic.Int64
 	rejected atomic.Int64
+
+	// Telemetry: per-class latency histograms and request counters on the
+	// request hot path, exposed in Prometheus text form at /metrics.
+	tel        *telemetry.Registry
+	reqLatency map[tpcw.Class]*telemetry.Histogram
+	reqServed  map[tpcw.Class]*telemetry.Counter
+	rejWeb     *telemetry.Counter
+	rejApp     *telemetry.Counter
+	sessGauge  *telemetry.Gauge
+
+	// trace, when set, is served as JSON at /admin/trace (the agent's
+	// decision ring; attached by the experiment driver, not the server).
+	traceMu sync.Mutex
+	trace   *telemetry.Trace
 }
 
 // NewServer builds the stack with the given initial configuration and level.
@@ -76,8 +91,36 @@ func NewServer(params webtier.Params, level vmenv.Level) (*Server, error) {
 		sessions:   newSessionStore(time.Duration(params.SessionTimeoutMin * float64(time.Minute) / TimeScale)),
 		db:         newBookstore(level),
 		done:       make(chan struct{}),
+		tel:        telemetry.NewRegistry(),
+		reqLatency: make(map[tpcw.Class]*telemetry.Histogram, len(tpcw.Classes())),
+		reqServed:  make(map[tpcw.Class]*telemetry.Counter, len(tpcw.Classes())),
 	}
+	for _, class := range tpcw.Classes() {
+		labels := telemetry.Labels{"class": class.String()}
+		s.reqLatency[class] = s.tel.Histogram("httpd_request_seconds",
+			"Request latency by TPC-W page class, in paper-scale seconds.", nil, labels)
+		s.reqServed[class] = s.tel.Counter("httpd_requests_total",
+			"Requests served by TPC-W page class.", labels)
+	}
+	s.rejWeb = s.tel.Counter("httpd_rejected_total",
+		"Requests rejected by tier admission control.", telemetry.Labels{"tier": "web"})
+	s.rejApp = s.tel.Counter("httpd_rejected_total",
+		"Requests rejected by tier admission control.", telemetry.Labels{"tier": "app"})
+	s.sessGauge = s.tel.Gauge("httpd_sessions",
+		"Live sessions in the TTL'd session store.", nil)
 	return s, nil
+}
+
+// Telemetry returns the server's metrics registry so other layers (agent,
+// load driver, live adapter) can register their instruments on the same
+// /metrics page.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// SetTrace attaches the decision-trace ring served at /admin/trace.
+func (s *Server) SetTrace(t *telemetry.Trace) {
+	s.traceMu.Lock()
+	s.trace = t
+	s.traceMu.Unlock()
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -236,6 +279,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/config", s.handleConfig)
 	mux.HandleFunc("/admin/stats", s.handleStats)
 	mux.HandleFunc("/admin/level", s.handleLevel)
+	mux.HandleFunc("/admin/trace", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -245,9 +290,12 @@ func (s *Server) Handler() http.Handler {
 // page builds the three-tier request path for one interaction class.
 func (s *Server) page(class tpcw.Class) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+
 		// Web tier admission: MaxClients.
 		if !s.webSlots.tryAcquire(2 * time.Second) {
 			s.rejected.Add(1)
+			s.rejWeb.Inc()
 			http.Error(w, "server busy", http.StatusServiceUnavailable)
 			return
 		}
@@ -265,6 +313,7 @@ func (s *Server) page(class tpcw.Class) http.HandlerFunc {
 		// App tier: bounded thread pool.
 		if !s.appThreads.tryAcquire(2 * time.Second) {
 			s.rejected.Add(1)
+			s.rejApp.Inc()
 			http.Error(w, "app pool exhausted", http.StatusServiceUnavailable)
 			return
 		}
@@ -276,6 +325,10 @@ func (s *Server) page(class tpcw.Class) http.HandlerFunc {
 		}()
 
 		s.served.Add(1)
+		s.reqServed[class].Inc()
+		// Latency in paper-scale seconds, directly comparable with the
+		// simulator's response times and the agent's SLA.
+		s.reqLatency[class].Observe(time.Since(start).Seconds() * TimeScale)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "class=%s session=%s result=%s\n", class, sid, result)
 	}
@@ -322,6 +375,33 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition of every instrument
+// registered on the server's telemetry registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Gauges with no natural write path are sampled at scrape time.
+	s.sessGauge.Set(float64(s.sessions.len()))
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	if err := s.tel.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleTrace serves the attached decision-trace ring as a JSON array
+// (empty when no trace is attached), oldest event first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.traceMu.Lock()
+	tr := s.trace
+	s.traceMu.Unlock()
+	events := []telemetry.Event{}
+	if tr != nil {
+		events = tr.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(events); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

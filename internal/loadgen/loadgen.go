@@ -18,6 +18,7 @@ import (
 	"github.com/rac-project/rac/internal/httpd"
 	"github.com/rac-project/rac/internal/sim"
 	"github.com/rac-project/rac/internal/stats"
+	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 )
 
@@ -50,6 +51,10 @@ type Driver struct {
 	base     string
 	workload tpcw.Workload
 	seed     uint64
+
+	// Optional instruments (see SetTelemetry); nil when unwired.
+	issued  *telemetry.Counter
+	errored *telemetry.Counter
 }
 
 // New builds a driver for the base URL ("http://127.0.0.1:port").
@@ -61,6 +66,16 @@ func New(base string, workload tpcw.Workload, seed uint64) (*Driver, error) {
 		return nil, err
 	}
 	return &Driver{base: base, workload: workload, seed: seed}, nil
+}
+
+// SetTelemetry registers the driver's issued/errored request counters on
+// reg (typically the live server's registry, so generator-side counts sit
+// next to the server-side ones on /metrics). Call before Run.
+func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
+	d.issued = reg.Counter("loadgen_requests_total",
+		"Requests issued by the emulated browsers.", nil)
+	d.errored = reg.Counter("loadgen_request_errors_total",
+		"Issued requests that failed, timed out, or returned a non-200 status.", nil)
 }
 
 // SetWorkload changes the emulated population for subsequent runs.
@@ -153,10 +168,16 @@ func (d *Driver) browser(ctx context.Context, rng *sim.RNG, record func(float64,
 		}
 
 		class := gen.NextClass()
+		if d.issued != nil {
+			d.issued.Inc()
+		}
 		start := time.Now()
 		ok := d.request(ctx, client, class)
 		if ctx.Err() != nil {
 			return // do not record requests cut off by the interval end
+		}
+		if !ok && d.errored != nil {
+			d.errored.Inc()
 		}
 		elapsed := time.Since(start).Seconds() * httpd.TimeScale
 		record(elapsed, !ok)

@@ -20,19 +20,37 @@ import (
 	"github.com/rac-project/rac/internal/vmenv"
 )
 
-// Metrics is one interval's application-level measurement.
+// Metrics is one interval's application-level measurement. The JSON field
+// names are the stable serialization contract shared by admin endpoints,
+// telemetry snapshots and trace dumps.
 type Metrics struct {
 	// MeanRT is the mean response time in seconds — the paper's performance
 	// signal.
-	MeanRT float64
+	MeanRT float64 `json:"mean_rt"`
 	// P95RT is the 95th-percentile response time in seconds.
-	P95RT float64
+	P95RT float64 `json:"p95_rt"`
 	// Throughput is completed requests per second.
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 	// Completed is the number of requests finished in the interval.
-	Completed int
+	Completed int `json:"completed"`
+	// Errors is the number of requests that failed or timed out in the
+	// interval (live systems only; simulators complete every request).
+	Errors int `json:"errors,omitempty"`
 	// IntervalSeconds is the measurement duration in (virtual) seconds.
-	IntervalSeconds float64
+	IntervalSeconds float64 `json:"interval_seconds"`
+}
+
+// String renders the measurement in the compact one-line form used by logs
+// and CLI output.
+func (m Metrics) String() string {
+	s := fmt.Sprintf("rt=%.3fs p95=%.3fs X=%.1freq/s n=%d", m.MeanRT, m.P95RT, m.Throughput, m.Completed)
+	if m.Errors > 0 {
+		s += fmt.Sprintf(" errors=%d", m.Errors)
+	}
+	if m.IntervalSeconds > 0 {
+		s += fmt.Sprintf(" over %.0fs", m.IntervalSeconds)
+	}
+	return s
 }
 
 // System is what an agent tunes: it can reconfigure the web system and

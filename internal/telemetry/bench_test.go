@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkHistogramObserve is the hot-path baseline for future perf PRs:
+// Observe must stay low-nanosecond and allocation-free, because it sits
+// inside the live server's request handlers.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("rt_seconds", "", nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.3)
+	}
+}
+
+// BenchmarkHistogramObserveParallel exercises the shard selection under the
+// contention pattern the live server produces (many handler goroutines).
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("rt_seconds", "", nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1.3)
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("reqs_total", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("reqs_total", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := goldenRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceAdd(b *testing.B) {
+	tr := NewTrace(1024)
+	ev := Event{Kind: KindStep, Iteration: 1, State: "30|10|7", Reward: 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Add(ev)
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered instrument in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered by metric
+// name then label set. Instruments sharing a name form one family: HELP and
+// TYPE are emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	prevFamily := ""
+	for _, m := range r.sorted() {
+		d := m.describe()
+		if d.name != prevFamily {
+			if d.help != "" {
+				bw.WriteString("# HELP " + d.name + " " + escapeHelp(d.help) + "\n")
+			}
+			bw.WriteString("# TYPE " + d.name + " " + string(d.kind) + "\n")
+			prevFamily = d.name
+		}
+		switch v := m.(type) {
+		case *Counter:
+			bw.WriteString(d.name + d.labelStr + " " + formatInt(v.Value()) + "\n")
+		case *Gauge:
+			bw.WriteString(d.name + d.labelStr + " " + formatFloat(v.Value()) + "\n")
+		case *Histogram:
+			writeHistogram(bw, d, v.Snapshot())
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram's cumulative buckets, sum and count.
+func writeHistogram(bw *bufio.Writer, d desc, s HistogramSnapshot) {
+	for i, ub := range s.UpperBounds {
+		bw.WriteString(d.name + "_bucket" + withLabel(d.labelStr, "le", formatFloat(ub)) +
+			" " + formatInt(s.Buckets[i]) + "\n")
+	}
+	bw.WriteString(d.name + "_bucket" + withLabel(d.labelStr, "le", "+Inf") +
+		" " + formatInt(s.Count) + "\n")
+	bw.WriteString(d.name + "_sum" + d.labelStr + " " + formatFloat(s.Sum) + "\n")
+	bw.WriteString(d.name + "_count" + d.labelStr + " " + formatInt(s.Count) + "\n")
+}
+
+// withLabel splices one extra label pair into a canonical label string.
+func withLabel(labelStr, name, value string) string {
+	pair := name + `="` + escapeLabelValue(value) + `"`
+	if labelStr == "" {
+		return "{" + pair + "}"
+	}
+	return labelStr[:len(labelStr)-1] + "," + pair + "}"
+}
+
+// escapeHelp applies the text-format escaping for HELP lines.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CounterSample is one counter's state in a Snapshot.
+type CounterSample struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// GaugeSample is one gauge's state in a Snapshot.
+type GaugeSample struct {
+	Name   string  `json:"name"`
+	Labels Labels  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramSample is one histogram's state in a Snapshot.
+type HistogramSample struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	HistogramSnapshot
+}
+
+// Snapshot is a JSON-able point-in-time copy of every instrument, ordered
+// like the exposition output.
+type Snapshot struct {
+	Counters   []CounterSample   `json:"counters,omitempty"`
+	Gauges     []GaugeSample     `json:"gauges,omitempty"`
+	Histograms []HistogramSample `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current state of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, m := range r.sorted() {
+		d := m.describe()
+		switch v := m.(type) {
+		case *Counter:
+			s.Counters = append(s.Counters, CounterSample{Name: d.name, Labels: d.labels, Value: v.Value()})
+		case *Gauge:
+			s.Gauges = append(s.Gauges, GaugeSample{Name: d.name, Labels: d.labels, Value: v.Value()})
+		case *Histogram:
+			s.Histograms = append(s.Histograms, HistogramSample{Name: d.name, Labels: d.labels, HistogramSnapshot: v.Snapshot()})
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// DefBuckets are the default latency bucket upper bounds in paper-scale
+// seconds, chosen around the 2 s SLA of the reproduction: fine resolution
+// below the SLA, coarse above it.
+var DefBuckets = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// histShard is one independently counted copy of the bucket array. Shards
+// are padded so concurrent observers on different shards do not contend on
+// a cache line.
+type histShard struct {
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
+	sumBits atomic.Uint64  // float64 bits of the shard's value sum
+	_       [64]byte
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free and
+// allocation-free: it picks a shard from the calling goroutine's stack
+// address and touches only that shard's atomics, so the live server's
+// request handlers never serialize on a shared cache line. The zero value is
+// unusable; obtain histograms from a Registry.
+type Histogram struct {
+	desc   desc
+	bounds []float64
+	shards []histShard
+}
+
+func newHistogram(d desc, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("telemetry: histogram buckets not sorted ascending")
+		}
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	h := &Histogram{
+		desc:   d,
+		bounds: bounds,
+		shards: make([]histShard, shardCount()),
+	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Int64, len(bounds)+1)
+	}
+	return h
+}
+
+// shardCount returns the number of histogram shards: GOMAXPROCS rounded up
+// to a power of two (so shard selection is a mask), capped at 16.
+func shardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (h *Histogram) describe() desc { return h.desc }
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Linear scan: bucket arrays are short (≈15) and the branch pattern is
+	// predictable, which beats binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	// Shard by the goroutine's stack address: stacks are distinct
+	// allocations ≥2 KiB apart, so the shifted address spreads concurrent
+	// goroutines across shards without runtime hooks. Only the choice of
+	// shard depends on it — any skew costs contention, never correctness.
+	var pin byte
+	sh := &h.shards[(uintptr(unsafe.Pointer(&pin))>>11)&uintptr(len(h.shards)-1)]
+	sh.counts[i].Add(1)
+	for {
+		old := sh.sumBits.Load()
+		if sh.sumBits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is one histogram's merged state.
+type HistogramSnapshot struct {
+	// Buckets hold cumulative counts: Buckets[i] is the number of
+	// observations ≤ UpperBounds[i]. The implicit +Inf bucket equals Count.
+	UpperBounds []float64 `json:"upper_bounds"`
+	Buckets     []int64   `json:"buckets"`
+	Count       int64     `json:"count"`
+	Sum         float64   `json:"sum"`
+}
+
+// Snapshot merges all shards. It is safe under concurrent Observe calls; the
+// result is a consistent-enough view for exposition (per-bucket counts are
+// each atomically read, the set is not a single atomic cut).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		UpperBounds: h.bounds,
+		Buckets:     make([]int64, len(h.bounds)),
+	}
+	for si := range h.shards {
+		sh := &h.shards[si]
+		for b := range sh.counts {
+			n := sh.counts[b].Load()
+			s.Count += n
+			if b < len(s.Buckets) {
+				s.Buckets[b] += n
+			}
+		}
+		s.Sum += bitsFloat(sh.sumBits.Load())
+	}
+	// Convert per-bucket counts to the cumulative convention.
+	for i := 1; i < len(s.Buckets); i++ {
+		s.Buckets[i] += s.Buckets[i-1]
+	}
+	return s
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

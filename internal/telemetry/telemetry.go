@@ -1,0 +1,271 @@
+// Package telemetry is the observability layer of the RAC stack: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket latency
+// histograms) plus a structured decision-trace ring buffer for agent steps.
+//
+// The hot path is lock-free — counters and histogram observations are atomic
+// (histograms additionally shard their buckets so concurrent request handlers
+// do not serialize on one cache line) and allocation-free, so instruments can
+// sit inside the live server's per-request path. The registry exposes two
+// views: Prometheus text exposition (WritePrometheus, served by the live
+// server's /metrics endpoint) and a JSON-able Snapshot for end-of-run dumps.
+//
+// Instruments are get-or-create: asking the registry twice for the same name
+// and label set returns the same instrument, so independent layers (agent,
+// server, load generator) can share one registry without coordination.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attach fixed dimensions to an instrument (e.g. the TPC-W page
+// class). Label sets are part of an instrument's identity and must not be
+// mutated after use.
+type Labels map[string]string
+
+// canonical renders labels in Prometheus form with sorted keys, e.g.
+// `{class="home"}`; empty labels render as "".
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + `="` + escapeLabelValue(l[k]) + `"`
+	}
+	return s + "}"
+}
+
+// clone copies the label set so callers cannot mutate registered identity.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	c := make(Labels, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// kind discriminates instrument types inside the registry.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// desc is the immutable identity of an instrument.
+type desc struct {
+	name     string
+	help     string
+	labels   Labels
+	labelStr string
+	kind     kind
+}
+
+// id is the registry key: name plus canonical labels.
+func (d desc) id() string { return d.name + d.labelStr }
+
+// instrument is implemented by Counter, Gauge and Histogram.
+type instrument interface {
+	describe() desc
+}
+
+// Registry holds a set of named instruments. The zero value is unusable;
+// construct with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]instrument)}
+}
+
+// lookup returns the instrument registered under d's id, creating it with
+// mk on first use. It panics on invalid names or on a kind conflict —
+// instrument identity is a programming error, not a runtime condition.
+func (r *Registry) lookup(d desc, mk func() instrument) instrument {
+	if !validMetricName(d.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", d.name))
+	}
+	for k := range d.labels {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on metric %q", k, d.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[d.id()]; ok {
+		if m.describe().kind != d.kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s",
+				d.id(), m.describe().kind, d.kind))
+		}
+		return m
+	}
+	m := mk()
+	r.metrics[d.id()] = m
+	return m
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and labels. The help string of the first registration wins.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	d := desc{name: name, help: help, labels: labels.clone(), labelStr: labels.canonical(), kind: kindCounter}
+	return r.lookup(d, func() instrument { return &Counter{desc: d} }).(*Counter)
+}
+
+// Gauge returns (creating on first use) the gauge with the given name and
+// labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	d := desc{name: name, help: help, labels: labels.clone(), labelStr: labels.canonical(), kind: kindGauge}
+	return r.lookup(d, func() instrument { return &Gauge{desc: d} }).(*Gauge)
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, labels and bucket upper bounds. Buckets must be sorted ascending;
+// nil uses DefBuckets. The buckets of the first registration win.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	d := desc{name: name, help: help, labels: labels.clone(), labelStr: labels.canonical(), kind: kindHistogram}
+	return r.lookup(d, func() instrument { return newHistogram(d, buckets) }).(*Histogram)
+}
+
+// sorted returns all instruments ordered by name then label string, so
+// exposition and snapshots are deterministic.
+func (r *Registry) sorted() []instrument {
+	r.mu.Lock()
+	out := make([]instrument, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].describe(), out[j].describe()
+		if di.name != dj.name {
+			return di.name < dj.name
+		}
+		return di.labelStr < dj.labelStr
+	})
+	return out
+}
+
+// Counter is a monotonically increasing integer. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	desc desc
+	v    atomic.Int64
+}
+
+func (c *Counter) describe() desc { return c.desc }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n panics — counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: counter decrement")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an arbitrary float that can go up and down. The zero value is
+// unusable; obtain gauges from a Registry.
+type Gauge struct {
+	desc desc
+	bits atomic.Uint64
+}
+
+func (g *Gauge) describe() desc { return g.desc }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add atomically adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }

@@ -1,0 +1,115 @@
+package telemetry
+
+import "sync"
+
+// EventKind discriminates decision-trace entries.
+type EventKind string
+
+// The agent's event kinds (paper Algorithm 3): one "step" per tuning
+// iteration, one "retrain" per batch training pass, and one "policy-switch"
+// when the violation counter trips a context change.
+const (
+	KindStep         EventKind = "step"
+	KindRetrain      EventKind = "retrain"
+	KindPolicySwitch EventKind = "policy-switch"
+)
+
+// Event is one structured decision-trace record. Fields are a union over the
+// kinds; unused fields stay at their zero value and are omitted from JSON.
+type Event struct {
+	// Seq is a monotonically increasing sequence number assigned by the
+	// trace, so consumers can detect drops after ring wraparound.
+	Seq uint64 `json:"seq"`
+	// Kind is the event type.
+	Kind EventKind `json:"kind"`
+	// Iteration is the agent iteration the event belongs to.
+	Iteration int `json:"iteration,omitempty"`
+	// State is the configuration state key measured this step.
+	State string `json:"state,omitempty"`
+	// Action describes the reconfiguration taken.
+	Action string `json:"action,omitempty"`
+	// MeanRT is the measured mean response time in paper seconds.
+	MeanRT float64 `json:"mean_rt,omitempty"`
+	// Reward is the immediate reward SLA − MeanRT.
+	Reward float64 `json:"reward,omitempty"`
+	// Epsilon is the exploration rate in force when the action was chosen.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// QDelta is the change of the state's best Q-value across this
+	// iteration's batch retraining.
+	QDelta float64 `json:"q_delta,omitempty"`
+	// Violations is the consecutive-violation counter after the step.
+	Violations int `json:"violations,omitempty"`
+	// Policy names the active initial policy.
+	Policy string `json:"policy,omitempty"`
+	// Sweeps is the number of batch sweeps a retrain ran.
+	Sweeps int `json:"sweeps,omitempty"`
+	// Converged reports whether a retrain hit its θ threshold.
+	Converged bool `json:"converged,omitempty"`
+	// Detail carries kind-specific context (e.g. "shop → order" on a
+	// policy switch).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of decision events. It keeps the
+// most recent Cap events; Add is O(1) and never allocates after
+// construction. Safe for concurrent use — but unlike the metric instruments
+// it takes a mutex, so it belongs on the per-iteration agent path, not the
+// per-request hot path.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // index the next event is written to
+	seq  uint64 // total events ever added
+}
+
+// NewTrace returns a ring holding the most recent capacity events
+// (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Add appends an event, assigning and returning its sequence number.
+func (t *Trace) Add(ev Event) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	return ev.Seq
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total returns how many events were ever added (≥ Len after wraparound).
+func (t *Trace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Snapshot copies the buffered events, oldest first.
+func (t *Trace) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}

@@ -40,6 +40,7 @@ import (
 	"github.com/rac-project/rac/internal/mdp"
 	"github.com/rac-project/rac/internal/sim"
 	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
@@ -303,3 +304,27 @@ func NewHarness(opts HarnessOptions) *Harness { return bench.New(opts) }
 
 // FigureIDs returns the reproducible figure identifiers in paper order.
 func FigureIDs() []string { return bench.FigureIDs() }
+
+// Observability (package internal/telemetry): a dependency-free metrics
+// registry plus a decision-trace ring. The live server exposes its registry
+// at /metrics (Prometheus text format) and an attached trace at
+// /admin/trace; the agent, load driver and harness register instruments on
+// the same registry.
+type (
+	// Telemetry is a registry of counters, gauges and latency histograms.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a JSON-able point-in-time copy of a registry.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Trace is a fixed-capacity ring buffer of agent decision events.
+	Trace = telemetry.Trace
+	// TraceEvent is one structured decision record (step, retrain, or
+	// policy switch).
+	TraceEvent = telemetry.Event
+)
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewTrace returns a decision-trace ring holding the most recent capacity
+// events.
+func NewTrace(capacity int) *Trace { return telemetry.NewTrace(capacity) }
