@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-telemetry
+.PHONY: check fmt vet build test race bench bench-telemetry
 
 check: fmt vet build race
 
@@ -23,6 +23,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Quick benchmark pass over every package: one iteration per benchmark with
+# allocation stats, summarised into BENCH_quick.json via cmd/benchjson. The
+# two-step form keeps go test's exit code (a failing benchmark fails the
+# target before any JSON is written).
+bench:
+	@$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./... > BENCH_quick.txt || \
+		{ cat BENCH_quick.txt; rm -f BENCH_quick.txt; exit 1; }
+	@cat BENCH_quick.txt
+	$(GO) run ./cmd/benchjson BENCH_quick.txt -o BENCH_quick.json
+	@echo "wrote BENCH_quick.json"
 
 # The telemetry hot path must stay allocation-free; see internal/telemetry.
 bench-telemetry:

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// summary, one record per benchmark with the metrics that matter for the
+// repo's perf tracking: ns/op, B/op and allocs/op. It reads stdin (or a file
+// passed as the first argument) and writes JSON to stdout (or -o).
+//
+// Example:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH_quick.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, e.g.
+// "BenchmarkGroupModelNext-4   63512	 18.35 ns/op	 0 B/op	 0 allocs/op".
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	in := io.Reader(os.Stdin)
+	outPath := ""
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-o":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-o needs a path")
+			}
+			i++
+			outPath = args[i]
+		case strings.HasPrefix(args[i], "-"):
+			return fmt.Errorf("usage: benchjson [input-file] [-o output.json]")
+		default:
+			f, err := os.Open(args[i])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+	}
+
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Parse extracts benchmark result lines from go test output, ignoring
+// everything else (PASS/ok lines, logs, build noise).
+func Parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one "Benchmark<Name>[-P] N <value> <unit> ..." line. The
+// tail is value/unit pairs; unknown units are skipped so custom ReportMetric
+// outputs do not break parsing.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp, seen = v, true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, seen
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `
+goos: linux
+goarch: amd64
+BenchmarkGroupModelNext-4   	63512324	        18.35 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStoreSequential    	       1	9123456789 ns/op	  123456 B/op	    4567 allocs/op
+BenchmarkCustomMetric-8     	     100	    250.0 ns/op	        12.50 widgets/op
+PASS
+ok  	github.com/rac-project/rac/internal/core	2.1s
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkGroupModelNext-4" || r.Iterations != 63512324 ||
+		r.NsPerOp != 18.35 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("first result: %+v", r)
+	}
+	r = results[1]
+	if r.NsPerOp != 9123456789 || r.AllocsPerOp != 4567 {
+		t.Errorf("second result: %+v", r)
+	}
+	// Unknown units are skipped, ns/op still picked up.
+	if results[2].NsPerOp != 250 {
+		t.Errorf("third result: %+v", results[2])
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	out := `
+Benchmark       broken line
+BenchmarkNoIters	abc	10 ns/op
+BenchmarkNoUnit	10
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise, want 0", len(results))
+	}
+}

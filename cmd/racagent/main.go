@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/rac-project/rac"
@@ -42,9 +43,16 @@ func run(args []string) error {
 		maxClients = fs.Int("maxclients", 50, "starting MaxClients (a poor default shows tuning)")
 		telemetry  = fs.String("telemetry", "", "dump a telemetry snapshot (metrics + decision trace) at exit to this file, or - for stdout")
 		traceCap   = fs.Int("tracecap", 512, "decision-trace ring capacity")
+		procs      = fs.Int("procs", 0, "cap the OS threads running the in-process server, load generator and agent (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *procs > 0 {
+		// Unlike the offline sweeps (racbench/racsim -procs), the live demo
+		// is a single concurrent stack: the knob here bounds the scheduler,
+		// trading tuning wall-clock for leaving cores to co-located work.
+		runtime.GOMAXPROCS(*procs)
 	}
 
 	mix, err := parseMix(*mixName)

@@ -5,6 +5,7 @@
 //
 //	racbench -fig fig5            # one figure, rendered as a table
 //	racbench -all -csv out/       # all figures, also written as CSV
+//	racbench -all -procs 4        # independent figures generated in parallel
 //	racbench -fig fig2 -quick     # fast low-fidelity pass
 package main
 
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"github.com/rac-project/rac/internal/bench"
+	"github.com/rac-project/rac/internal/parallel"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func run(args []string) error {
 		quick  = fs.Bool("quick", false, "low-fidelity fast mode")
 		simPol = fs.Bool("simpolicy", false, "train initial policies by sampling the simulator (slow) instead of the analytic surface")
 		csvDir = fs.String("csv", "", "also write each figure as CSV into this directory")
+		procs  = fs.Int("procs", 0, "worker goroutines for sweeps and figure generation (0 = all CPUs, 1 = sequential; output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,31 +49,44 @@ func run(args []string) error {
 		Seed:        *seed,
 		Quick:       *quick,
 		SimSampling: *simPol,
+		Procs:       *procs,
 	})
 	gens := h.Figures()
 
 	ids := bench.FigureIDs()
 	if !*all {
-		gen, ok := gens[*figID]
-		if !ok {
+		if gens[*figID] == nil {
 			return fmt.Errorf("unknown figure %q (ids: %v)", *figID, ids)
 		}
 		ids = []string{*figID}
-		_ = gen
 	}
 
-	for _, id := range ids {
+	// Figures are independent experiments; generate them on the pool and
+	// render in paper order once all are in. Policy trainings shared between
+	// figures are deduped by the harness cache.
+	type generated struct {
+		fig  *bench.Figure
+		secs float64
+	}
+	results, err := parallel.Map(h.Parallel(), len(ids), func(i int) (generated, error) {
 		start := time.Now()
-		fig, err := gens[id]()
+		fig, err := gens[ids[i]]()
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return generated{}, fmt.Errorf("%s: %w", ids[i], err)
 		}
-		if err := fig.Render(os.Stdout); err != nil {
+		return generated{fig: fig, secs: time.Since(start).Seconds()}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for i, res := range results {
+		if err := res.fig.Render(os.Stdout); err != nil {
 			return err
 		}
-		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("  (%s in %.1fs)\n\n", ids[i], res.secs)
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, fig); err != nil {
+			if err := writeCSV(*csvDir, res.fig); err != nil {
 				return err
 			}
 		}

@@ -20,6 +20,7 @@ import (
 	"github.com/rac-project/rac"
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/sim"
 	"github.com/rac-project/rac/internal/system"
 )
 
@@ -38,6 +39,7 @@ func run(args []string) error {
 		backend = fs.String("backend", "analytic", "sampling backend: analytic|sim")
 		coarse  = fs.Int("coarse", 4, "coarse sampling levels per parameter group")
 		seed    = fs.Uint64("seed", 1, "training seed")
+		procs   = fs.Int("procs", 0, "worker goroutines sampling the coarse lattice (0 = all CPUs, 1 = sequential; the saved policy is identical either way)")
 		inspect = fs.String("inspect", "", "inspect a saved policy file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -45,7 +47,7 @@ func run(args []string) error {
 	}
 	switch {
 	case *train != "":
-		return trainPolicy(*train, *out, *backend, *coarse, *seed)
+		return trainPolicy(*train, *out, *backend, *coarse, *seed, *procs)
 	case *inspect != "":
 		return inspectPolicy(*inspect)
 	default:
@@ -53,38 +55,47 @@ func run(args []string) error {
 	}
 }
 
-func trainPolicy(ctxName, out, backend string, coarse int, seed uint64) error {
+func trainPolicy(ctxName, out, backend string, coarse int, seed uint64, procs int) error {
 	ctx, err := system.ContextByName(ctxName)
 	if err != nil {
 		return err
 	}
 	space := config.Default()
 
-	var sampler core.Sampler
+	// Both backends build a fresh system per sampled configuration so the
+	// coarse sweep can fan out: the simulator derives its seed from the
+	// sample's pre-split RNG stream, making the saved policy independent of
+	// -procs and of sampling order.
+	var sampler core.StreamSampler
 	switch backend {
 	case "analytic":
-		sys, err := system.NewAnalytic(system.AnalyticOptions{Space: space, Context: ctx})
-		if err != nil {
-			return err
+		sampler = func(cfg config.Config, _ *sim.RNG) (float64, error) {
+			sys, err := system.NewAnalytic(system.AnalyticOptions{Space: space, Context: ctx})
+			if err != nil {
+				return 0, err
+			}
+			return rac.SystemSampler(sys)(cfg)
 		}
-		sampler = rac.SystemSampler(sys)
 	case "sim":
-		sys, err := system.NewSimulated(system.SimulatedOptions{
-			Space: space, Context: ctx, Seed: seed,
-		})
-		if err != nil {
-			return err
+		sampler = func(cfg config.Config, rng *sim.RNG) (float64, error) {
+			sys, err := system.NewSimulated(system.SimulatedOptions{
+				Space: space, Context: ctx, Seed: rng.Uint64(),
+			})
+			if err != nil {
+				return 0, err
+			}
+			return rac.SystemSampler(sys)(cfg)
 		}
-		sampler = rac.SystemSampler(sys)
 	default:
 		return fmt.Errorf("unknown backend %q", backend)
 	}
 
 	start := time.Now()
 	fmt.Printf("training policy for %s (%s backend, %d coarse levels)...\n", ctx, backend, coarse)
-	policy, err := core.LearnPolicy(ctx.Name, space, sampler, core.InitOptions{
+	policy, err := core.LearnPolicyStream(ctx.Name, space, sampler, core.InitOptions{
 		CoarseLevels: coarse,
 		Seed:         seed,
+		Procs:        procs,
 	})
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/parallel"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
@@ -42,6 +43,7 @@ func run(args []string) error {
 		sweep    = fs.String("sweep", "", "sweep one parameter by name (e.g. MaxClients)")
 		cfgStr   = fs.String("config", "", "comma-separated configuration vector (Table 1 order)")
 		telPath  = fs.String("telemetry", "", "dump a telemetry snapshot at exit to this file, or - for stdout")
+		procs    = fs.Int("procs", 0, "worker goroutines for -sweep (0 = all CPUs, 1 = sequential; every point is an independent seeded run, so results are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +73,7 @@ func run(args []string) error {
 	tel := newSimTelemetry()
 	var runErr error
 	if *sweep != "" {
-		runErr = runSweep(space, cfg, workload, lvl, *sweep, *seed, *warmup, *interval, tel)
+		runErr = runSweep(space, cfg, workload, lvl, *sweep, *seed, *warmup, *interval, *procs, tel)
 	} else {
 		runErr = runOnce(space, cfg, workload, lvl, *seed, *warmup, *interval, tel)
 	}
@@ -162,7 +164,7 @@ func runOnce(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.
 }
 
 func runSweep(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
-	paramName string, seed uint64, warmup, interval float64, tel *simTelemetry) error {
+	paramName string, seed uint64, warmup, interval float64, procs int, tel *simTelemetry) error {
 
 	var def config.Def
 	found := false
@@ -177,18 +179,23 @@ func runSweep(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv
 		return fmt.Errorf("unknown parameter %q", paramName)
 	}
 
+	// Every sweep point simulates an independent model from the same seed,
+	// so the pool changes wall-clock only; rows print in lattice order.
+	stats, err := parallel.Map(parallel.Options{Procs: procs, Telemetry: tel.reg},
+		def.Levels(), func(lvlIdx int) (webtier.Stats, error) {
+			c := cfg.Clone()
+			c[idx] = def.Value(lvlIdx)
+			return measure(space, c, w, lvl, seed, warmup, interval, tel)
+		})
+	if err != nil {
+		return err
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "%s\tmeanRT(s)\tp95(s)\tX(req/s)\tinflight\twait\tutil\tio\n", def.Name)
-	for lvlIdx := 0; lvlIdx < def.Levels(); lvlIdx++ {
-		v := def.Value(lvlIdx)
-		c := cfg.Clone()
-		c[idx] = v
-		st, err := measure(space, c, w, lvl, seed, warmup, interval, tel)
-		if err != nil {
-			return err
-		}
+	for lvlIdx, st := range stats {
 		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n",
-			v, st.MeanRT, st.P95RT, st.Throughput, st.MeanInFlight,
+			def.Value(lvlIdx), st.MeanRT, st.P95RT, st.Throughput, st.MeanInFlight,
 			st.MeanWaiting, st.AppVMUtil, st.IOFactor)
 	}
 	return tw.Flush()

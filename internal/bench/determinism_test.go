@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rac-project/rac/internal/system"
+)
+
+// storeBytes trains a store over the contexts at the given worker count and
+// returns each policy serialized in context order.
+func storeBytes(t *testing.T, seed uint64, procs int, simSampling bool, contexts []system.Context) [][]byte {
+	t.Helper()
+	h := New(Options{Seed: seed, Quick: true, SimSampling: simSampling, Procs: procs})
+	store, err := h.Store(contexts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(contexts))
+	for i, ctx := range contexts {
+		p := store.ByName(ctx.Name)
+		if p == nil {
+			t.Fatalf("store lacks %s", ctx.Name)
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+// TestStoreDeterministicAcrossProcs is the determinism contract's regression
+// test: every unit of work gets an RNG stream split before dispatch, so the
+// trained policies must be byte-identical whether one goroutine does all the
+// sampling or eight race through it.
+func TestStoreDeterministicAcrossProcs(t *testing.T) {
+	contexts := make([]system.Context, 0, 2)
+	for _, name := range []string{"context-1", "context-3"} {
+		ctx, err := system.ContextByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contexts = append(contexts, ctx)
+	}
+
+	seq := storeBytes(t, 11, 1, false, contexts)
+	par := storeBytes(t, 11, 8, false, contexts)
+	for i, ctx := range contexts {
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Errorf("analytic policy for %s differs between Procs=1 and Procs=8", ctx.Name)
+		}
+	}
+}
+
+// TestStoreDeterministicSimSampling repeats the contract check on the
+// simulator-sampling path, where every coarse measurement actually consumes
+// randomness from its pre-split stream.
+func TestStoreDeterministicSimSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator sampling is slow")
+	}
+	ctx, err := system.ContextByName("context-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	contexts := []system.Context{ctx}
+	seq := storeBytes(t, 12, 1, true, contexts)
+	par := storeBytes(t, 12, 8, true, contexts)
+	if !bytes.Equal(seq[0], par[0]) {
+		t.Error("sim-sampled policy differs between Procs=1 and Procs=8")
+	}
+}
+
+// TestFigureDeterministicAcrossProcs renders one full figure at both worker
+// counts and asserts byte-identical output: seed averaging, the grouped
+// sweep, and policy training all reduce in index order.
+func TestFigureDeterministicAcrossProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	render := func(procs int) []byte {
+		h := New(Options{Seed: 13, Quick: true, Procs: procs})
+		fig, err := h.Fig04()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("fig4 differs between Procs=1 and Procs=8:\n--- procs=1\n%s\n--- procs=8\n%s", seq, par)
+	}
+}

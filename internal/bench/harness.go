@@ -6,11 +6,14 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/parallel"
 	"github.com/rac-project/rac/internal/queueing"
+	"github.com/rac-project/rac/internal/sim"
 	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
@@ -31,8 +34,23 @@ type Options struct {
 	// analytic queueing surface instead, which is orders of magnitude
 	// faster and yields policies of the same shape.
 	SimSampling bool
+	// Procs bounds the worker goroutines the harness fans sweeps out on:
+	// coarse-lattice policy sampling, seed averaging, best-config searches
+	// and per-context store training. Zero or negative uses every CPU; 1
+	// runs sequentially. Every unit of work draws from RNG streams split
+	// before dispatch, so results are bit-identical for any value.
+	Procs int
 	// Agent hyper-parameters; zero value uses core.DefaultOptions.
 	Agent core.Options
+}
+
+// policyEntry is one cached (or in-flight) policy training. The once gate
+// dedups concurrent requests for the same context so parallel figure
+// generation never trains a policy twice.
+type policyEntry struct {
+	once sync.Once
+	p    *core.Policy
+	err  error
 }
 
 // Harness runs the paper's experiments.
@@ -42,7 +60,7 @@ type Harness struct {
 	cal   webtier.Calibration
 
 	mu       sync.Mutex
-	policies map[string]*core.Policy
+	policies map[string]*policyEntry
 
 	tel           *telemetry.Registry
 	policyTrains  *telemetry.Counter
@@ -60,7 +78,7 @@ func New(opts Options) *Harness {
 		opts:     opts,
 		space:    config.Default(),
 		cal:      webtier.DefaultCalibration(),
-		policies: make(map[string]*core.Policy),
+		policies: make(map[string]*policyEntry),
 		tel:      tel,
 		policyTrains: tel.Counter("bench_policy_trainings_total",
 			"Initial policies trained (offline Algorithm 2 passes).", nil),
@@ -78,6 +96,13 @@ func (h *Harness) Space() *config.Space { return h.space }
 // exit; TunerFactory implementations may also register agent instruments on
 // it to observe Q-learning convergence during a schedule.
 func (h *Harness) Telemetry() *telemetry.Registry { return h.tel }
+
+// Parallel returns the pool options the harness fans work out with, for
+// callers (e.g. cmd/racbench) that parallelize units above the harness —
+// whole figures — under the same Procs bound and pool telemetry.
+func (h *Harness) Parallel() parallel.Options {
+	return parallel.Options{Procs: h.opts.Procs, Telemetry: h.tel}
+}
 
 // measureWindows returns (settle, measure) in virtual seconds.
 func (h *Harness) measureWindows() (float64, float64) {
@@ -129,13 +154,15 @@ func (h *Harness) newSystem(ctx system.Context, salt uint64) (*system.Simulated,
 }
 
 // measureConfig measures one configuration in a fresh system (averaged over
-// the harness's averaging seeds).
+// the harness's averaging seeds). The per-seed measurements run through the
+// worker pool: each seed's system derives its RNG purely from the seed index,
+// and the average is reduced in index order, so the result is bit-identical
+// for any Procs.
 func (h *Harness) measureConfig(ctx system.Context, cfg config.Config, seeds int) (float64, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	var sum float64
-	for s := 0; s < seeds; s++ {
+	rts, err := parallel.Map(h.Parallel(), seeds, func(s int) (float64, error) {
 		sys, err := h.newSystem(ctx, uint64(s)*7919+uint64(len(cfg)))
 		if err != nil {
 			return 0, err
@@ -147,7 +174,14 @@ func (h *Harness) measureConfig(ctx system.Context, cfg config.Config, seeds int
 		if err != nil {
 			return 0, err
 		}
-		sum += m.MeanRT
+		return m.MeanRT, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, rt := range rts {
+		sum += rt
 	}
 	return sum / float64(seeds), nil
 }
@@ -166,26 +200,67 @@ func (h *Harness) analyticRT(ctx system.Context, cfg config.Config) (float64, er
 	return res.MeanRT, nil
 }
 
+// policyKey identifies one cached policy training. It must cover every
+// option the training depends on — notably the coarse-lattice granularity —
+// so a future per-call override can never alias a cached policy trained at a
+// different fidelity. Built with strconv: Policy sits on the figure hot path
+// and fmt.Sprintf's reflection is measurable across thousands of lookups.
+func (h *Harness) policyKey(ctx system.Context) string {
+	key := make([]byte, 0, len(ctx.Name)+32)
+	key = append(key, ctx.Name...)
+	key = append(key, "|c"...)
+	key = strconv.AppendInt(key, int64(h.coarseLevels()), 10)
+	key = append(key, "|q"...)
+	key = strconv.AppendBool(key, h.opts.Quick)
+	key = append(key, "|s"...)
+	key = strconv.AppendBool(key, h.opts.SimSampling)
+	key = append(key, '|')
+	key = strconv.AppendUint(key, h.opts.Seed, 10)
+	return string(key)
+}
+
 // Policy returns (training and caching on first use) the initial policy for
-// a context.
+// a context. Concurrent callers requesting the same context share one
+// training run.
 func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
-	key := fmt.Sprintf("%s|%v|%v|%d", ctx.Name, h.opts.Quick, h.opts.SimSampling, h.opts.Seed)
+	key := h.policyKey(ctx)
 	h.mu.Lock()
-	if p, ok := h.policies[key]; ok {
-		h.mu.Unlock()
-		h.policyHits.Inc()
-		return p, nil
+	e, ok := h.policies[key]
+	if !ok {
+		e = &policyEntry{}
+		h.policies[key] = e
 	}
 	h.mu.Unlock()
-	h.policyTrains.Inc()
+	if ok {
+		h.policyHits.Inc()
+	}
+	e.once.Do(func() {
+		h.policyTrains.Inc()
+		e.p, e.err = h.trainPolicy(ctx)
+	})
+	return e.p, e.err
+}
 
-	var sampler core.Sampler
+// trainPolicy runs paper Algorithm 2 for one context. Both sampling backends
+// fan the coarse sweep out on the harness pool: the analytic surface is pure,
+// and the simulator backend builds a fresh system per sample whose seed comes
+// from the sample's own pre-split RNG stream, keeping the sweep independent
+// of worker count and sampling order.
+func (h *Harness) trainPolicy(ctx system.Context) (*core.Policy, error) {
+	var sampler core.StreamSampler
 	if h.opts.SimSampling {
-		sys, err := h.newSystem(ctx, 0xA11CE)
-		if err != nil {
-			return nil, err
-		}
-		sampler = func(cfg config.Config) (float64, error) {
+		settle, measure := h.measureWindows()
+		sampler = func(cfg config.Config, rng *sim.RNG) (float64, error) {
+			sys, err := system.NewSimulated(system.SimulatedOptions{
+				Space:          h.space,
+				Context:        ctx,
+				Seed:           rng.Uint64(),
+				SettleSeconds:  settle,
+				MeasureSeconds: measure,
+			})
+			if err != nil {
+				return 0, err
+			}
 			if err := sys.Apply(cfg); err != nil {
 				return 0, err
 			}
@@ -196,33 +271,36 @@ func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
 			return m.MeanRT, nil
 		}
 	} else {
-		sampler = func(cfg config.Config) (float64, error) {
+		sampler = func(cfg config.Config, _ *sim.RNG) (float64, error) {
 			return h.analyticRT(ctx, cfg)
 		}
 	}
 
-	p, err := core.LearnPolicy(ctx.Name, h.space, sampler, core.InitOptions{
+	p, err := core.LearnPolicyStream(ctx.Name, h.space, sampler, core.InitOptions{
 		CoarseLevels: h.coarseLevels(),
 		SLASeconds:   h.opts.Agent.SLASeconds,
 		Seed:         h.opts.Seed ^ 0xBEEF,
+		Procs:        h.opts.Procs,
+		Telemetry:    h.tel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: learn policy for %s: %w", ctx.Name, err)
 	}
-	h.mu.Lock()
-	h.policies[key] = p
-	h.mu.Unlock()
 	return p, nil
 }
 
-// Store builds a policy store covering the given contexts.
+// Store builds a policy store covering the given contexts, training them
+// concurrently on the harness pool. Policies are published in argument
+// order, so Match tie-breaking is reproducible.
 func (h *Harness) Store(contexts ...system.Context) (*core.PolicyStore, error) {
+	policies, err := parallel.Map(h.Parallel(), len(contexts), func(i int) (*core.Policy, error) {
+		return h.Policy(contexts[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	store := core.NewPolicyStore()
-	for _, ctx := range contexts {
-		p, err := h.Policy(ctx)
-		if err != nil {
-			return nil, err
-		}
+	for _, p := range policies {
 		store.Add(p)
 	}
 	return store, nil
@@ -293,11 +371,10 @@ func (h *Harness) bestGroupedConfig(ctx system.Context) (config.Config, float64,
 		coarse[g] = vals
 	}
 
-	var (
-		bestCfg config.Config
-		bestRT  float64
-		found   bool
-	)
+	// Enumerate the sublattice, solve the analytic surface for every point
+	// on the worker pool, then reduce with strict less-than in enumeration
+	// order — ties keep the earliest candidate under any worker count.
+	var cfgs []config.Config
 	assign := make(map[config.Group]int, len(order))
 	var walk func(i int) error
 	walk = func(i int) error {
@@ -306,13 +383,7 @@ func (h *Harness) bestGroupedConfig(ctx system.Context) (config.Config, float64,
 			if err != nil {
 				return err
 			}
-			rt, err := h.analyticRT(ctx, cfg)
-			if err != nil {
-				return err
-			}
-			if !found || rt < bestRT {
-				bestCfg, bestRT, found = cfg, rt, true
-			}
+			cfgs = append(cfgs, cfg)
 			return nil
 		}
 		for _, v := range coarse[order[i]] {
@@ -326,7 +397,19 @@ func (h *Harness) bestGroupedConfig(ctx system.Context) (config.Config, float64,
 	if err := walk(0); err != nil {
 		return nil, 0, err
 	}
-	return bestCfg, bestRT, nil
+	rts, err := parallel.Map(h.Parallel(), len(cfgs), func(i int) (float64, error) {
+		return h.analyticRT(ctx, cfgs[i])
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	best := 0
+	for i, rt := range rts {
+		if rt < rts[best] {
+			best = i
+		}
+	}
+	return cfgs[best], rts[best], nil
 }
 
 // contextWith returns a paper context overridden to the given mix or level.

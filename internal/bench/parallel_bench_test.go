@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/rac-project/rac/internal/system"
+)
+
+// benchContexts returns the four contexts the Store benchmarks train, enough
+// independent work to keep a small pool busy.
+func benchContexts(b *testing.B) []system.Context {
+	b.Helper()
+	contexts := make([]system.Context, 0, 4)
+	for _, name := range []string{"context-1", "context-2", "context-3", "context-4"} {
+		ctx, err := system.ContextByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		contexts = append(contexts, ctx)
+	}
+	return contexts
+}
+
+// benchmarkStore measures end-to-end Store training at a fixed worker count.
+// Each iteration builds a fresh harness so the policy cache cannot short-
+// circuit the work being measured.
+func benchmarkStore(b *testing.B, procs int) {
+	contexts := benchContexts(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New(Options{Seed: uint64(i) + 1, Quick: true, Procs: procs})
+		if _, err := h.Store(contexts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreSequential(b *testing.B) { benchmarkStore(b, 1) }
+
+func BenchmarkStoreParallel(b *testing.B) { benchmarkStore(b, runtime.NumCPU()) }

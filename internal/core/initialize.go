@@ -7,15 +7,28 @@ import (
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/parallel"
 	"github.com/rac-project/rac/internal/regression"
 	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/telemetry"
 )
 
 // Sampler measures the mean response time of one configuration. Policy
 // initialization drives it over the coarse grouped sublattice; it is usually
 // backed by system.System (apply + measure) or, for fast approximate
-// policies, by the analytic queueing model.
+// policies, by the analytic queueing model. With InitOptions.Procs beyond 1
+// the sampler is called from multiple goroutines and must be safe for
+// concurrent use; stateful samplers should use StreamSampler instead.
 type Sampler func(cfg config.Config) (float64, error)
+
+// StreamSampler measures one configuration using a dedicated RNG stream.
+// Streams are split from the initialization seed before any sampling is
+// dispatched (one per coarse configuration, in enumeration order), so a
+// sampler that derives all of its randomness — simulator seeds included —
+// from the supplied stream produces bit-identical results for any
+// InitOptions.Procs, including 1. The function must not touch shared mutable
+// state when Procs exceeds 1.
+type StreamSampler func(cfg config.Config, rng *sim.RNG) (float64, error)
 
 // InitOptions configure LearnPolicy.
 type InitOptions struct {
@@ -28,8 +41,16 @@ type InitOptions struct {
 	Batch mdp.BatchConfig
 	// SLASeconds is the reward reference; default 2 s (DefaultOptions).
 	SLASeconds float64
-	// Seed drives the offline training exploration.
+	// Seed drives the offline training exploration and the per-sample RNG
+	// streams handed to a StreamSampler.
 	Seed uint64
+	// Procs bounds the worker goroutines sampling the coarse sublattice.
+	// Zero or negative uses every CPU; 1 samples sequentially. Results are
+	// identical for every value when the sampler honors its contract.
+	Procs int
+	// Telemetry, when non-nil, receives the parallel pool's instruments
+	// (rac_parallel_*) for the sampling sweep.
+	Telemetry *telemetry.Registry
 }
 
 // LearnPolicy runs the paper's policy-initialization procedure (Algorithm 2)
@@ -41,8 +62,20 @@ type InitOptions struct {
 //  4. train an initial Q-table offline over the group lattice.
 //
 // The sampler is invoked once per coarse grouped configuration
-// (CoarseLevels^G calls).
+// (CoarseLevels^G calls), concurrently when opts.Procs allows.
 func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOptions) (*Policy, error) {
+	if sample == nil {
+		return nil, errors.New("core: nil sampler")
+	}
+	return LearnPolicyStream(name, space, func(cfg config.Config, _ *sim.RNG) (float64, error) {
+		return sample(cfg)
+	}, opts)
+}
+
+// LearnPolicyStream is LearnPolicy for samplers that consume randomness: each
+// coarse configuration is measured with its own pre-split RNG stream, making
+// the sweep's output independent of opts.Procs and of sampling order.
+func LearnPolicyStream(name string, space *config.Space, sample StreamSampler, opts InitOptions) (*Policy, error) {
 	if space == nil {
 		return nil, errors.New("core: nil space")
 	}
@@ -69,7 +102,10 @@ func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOpti
 		return nil, err
 	}
 
-	// 1–2. Sample the coarse grouped sublattice.
+	// 1–2. Enumerate the coarse grouped sublattice, then sample it through
+	// the worker pool. Streams are split per configuration before dispatch
+	// (the determinism contract), and xs/ys keep enumeration order, so the
+	// regression input is the same for any worker count.
 	coarse := make([][]int, len(defs))
 	for gi, d := range defs {
 		vals, err := config.CoarseValues(space, d.group, k)
@@ -79,8 +115,8 @@ func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOpti
 		coarse[gi] = vals
 	}
 	var (
-		xs [][]float64
-		ys []float64
+		cfgs []config.Config
+		xs   [][]float64
 	)
 	assign := make(map[config.Group]int, len(defs))
 	var walk func(gi int) error
@@ -90,16 +126,12 @@ func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOpti
 			if err != nil {
 				return err
 			}
-			rt, err := sample(cfg)
-			if err != nil {
-				return fmt.Errorf("core: sample %s: %w", cfg.Key(), err)
-			}
 			vec := make([]float64, len(defs))
 			for i, d := range defs {
 				vec[i] = float64(assign[d.group])
 			}
+			cfgs = append(cfgs, cfg)
 			xs = append(xs, vec)
-			ys = append(ys, rt)
 			return nil
 		}
 		for _, v := range coarse[gi] {
@@ -111,6 +143,18 @@ func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOpti
 		return nil
 	}
 	if err := walk(0); err != nil {
+		return nil, err
+	}
+	streams := sim.NewRNG(opts.Seed ^ 0x5a3b9d2e8c71f604).SplitN(len(cfgs))
+	ys, err := parallel.Map(parallel.Options{Procs: opts.Procs, Telemetry: opts.Telemetry},
+		len(cfgs), func(i int) (float64, error) {
+			rt, err := sample(cfgs[i], streams[i])
+			if err != nil {
+				return 0, fmt.Errorf("core: sample %s: %w", cfgs[i].Key(), err)
+			}
+			return rt, nil
+		})
+	if err != nil {
 		return nil, err
 	}
 
@@ -147,7 +191,8 @@ func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOpti
 	// the same asymptotic scale (≈ r/(1−γ)) as the values the online agent
 	// keeps refreshing, or unvisited states would look artificially poor and
 	// the agent would cling to its visited region.
-	model := newGroupModel(defs, predict, sla)
+	lat := newGroupLattice(defs)
+	model := newGroupModel(lat, predict, sla)
 	batch := opts.Batch
 	if batch.MaxSweeps == 0 {
 		batch = mdp.DefaultBatchConfig()
@@ -169,6 +214,7 @@ func LearnPolicy(name string, space *config.Space, sample Sampler, opts InitOpti
 		name:       name,
 		space:      space,
 		defs:       defs,
+		lat:        lat,
 		paramGroup: paramGroup,
 		q:          q,
 		quad:       quad,

@@ -115,6 +115,7 @@ func LoadPolicy(r io.Reader, space *config.Space) (*Policy, error) {
 		name:       raw.Name,
 		space:      space,
 		defs:       defs,
+		lat:        newGroupLattice(defs),
 		paramGroup: paramGroup,
 		q:          q,
 		quad:       quad,

@@ -87,6 +87,57 @@ func groupKey(vals []int) string {
 	return b.String()
 }
 
+// groupLattice is the enumerated group lattice shared by policies and the
+// offline training model: interned state-key strings plus the flattened-index
+// geometry (strides, per-group level counts) needed to navigate the lattice
+// without rebuilding key strings per visit. Groups are ordered as in defs;
+// the last group varies fastest, matching the historical enumeration order.
+type groupLattice struct {
+	defs    []groupDef
+	levels  []int
+	strides []int
+	keys    []string       // interned groupKey per flattened index
+	index   map[string]int // inverse of keys
+}
+
+func newGroupLattice(defs []groupDef) *groupLattice {
+	l := &groupLattice{
+		defs:    defs,
+		levels:  make([]int, len(defs)),
+		strides: make([]int, len(defs)),
+	}
+	total := 1
+	for gi := len(defs) - 1; gi >= 0; gi-- {
+		l.levels[gi] = defs[gi].levels()
+		l.strides[gi] = total
+		total *= l.levels[gi]
+	}
+	l.keys = make([]string, total)
+	l.index = make(map[string]int, total)
+	vals := make([]int, len(defs))
+	var rec func(gi, idx int)
+	rec = func(gi, idx int) {
+		if gi == len(defs) {
+			key := groupKey(vals)
+			l.keys[idx] = key
+			l.index[key] = idx
+			return
+		}
+		d := defs[gi]
+		for li := 0; li < l.levels[gi]; li++ {
+			vals[gi] = d.min + li*d.step
+			rec(gi+1, idx+li*l.strides[gi])
+		}
+	}
+	rec(0, 0)
+	return l
+}
+
+// value returns group gi's lattice value at flattened state index idx.
+func (l *groupLattice) value(idx, gi int) int {
+	return l.defs[gi].min + (idx/l.strides[gi])%l.levels[gi]*l.defs[gi].step
+}
+
 // Policy is an initial configuration policy for one system context: a
 // regression predictor of the response-time surface plus a Q-table trained
 // offline over the grouped sublattice (paper Algorithm 2). It seeds the
@@ -96,6 +147,7 @@ type Policy struct {
 	name  string
 	space *config.Space
 	defs  []groupDef
+	lat   *groupLattice
 	// paramGroup maps each parameter index to its position in defs.
 	paramGroup []int
 	q          *mdp.QTable
@@ -141,14 +193,29 @@ func (p *Policy) groupVector(cfg config.Config) []float64 {
 	return vec
 }
 
-// groupState snaps a configuration onto the group lattice.
-func (p *Policy) groupState(cfg config.Config) []int {
-	vec := p.groupVector(cfg)
-	vals := make([]int, len(p.defs))
+// groupStateIndex snaps a configuration onto the group lattice and returns
+// its flattened index. It is the allocation-free core of the seeding hot
+// path: the per-group mean, clamp and flatten are all done in registers, and
+// the state-key string is served interned from the lattice.
+func (p *Policy) groupStateIndex(cfg config.Config) int {
+	idx := 0
 	for gi, d := range p.defs {
-		vals[gi] = d.clamp(int(math.Round(vec[gi])))
+		var sum float64
+		for _, i := range d.members {
+			if i < len(cfg) {
+				sum += float64(cfg[i])
+			}
+		}
+		v := d.clamp(int(math.Round(sum / float64(len(d.members)))))
+		idx += (v - d.min) / d.step * p.lat.strides[gi]
 	}
-	return vals
+	return idx
+}
+
+// groupStateKey returns the interned state key of the configuration's group
+// lattice point, without building a string.
+func (p *Policy) groupStateKey(cfg config.Config) string {
+	return p.lat.keys[p.groupStateIndex(cfg)]
 }
 
 // Seeder returns an mdp.Seeder that initializes a full-lattice Q row from
@@ -161,7 +228,7 @@ func (p *Policy) Seeder() mdp.Seeder {
 		if err != nil || len(cfg) != p.space.Len() {
 			return nil
 		}
-		gRow := p.q.Row(groupKey(p.groupState(cfg)))
+		gRow := p.q.Row(p.groupStateKey(cfg))
 		row := make([]float64, nActions)
 		row[0] = gRow[0]
 		for i := 0; i < p.space.Len(); i++ {
@@ -178,71 +245,73 @@ func (p *Policy) GroupQTable() *mdp.QTable { return p.q }
 
 // groupModel is the deterministic MDP over the group lattice used for
 // offline training: actions move one group one step; the reward of entering
-// a state is SLA − predictedRT.
+// a state is SLA − predictedRT. State keys, rewards and transitions are all
+// precomputed at construction, so the training hot path (Reward/Next, called
+// per state per sweep) rebuilds no strings and allocates nothing.
 type groupModel struct {
-	defs    []groupDef
+	lat     *groupLattice
 	actions int
-	reward  map[string]float64
-	states  []string
+	rewards []float64 // by flattened state index
+	// next[idx*actions+a] is the flattened successor index, or -1 when the
+	// move leaves the lattice.
+	next []int32
 }
 
 var _ mdp.Model = (*groupModel)(nil)
 
-func newGroupModel(defs []groupDef, predict func(vals []int) float64, sla float64) *groupModel {
+func newGroupModel(lat *groupLattice, predict func(vals []int) float64, sla float64) *groupModel {
+	defs := lat.defs
 	m := &groupModel{
-		defs:    defs,
+		lat:     lat,
 		actions: 2*len(defs) + 1,
-		reward:  make(map[string]float64),
+		rewards: make([]float64, len(lat.keys)),
+		next:    make([]int32, len(lat.keys)*(2*len(defs)+1)),
 	}
-	// Enumerate the lattice.
-	var rec func(i int)
-	var cur []int
-	rec = func(i int) {
-		if i == len(defs) {
-			key := groupKey(cur)
-			m.states = append(m.states, key)
-			m.reward[key] = sla - predict(cur)
-			return
+	vals := make([]int, len(defs))
+	for idx := range lat.keys {
+		for gi := range defs {
+			vals[gi] = lat.value(idx, gi)
 		}
-		for v := defs[i].min; v <= defs[i].max; v += defs[i].step {
-			cur = append(cur, v)
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
+		m.rewards[idx] = sla - predict(vals)
+		base := idx * m.actions
+		m.next[base] = int32(idx) // keep
+		for gi, d := range defs {
+			li := (vals[gi] - d.min) / d.step
+			m.next[base+1+2*gi] = -1 // increase
+			m.next[base+2+2*gi] = -1 // decrease
+			if li+1 < lat.levels[gi] {
+				m.next[base+1+2*gi] = int32(idx + lat.strides[gi])
+			}
+			if li > 0 {
+				m.next[base+2+2*gi] = int32(idx - lat.strides[gi])
+			}
 		}
 	}
-	rec(0)
 	return m
 }
 
-func (m *groupModel) States() []string { return m.states }
+func (m *groupModel) States() []string { return m.lat.keys }
 
 func (m *groupModel) Actions() int { return m.actions }
 
-func (m *groupModel) Reward(state string) float64 { return m.reward[state] }
+func (m *groupModel) Reward(state string) float64 {
+	idx, ok := m.lat.index[state]
+	if !ok {
+		return 0
+	}
+	return m.rewards[idx]
+}
 
 func (m *groupModel) Next(state string, action int) (string, bool) {
-	if action == 0 {
-		return state, true
-	}
-	gi := (action - 1) / 2
-	dir := 1
-	if (action-1)%2 == 1 {
-		dir = -1
-	}
-	if gi < 0 || gi >= len(m.defs) {
+	idx, ok := m.lat.index[state]
+	if !ok || action < 0 || action >= m.actions {
 		return state, false
 	}
-	vals, err := parseGroupKey(state, len(m.defs))
-	if err != nil {
+	t := m.next[idx*m.actions+action]
+	if t < 0 {
 		return state, false
 	}
-	d := m.defs[gi]
-	v := vals[gi] + dir*d.step
-	if v < d.min || v > d.max {
-		return state, false
-	}
-	vals[gi] = v
-	return groupKey(vals), true
+	return m.lat.keys[t], true
 }
 
 func parseGroupKey(key string, want int) ([]int, error) {

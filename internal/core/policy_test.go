@@ -59,7 +59,7 @@ func TestGroupModelEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model := newGroupModel(defs, func(vals []int) float64 { return 1 }, 2)
+	model := newGroupModel(newGroupLattice(defs), func(vals []int) float64 { return 1 }, 2)
 	want := 1
 	for _, d := range defs {
 		want *= d.levels()
@@ -75,7 +75,7 @@ func TestGroupModelEnumeration(t *testing.T) {
 func TestGroupModelTransitions(t *testing.T) {
 	space := config.Default()
 	defs, _ := groupDefs(space)
-	model := newGroupModel(defs, func(vals []int) float64 { return 0 }, 2)
+	model := newGroupModel(newGroupLattice(defs), func(vals []int) float64 { return 0 }, 2)
 
 	start := model.States()[0] // all-minimum state
 	// Keep stays.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"github.com/rac-project/rac/internal/config"
 )
@@ -12,7 +13,13 @@ import (
 // for the policy whose predicted performance best matches what it is
 // currently measuring (paper §4.3: "switch to a most suitable initial policy
 // according to the current performance").
+//
+// All methods are safe for concurrent use, so parallel per-context training
+// can publish into one store while agents read from it. Match ties break
+// toward the earliest added policy; publish in a deterministic order when
+// reproducibility matters.
 type PolicyStore struct {
+	mu       sync.RWMutex
 	policies []*Policy
 }
 
@@ -29,16 +36,25 @@ func NewPolicyStore(policies ...*Policy) *PolicyStore {
 
 // Add appends a policy.
 func (s *PolicyStore) Add(p *Policy) {
-	if p != nil {
-		s.policies = append(s.policies, p)
+	if p == nil {
+		return
 	}
+	s.mu.Lock()
+	s.policies = append(s.policies, p)
+	s.mu.Unlock()
 }
 
 // Len returns the number of stored policies.
-func (s *PolicyStore) Len() int { return len(s.policies) }
+func (s *PolicyStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.policies)
+}
 
 // Policies returns the stored policies.
 func (s *PolicyStore) Policies() []*Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Policy, len(s.policies))
 	copy(out, s.policies)
 	return out
@@ -47,6 +63,8 @@ func (s *PolicyStore) Policies() []*Policy {
 // Match returns the policy whose predicted response time at cfg is closest
 // to the measured value.
 func (s *PolicyStore) Match(cfg config.Config, measuredRT float64) (*Policy, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.policies) == 0 {
 		return nil, errors.New("core: empty policy store")
 	}
@@ -62,6 +80,8 @@ func (s *PolicyStore) Match(cfg config.Config, measuredRT float64) (*Policy, err
 
 // ByName returns the stored policy with the given name, or nil.
 func (s *PolicyStore) ByName(name string) *Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, p := range s.policies {
 		if p.Name() == name {
 			return p

@@ -31,6 +31,18 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// SplitN derives n independent child streams, advancing the parent by n
+// steps. All children exist before any is consumed, so handing one stream to
+// each unit of a parallel.Map keeps results independent of execution order —
+// the repository's determinism contract for parallel sweeps.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -46,6 +46,34 @@ func TestRNGSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestRNGSplitNMatchesSequentialSplits(t *testing.T) {
+	// SplitN(n) is exactly n Split calls, and the derived streams do not
+	// depend on the order they are later consumed in.
+	a := NewRNG(11)
+	b := NewRNG(11)
+	children := a.SplitN(8)
+	for i := 0; i < 8; i++ {
+		want := b.Split().Uint64()
+		if got := children[i].Uint64(); got != want {
+			t.Fatalf("child %d: got %d, want %d", i, got, want)
+		}
+	}
+	// Consuming children back-to-front yields the same per-child values as
+	// front-to-back: each stream is fully determined at split time.
+	fwd := NewRNG(13).SplitN(5)
+	rev := NewRNG(13).SplitN(5)
+	var fwdVals, revVals [5]uint64
+	for i := 0; i < 5; i++ {
+		fwdVals[i] = fwd[i].Uint64()
+	}
+	for i := 4; i >= 0; i-- {
+		revVals[i] = rev[i].Uint64()
+	}
+	if fwdVals != revVals {
+		t.Fatalf("consumption order changed streams: %v vs %v", fwdVals, revVals)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := NewRNG(3)
 	for i := 0; i < 10000; i++ {

@@ -162,6 +162,10 @@ type (
 	InitOptions = core.InitOptions
 	// Sampler measures one configuration during policy initialization.
 	Sampler = core.Sampler
+	// StreamSampler measures one configuration with a dedicated pre-split
+	// RNG stream, so InitOptions.Procs can fan the coarse sweep out without
+	// changing results.
+	StreamSampler = core.StreamSampler
 	// RLParams are the tabular-learning hyper-parameters (α, γ, ε).
 	RLParams = mdp.Params
 	// LinearQ is a linear value-function approximator — the paper's §7
@@ -182,6 +186,13 @@ func NewAgent(sys System, opts AgentOptions) (*Agent, error) { return core.NewAg
 // offline RL over the group lattice.
 func LearnPolicy(name string, space *Space, sample Sampler, opts InitOptions) (*Policy, error) {
 	return core.LearnPolicy(name, space, sample, opts)
+}
+
+// LearnPolicyStream is LearnPolicy for samplers that consume randomness:
+// each coarse configuration is measured with its own RNG stream split before
+// dispatch, so opts.Procs parallelism cannot change the trained policy.
+func LearnPolicyStream(name string, space *Space, sample StreamSampler, opts InitOptions) (*Policy, error) {
+	return core.LearnPolicyStream(name, space, sample, opts)
 }
 
 // NewPolicyStore builds a store of initial policies.
