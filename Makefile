@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-telemetry
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry faults-smoke
 
-check: fmt vet build race
+check: fmt vet vet-faults build race
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -14,6 +14,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The fault layer's Apply/Measure interpose on every agent step; dead branches
+# there would silently skip injections, so it also gets the unreachable-code
+# analyzer (not part of vet's default set).
+vet-faults:
+	$(GO) vet -unreachable ./internal/faults/...
 
 build:
 	$(GO) build ./...
@@ -38,3 +44,8 @@ bench:
 # The telemetry hot path must stay allocation-free; see internal/telemetry.
 bench-telemetry:
 	$(GO) test -run xxx -bench . -benchmem ./internal/telemetry/
+
+# End-to-end smoke of the fault-injection path: live server, scripted faults,
+# resilient agent — a crash or hang here means the recovery loop regressed.
+faults-smoke:
+	$(GO) run ./cmd/racagent -faults examples/faults_basic.json -quick

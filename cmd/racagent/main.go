@@ -9,6 +9,7 @@
 //	racagent -iters 20
 //	racagent -agent trial-and-error -clients 80 -mix ordering
 //	racagent -level Level-3 -maxclients 50
+//	racagent -faults examples/faults_basic.json -quick
 package main
 
 import (
@@ -44,9 +45,16 @@ func run(args []string) error {
 		telemetry  = fs.String("telemetry", "", "dump a telemetry snapshot (metrics + decision trace) at exit to this file, or - for stdout")
 		traceCap   = fs.Int("tracecap", 512, "decision-trace ring capacity")
 		procs      = fs.Int("procs", 0, "cap the OS threads running the in-process server, load generator and agent (0 = all CPUs)")
+		faultsPath = fs.String("faults", "", "inject faults from this JSON scenario (see examples/faults_basic.json); enables the agent's resilience policy")
+		quick      = fs.Bool("quick", false, "smoke-test sizing: 8 iterations, 300ms intervals, 20 browsers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *quick {
+		*iters = 8
+		*interval = 300 * time.Millisecond
+		*clients = 20
 	}
 	if *procs > 0 {
 		// Unlike the offline sweeps (racbench/racsim -procs), the live demo
@@ -105,20 +113,53 @@ func run(args []string) error {
 	}
 	live.Interval = *interval
 
-	var tuner rac.Tuner
-	switch *agentKind {
-	case "rac":
-		tuner, err = rac.NewAgent(live, rac.AgentOptions{
+	// With -faults the live stack is wrapped in the fault-injection layer and
+	// the RAC agent runs its resilience policy (retry with real backoff,
+	// invalid-interval rejection, rollback-to-safe).
+	var sys rac.System = live
+	var faulty *rac.FaultySystem
+	agentOpts := rac.AgentOptions{
+		Seed:      *seed,
+		Telemetry: server.Telemetry(),
+		Trace:     trace,
+	}
+	if *faultsPath != "" {
+		sc, err := rac.LoadFaultScenario(*faultsPath)
+		if err != nil {
+			return err
+		}
+		faulty, err = rac.NewFaultySystem(live, rac.FaultOptions{
+			Scenario:  sc,
 			Seed:      *seed,
 			Telemetry: server.Telemetry(),
 			Trace:     trace,
 		})
+		if err != nil {
+			return err
+		}
+		sys = faulty
+		o := rac.DefaultOptions()
+		o.Resilience = rac.DefaultResilience()
+		o.Resilience.RetryBackoff = 100 * time.Millisecond
+		agentOpts.Options = o
+		agentOpts.Sleep = time.Sleep
+		name := sc.Name
+		if name == "" {
+			name = "unnamed"
+		}
+		fmt.Printf("fault injection: scenario %q (%d rules), resilience enabled\n", name, len(sc.Rules))
+	}
+
+	var tuner rac.Tuner
+	switch *agentKind {
+	case "rac":
+		tuner, err = rac.NewAgent(sys, agentOpts)
 	case "static":
-		tuner, err = rac.NewStaticAgent(live, rac.DefaultOptions())
+		tuner, err = rac.NewStaticAgent(sys, rac.DefaultOptions())
 	case "trial-and-error":
-		tuner, err = rac.NewTrialAndErrorAgent(live, rac.DefaultOptions())
+		tuner, err = rac.NewTrialAndErrorAgent(sys, rac.DefaultOptions())
 	case "hillclimb":
-		tuner, err = rac.NewHillClimbAgent(live, rac.DefaultOptions())
+		tuner, err = rac.NewHillClimbAgent(sys, rac.DefaultOptions())
 	default:
 		return fmt.Errorf("unknown agent %q", *agentKind)
 	}
@@ -126,18 +167,50 @@ func run(args []string) error {
 		return err
 	}
 
+	var retries, invalids, degradeds, rollbacks int
 	fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
 	for i := 0; i < *iters; i++ {
 		step, err := tuner.Step()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%4d  %11.3f  %8.1f  %s\n",
-			step.Iteration, step.MeanRT, step.Throughput, step.Action.Describe(space))
+		marks := ""
+		if step.Attempts > 1 {
+			marks += fmt.Sprintf("  [%d attempts]", step.Attempts)
+			retries += step.Attempts - 1
+		}
+		if step.Degraded {
+			degradeds++
+		}
+		if step.Invalid {
+			marks += fmt.Sprintf("  [invalid: %s]", step.InvalidReason)
+			invalids++
+		}
+		if step.RolledBack {
+			marks += "  [rolled back]"
+			rollbacks++
+		}
+		fmt.Printf("%4d  %11.3f  %8.1f  %s%s\n",
+			step.Iteration, step.MeanRT, step.Throughput, step.Action.Describe(space), marks)
 	}
 	st := server.Stats()
 	fmt.Printf("\nserver stats: served=%d rejected=%d sessions=%d\n",
 		st.Served, st.Rejected, st.Sessions)
+	if faulty != nil {
+		byKind := map[rac.FaultKind]int{}
+		for _, inj := range faulty.Injected() {
+			byKind[inj.Kind]++
+		}
+		fmt.Printf("faults injected: %d total", len(faulty.Injected()))
+		for _, k := range rac.FaultKinds() {
+			if byKind[k] > 0 {
+				fmt.Printf("  %s=%d", k, byKind[k])
+			}
+		}
+		fmt.Println()
+		fmt.Printf("recovery: retries=%d invalid-intervals=%d degraded-intervals=%d rollbacks=%d\n",
+			retries, invalids, degradeds, rollbacks)
+	}
 	if *telemetry != "" {
 		if err := dumpTelemetry(*telemetry, server.Telemetry(), trace); err != nil {
 			return fmt.Errorf("telemetry dump: %w", err)

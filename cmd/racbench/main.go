@@ -7,6 +7,8 @@
 //	racbench -all -csv out/       # all figures, also written as CSV
 //	racbench -all -procs 4        # independent figures generated in parallel
 //	racbench -fig fig2 -quick     # fast low-fidelity pass
+//	racbench -faults examples/faults_basic.json -quick
+//	                              # recovery-under-faults figure
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"github.com/rac-project/rac/internal/bench"
+	"github.com/rac-project/rac/internal/faults"
 	"github.com/rac-project/rac/internal/parallel"
 )
 
@@ -37,12 +40,13 @@ func run(args []string) error {
 		simPol = fs.Bool("simpolicy", false, "train initial policies by sampling the simulator (slow) instead of the analytic surface")
 		csvDir = fs.String("csv", "", "also write each figure as CSV into this directory")
 		procs  = fs.Int("procs", 0, "worker goroutines for sweeps and figure generation (0 = all CPUs, 1 = sequential; output is identical either way)")
+		scen   = fs.String("faults", "", "render the recovery-under-faults figure for this JSON scenario instead of a paper figure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *figID == "" {
-		return fmt.Errorf("pass -fig <id> or -all (ids: %v)", bench.FigureIDs())
+	if !*all && *figID == "" && *scen == "" {
+		return fmt.Errorf("pass -fig <id>, -all or -faults <scenario> (ids: %v)", bench.FigureIDs())
 	}
 
 	h := bench.New(bench.Options{
@@ -51,6 +55,26 @@ func run(args []string) error {
 		SimSampling: *simPol,
 		Procs:       *procs,
 	})
+
+	if *scen != "" {
+		sc, err := faults.LoadFile(*scen)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		fig, err := h.FigFaults(sc)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("  (%s in %.1fs)\n", fig.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			return writeCSV(*csvDir, fig)
+		}
+		return nil
+	}
 	gens := h.Figures()
 
 	ids := bench.FigureIDs()

@@ -7,6 +7,7 @@
 //
 //	racsim -mix ordering -clients 400 -level Level-1
 //	racsim -sweep MaxClients -mix ordering -level Level-3
+//	racsim -faults examples/faults_basic.json -intervals 30
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"text/tabwriter"
 
 	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/faults"
 	"github.com/rac-project/rac/internal/parallel"
+	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
@@ -44,6 +47,8 @@ func run(args []string) error {
 		cfgStr   = fs.String("config", "", "comma-separated configuration vector (Table 1 order)")
 		telPath  = fs.String("telemetry", "", "dump a telemetry snapshot at exit to this file, or - for stdout")
 		procs    = fs.Int("procs", 0, "worker goroutines for -sweep (0 = all CPUs, 1 = sequential; every point is an independent seeded run, so results are identical either way)")
+		scenPath = fs.String("faults", "", "replay this JSON fault scenario against the fixed configuration, printing each interval as measured through the fault layer")
+		nIvals   = fs.Int("intervals", 30, "measurement intervals to run with -faults")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,9 +77,12 @@ func run(args []string) error {
 
 	tel := newSimTelemetry()
 	var runErr error
-	if *sweep != "" {
+	switch {
+	case *scenPath != "":
+		runErr = runFaults(space, cfg, workload, lvl, *scenPath, *nIvals, *seed, *warmup, *interval, tel)
+	case *sweep != "":
 		runErr = runSweep(space, cfg, workload, lvl, *sweep, *seed, *warmup, *interval, *procs, tel)
-	} else {
+	default:
 		runErr = runOnce(space, cfg, workload, lvl, *seed, *warmup, *interval, tel)
 	}
 	if runErr == nil && *telPath != "" {
@@ -160,6 +168,66 @@ func runOnce(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.
 	fmt.Printf("meanRT %.3fs  p95 %.3fs  X %.1f req/s  inflight %.1f  wait %.1f  util %.2f  io %.2f  workers %.0f  threads %.0f\n",
 		st.MeanRT, st.P95RT, st.Throughput, st.MeanInFlight, st.MeanWaiting,
 		st.AppVMUtil, st.IOFactor, st.WebWorkers, st.AppThreads)
+	return nil
+}
+
+// runFaults replays a fault scenario against the simulated system at a fixed
+// configuration — no agent, no tuning — so a scenario's raw effect on the
+// measurements can be inspected interval by interval before it is handed to
+// racagent or racbench.
+func runFaults(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
+	scenPath string, intervals int, seed uint64, warmup, interval float64, tel *simTelemetry) error {
+
+	sc, err := faults.LoadFile(scenPath)
+	if err != nil {
+		return err
+	}
+	sim, err := system.NewSimulated(system.SimulatedOptions{
+		Space:          space,
+		Initial:        cfg,
+		Context:        system.Context{Name: "racsim", Workload: w, Level: lvl},
+		Seed:           seed,
+		SettleSeconds:  warmup,
+		MeasureSeconds: interval,
+	})
+	if err != nil {
+		return err
+	}
+	sys, err := faults.New(sim, faults.Options{Scenario: sc, Seed: seed, Telemetry: tel.reg})
+	if err != nil {
+		return err
+	}
+
+	name := sc.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Printf("scenario: %q (%d rules) on %s on %s, config %s\n\n", name, len(sc.Rules), w, lvl, cfg.Format(space))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "interval\tmeanRT(s)\tp95(s)\tX(req/s)\tcompleted\terrors\tfaults")
+	for i := 1; i <= intervals; i++ {
+		before := len(sys.Injected())
+		m, err := sys.Measure()
+		fired := ""
+		for _, inj := range sys.Injected()[before:] {
+			if fired != "" {
+				fired += ", "
+			}
+			fired += string(inj.Kind)
+		}
+		if err != nil {
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t%s (measure failed: %v)\n", i, fired, err)
+			continue
+		}
+		tel.measurements.Inc()
+		tel.meanRT.Observe(m.MeanRT)
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.1f\t%d\t%d\t%s\n",
+			i, m.MeanRT, m.P95RT, m.Throughput, m.Completed, m.Errors, fired)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d faults injected over %d intervals\n", len(sys.Injected()), intervals)
 	return nil
 }
 

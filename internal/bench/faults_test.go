@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/rac-project/rac/internal/faults"
+	"github.com/rac-project/rac/internal/telemetry"
+)
+
+func loadBasicScenario(t *testing.T) faults.Scenario {
+	t.Helper()
+	sc, err := faults.LoadFile("../../examples/faults_basic.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestFaultRecoveryAcceptance is the PR's acceptance criterion: under the
+// shipped scenario the resilient agent serves within the SLA in at least
+// twice as many intervals as the non-resilient baseline, and both the faults
+// and the recovery actions are observable.
+func TestFaultRecoveryAcceptance(t *testing.T) {
+	sc := loadBasicScenario(t)
+	h := New(Options{Seed: 5, Quick: true})
+	cmp, err := h.RunFaultScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cmp.Resilient.Aborted {
+		t.Fatalf("resilient agent aborted at iteration %d: %s",
+			cmp.Resilient.AbortIteration, cmp.Resilient.AbortError)
+	}
+	if len(cmp.Resilient.Injected) == 0 {
+		t.Fatal("scenario injected nothing into the resilient run")
+	}
+	if cmp.Resilient.Violations*2 > cmp.Baseline.Violations {
+		t.Fatalf("resilient agent violated %d/%d intervals, baseline %d/%d — want at most half",
+			cmp.Resilient.Violations, cmp.Iterations, cmp.Baseline.Violations, cmp.Iterations)
+	}
+	if cmp.Resilient.RecoveredAt == 0 {
+		t.Fatal("resilient agent never recovered within the SLA after the last fault window")
+	}
+
+	// Injected faults land in the harness telemetry...
+	injected := int64(0)
+	for _, c := range h.Telemetry().Snapshot().Counters {
+		if c.Name == "faults_injected_total" {
+			injected += c.Value
+		}
+	}
+	if injected == 0 {
+		t.Fatal("faults_injected_total missing from harness telemetry")
+	}
+	// ...and both faults and recovery actions in the decision trace.
+	kinds := map[telemetry.EventKind]int{}
+	for _, ev := range cmp.Resilient.Trace.Snapshot() {
+		kinds[ev.Kind]++
+	}
+	if kinds[telemetry.KindFault] == 0 {
+		t.Fatalf("no fault events in the resilient trace: %v", kinds)
+	}
+	recovery := kinds[telemetry.KindRetry] + kinds[telemetry.KindRollback] + kinds[telemetry.KindInvalid]
+	if recovery == 0 {
+		t.Fatalf("no recovery actions in the resilient trace: %v", kinds)
+	}
+}
+
+// TestFaultRecoveryDeterministic pins the replay contract: the same seed and
+// scenario reproduce both runs exactly.
+func TestFaultRecoveryDeterministic(t *testing.T) {
+	sc := loadBasicScenario(t)
+	run := func() *FaultComparison {
+		cmp, err := New(Options{Seed: 5, Quick: true}).RunFaultScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(rtSeries(a.Resilient.Results), rtSeries(b.Resilient.Results)) {
+		t.Fatal("resilient run not reproducible")
+	}
+	if !reflect.DeepEqual(a.Resilient.Injected, b.Resilient.Injected) {
+		t.Fatal("fault injections not reproducible")
+	}
+	if a.Baseline.Violations != b.Baseline.Violations || a.Resilient.Violations != b.Resilient.Violations {
+		t.Fatal("violation counts not reproducible")
+	}
+}
+
+func TestFigFaultsRenders(t *testing.T) {
+	sc := loadBasicScenario(t)
+	h := New(Options{Seed: 5, Quick: true})
+	fig, err := h.FigFaults(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Values) != len(fig.X) {
+			t.Fatalf("series %s has %d values for %d x points", s.Label, len(s.Values), len(fig.X))
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resilient") || !strings.Contains(buf.String(), "baseline") {
+		t.Fatal("rendered figure missing the variant series")
+	}
+}

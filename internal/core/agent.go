@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/mdp"
@@ -34,6 +35,19 @@ type StepResult struct {
 	PolicyName string
 	// Violations is the current consecutive-violation count.
 	Violations int
+	// Attempts is the largest Apply/Measure try count the step needed (1 on a
+	// clean step; higher when transient faults were retried).
+	Attempts int
+	// Invalid reports that the measurement was discarded instead of learned
+	// from; InvalidReason says why (e.g. "error-ratio", "outlier", "no-data").
+	Invalid       bool
+	InvalidReason string
+	// Degraded reports that no measurement was obtained at all and MeanRT is
+	// the last believable value carried forward.
+	Degraded bool
+	// RolledBack reports that the SLA safety guard re-applied the
+	// last-known-good configuration at the end of this step.
+	RolledBack bool
 }
 
 // Tuner is a configuration agent driven in discrete iterations. All agents
@@ -67,6 +81,14 @@ type Agent struct {
 	violations int
 	iteration  int
 
+	// Resilience state: the last configuration that satisfied the SLA, the
+	// last believable response time (carried into degraded intervals), and
+	// how many consecutive intervals violated the SLA or yielded no data.
+	lastGood  config.Config
+	lastRT    float64
+	slaStreak int
+	sleep     func(time.Duration) // nil = never block (simulated time)
+
 	tel   *agentInstruments
 	trace *telemetry.Trace
 }
@@ -77,6 +99,10 @@ type agentInstruments struct {
 	steps      *telemetry.Counter
 	switches   *telemetry.Counter
 	retrains   *telemetry.Counter
+	retries    *telemetry.Counter
+	rollbacks  *telemetry.Counter
+	invalids   *telemetry.Counter
+	degradeds  *telemetry.Counter
 	epsilon    *telemetry.Gauge
 	violations *telemetry.Gauge
 	reward     *telemetry.Gauge
@@ -92,6 +118,14 @@ func newAgentInstruments(reg *telemetry.Registry) *agentInstruments {
 			"Context changes detected: initial-policy switches after s_thr consecutive violations.", nil),
 		retrains: reg.Counter("rac_agent_retrains_total",
 			"Per-interval batch Q-table retraining passes.", nil),
+		retries: reg.Counter("rac_agent_retries_total",
+			"Transient Apply/Measure failures retried by the resilience policy.", nil),
+		rollbacks: reg.Counter("rac_agent_rollbacks_total",
+			"SLA safety-guard rollbacks to the last-known-good configuration.", nil),
+		invalids: reg.Counter("rac_agent_invalid_intervals_total",
+			"Measurement intervals discarded instead of learned from.", nil),
+		degradeds: reg.Counter("rac_agent_degraded_intervals_total",
+			"Intervals that yielded no measurement at all after retries.", nil),
 		epsilon: reg.Gauge("rac_agent_epsilon",
 			"Exploration rate in force for online action selection.", nil),
 		violations: reg.Gauge("rac_agent_consecutive_violations",
@@ -128,6 +162,10 @@ type AgentOptions struct {
 	// Trace, when non-nil, receives one structured decision event per step,
 	// retrain and policy switch (exposed by the live server's /admin/trace).
 	Trace *telemetry.Trace
+	// Sleep, when non-nil, blocks between retry attempts for
+	// Resilience.RetryBackoff-driven pacing (live runs pass time.Sleep).
+	// Nil keeps retries instantaneous — right for simulated time.
+	Sleep func(time.Duration)
 }
 
 // NewAgent builds a RAC agent tuning the given system.
@@ -167,6 +205,7 @@ func NewAgent(sys system.System, opts AgentOptions) (*Agent, error) {
 		cur:     sys.Config(),
 		samples: make(map[string]float64),
 		window:  stats.NewWindow(o.Window),
+		sleep:   opts.Sleep,
 		trace:   opts.Trace,
 	}
 	if opts.Telemetry != nil {
@@ -204,23 +243,53 @@ func (a *Agent) QTable() *mdp.QTable { return a.q }
 // from the current Q-table, measure, detect context changes (switching the
 // initial policy after s_thr consecutive violations), then retrain the
 // Q-table in batch over the measured region.
+//
+// When Options.Resilience is enabled, the step additionally survives the
+// failures a live system throws at it: transient Apply/Measure errors are
+// retried with bounded backoff (an exhausted Apply holds the current
+// configuration, an exhausted Measure degrades the interval instead of
+// aborting the run), measurements failing the resilience policy's validity
+// checks are reported but not learned from, and after RollbackAfter
+// consecutive bad intervals the agent re-applies the last configuration that
+// satisfied the SLA.
 func (a *Agent) Step() (StepResult, error) {
 	a.iteration++
+	r := a.opts.Resilience
 
 	// 1. Issue a reconfiguration action (ε-greedy over feasible actions).
 	feasible := a.feasibleActions(a.cur)
 	choice := a.learner.SelectAction(a.cur.Key(), feasible)
 	action := a.actions[choice]
 	next, _ := action.Apply(a.space, a.cur)
-	if err := a.sys.Apply(next); err != nil {
-		return StepResult{}, fmt.Errorf("core: apply %s: %w", next.Key(), err)
+	applyTries, err := a.attempt("apply", next.Key(), func() error { return a.sys.Apply(next) })
+	if err != nil {
+		if !r.enabled() || !system.IsTransient(err) {
+			return StepResult{}, fmt.Errorf("core: apply %s: %w", next.Key(), err)
+		}
+		// Out of attempts on a transient failure: hold the current
+		// configuration this interval instead of aborting the run.
+		action = config.Action{Dir: config.Keep}
+		next = a.cur.Clone()
 	}
 
 	// 2. Measure the new configuration.
-	m, err := a.sys.Measure()
-	if err != nil {
-		return StepResult{}, fmt.Errorf("core: measure: %w", err)
+	var m system.Metrics
+	measureTries, merr := a.attempt("measure", next.Key(), func() error {
+		var e error
+		m, e = a.sys.Measure()
+		return e
+	})
+	attempts := applyTries
+	if measureTries > attempts {
+		attempts = measureTries
 	}
+	if merr != nil {
+		if !r.enabled() || !system.IsTransient(merr) {
+			return StepResult{}, fmt.Errorf("core: measure: %w", merr)
+		}
+		return a.degradedStep(next, action, attempts, merr), nil
+	}
+
 	rt := m.MeanRT
 	reward := a.opts.RewardOf(m)
 
@@ -231,6 +300,17 @@ func (a *Agent) Step() (StepResult, error) {
 		MeanRT:     rt,
 		Throughput: m.Throughput,
 		Reward:     reward,
+		Attempts:   attempts,
+	}
+
+	// Resilience: an interval failing the validity checks is reported but not
+	// learned from — no window update, no context detection, no retraining.
+	if r.enabled() {
+		if reason, bad := r.Invalidates(m, a.window.Mean(), a.window.Len() >= 3); bad {
+			res.Invalid = true
+			res.InvalidReason = reason
+			return a.finishInvalid(res, next), nil
+		}
 	}
 
 	// 3. Context-change detection against the recent average.
@@ -328,7 +408,150 @@ func (a *Agent) Step() (StepResult, error) {
 	}
 
 	a.cur = next
+
+	// 6. SLA bookkeeping and the rollback safety guard.
+	if r.enabled() {
+		if reward >= 0 {
+			a.lastGood = next.Clone()
+			a.lastRT = rt
+			a.slaStreak = 0
+		} else {
+			a.lastRT = rt
+			a.slaStreak++
+		}
+		a.maybeRollback(&res)
+	}
 	return res, nil
+}
+
+// attempt runs fn under the resilience policy's bounded retry, returning how
+// many tries it took and the final error. With resilience disabled (or
+// MaxAttempts 1) fn runs exactly once, preserving the pre-resilience step
+// byte for byte. Only transient failures are retried.
+func (a *Agent) attempt(op, state string, fn func() error) (int, error) {
+	maxTries := a.opts.Resilience.MaxAttempts
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	backoff := a.opts.Resilience.RetryBackoff
+	for tries := 1; ; tries++ {
+		err := fn()
+		if err == nil {
+			return tries, nil
+		}
+		if tries >= maxTries || !system.IsTransient(err) {
+			return tries, err
+		}
+		if a.tel != nil {
+			a.tel.retries.Inc()
+		}
+		if a.trace != nil {
+			a.trace.Add(telemetry.Event{
+				Kind:      telemetry.KindRetry,
+				Iteration: a.iteration,
+				State:     state,
+				Attempts:  tries,
+				Detail:    op + ": " + err.Error(),
+			})
+		}
+		if a.sleep != nil && backoff > 0 {
+			a.sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// finishInvalid completes a step whose measurement was rejected: the raw
+// values are reported for figures, nothing is learned, and the bad interval
+// feeds the rollback streak.
+func (a *Agent) finishInvalid(res StepResult, next config.Config) StepResult {
+	res.Violations = a.violations
+	if a.policy != nil {
+		res.PolicyName = a.policy.Name()
+	}
+	if a.tel != nil {
+		a.tel.steps.Inc()
+		a.tel.invalids.Inc()
+		a.tel.reward.Set(res.Reward)
+	}
+	if a.trace != nil && !res.Degraded { // degradedStep already traced its cause
+		a.trace.Add(telemetry.Event{
+			Kind:      telemetry.KindInvalid,
+			Iteration: a.iteration,
+			State:     next.Key(),
+			MeanRT:    res.MeanRT,
+			Detail:    res.InvalidReason,
+		})
+	}
+	a.cur = next
+	a.slaStreak++
+	a.maybeRollback(&res)
+	return res
+}
+
+// degradedStep completes a step that obtained no measurement at all: the last
+// believable response time is carried forward, marked invalid so nothing
+// downstream learns from it.
+func (a *Agent) degradedStep(next config.Config, action config.Action, attempts int, cause error) StepResult {
+	rt := a.lastRT
+	if rt == 0 {
+		rt = a.opts.SLASeconds // no history yet: a neutral, zero-reward guess
+	}
+	res := StepResult{
+		Iteration:     a.iteration,
+		Action:        action,
+		Config:        next.Clone(),
+		MeanRT:        rt,
+		Reward:        a.opts.Reward(rt),
+		Attempts:      attempts,
+		Invalid:       true,
+		InvalidReason: "no-data",
+		Degraded:      true,
+	}
+	if a.tel != nil {
+		a.tel.degradeds.Inc()
+	}
+	if a.trace != nil {
+		a.trace.Add(telemetry.Event{
+			Kind:      telemetry.KindInvalid,
+			Iteration: a.iteration,
+			State:     next.Key(),
+			Attempts:  attempts,
+			Detail:    "no-data: " + cause.Error(),
+		})
+	}
+	return a.finishInvalid(res, next)
+}
+
+// maybeRollback re-applies the last-known-good configuration once the
+// consecutive bad-interval streak reaches the policy threshold. A transient
+// failure of the rollback itself leaves the streak in place, so the guard
+// tries again next step.
+func (a *Agent) maybeRollback(res *StepResult) {
+	r := a.opts.Resilience
+	if r.RollbackAfter <= 0 || a.slaStreak < r.RollbackAfter || a.lastGood == nil {
+		return
+	}
+	if a.lastGood.Equal(a.cur) {
+		return // already at the safest known point
+	}
+	if _, err := a.attempt("rollback", a.lastGood.Key(), func() error { return a.sys.Apply(a.lastGood) }); err != nil {
+		return
+	}
+	a.cur = a.lastGood.Clone()
+	a.slaStreak = 0
+	res.RolledBack = true
+	if a.tel != nil {
+		a.tel.rollbacks.Inc()
+	}
+	if a.trace != nil {
+		a.trace.Add(telemetry.Event{
+			Kind:      telemetry.KindRollback,
+			Iteration: a.iteration,
+			State:     a.cur.Key(),
+			Detail:    "reverted to last configuration satisfying the SLA",
+		})
+	}
 }
 
 // record folds a measurement into the per-state sample table.

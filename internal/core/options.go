@@ -54,6 +54,12 @@ type Options struct {
 	BatchStepsPerState int
 	// BatchTheta is the retraining convergence threshold.
 	BatchTheta float64
+
+	// Resilience is the fault-handling policy (retry, invalid-measurement
+	// rejection, rollback-to-safe). The zero value reproduces the
+	// pre-resilience agent; DefaultOptions enables retries and degraded-
+	// interval rejection, which never fire on clean runs.
+	Resilience Resilience
 }
 
 // DefaultOptions returns the paper's hyper-parameters with an SLA of two
@@ -70,6 +76,11 @@ func DefaultOptions() Options {
 		BatchSweeps:        12,
 		BatchStepsPerState: 6,
 		BatchTheta:         0.01,
+		Resilience: Resilience{
+			MaxAttempts:   3,
+			MinCompleted:  10,
+			MaxErrorRatio: 0.5,
+		},
 	}
 }
 
@@ -92,6 +103,9 @@ func (o Options) Validate() error {
 	}
 	if o.Window < 1 {
 		return fmt.Errorf("core: window %d < 1", o.Window)
+	}
+	if err := o.Resilience.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

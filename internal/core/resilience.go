@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rac-project/rac/internal/system"
+)
+
+// Resilience is the agent's fault-handling policy: bounded retry with
+// exponential backoff for transient Apply/Measure failures, rejection of
+// measurements that must not be learned from, and an SLA safety guard that
+// rolls the system back to the last configuration known to satisfy the SLA.
+//
+// The zero value disables every behavior, reproducing the pre-resilience
+// agent exactly: any Apply or Measure error aborts the step, and every
+// measurement is learned from. All fields are comparable so Options keeps
+// working with ==.
+type Resilience struct {
+	// MaxAttempts bounds how often a step tries a failing Apply or Measure,
+	// including the first try. 0 disables resilience entirely (errors
+	// propagate, nothing is classified); 1 survives transient failures
+	// without retrying them.
+	MaxAttempts int
+	// RetryBackoff is the pause before the first retry, doubling per attempt.
+	// It is only honored when the agent has a sleep hook (AgentOptions.Sleep);
+	// simulated experiments leave it at 0 to keep runs instantaneous.
+	RetryBackoff time.Duration
+	// RollbackAfter is how many consecutive intervals may violate the SLA (or
+	// yield no valid data) before the agent re-applies the last-known-good
+	// configuration. 0 disables the safety guard.
+	RollbackAfter int
+	// MinCompleted marks an interval invalid when it saw errors and fewer
+	// completions than this — too little signal to average a response time
+	// from. 0 disables the check.
+	MinCompleted int
+	// MaxErrorRatio marks an interval invalid when errors/(errors+completed)
+	// exceeds it: the measured MeanRT then describes the surviving minority of
+	// requests, not the system. 0 disables the check.
+	MaxErrorRatio float64
+	// OutlierFactor rejects a measurement whose MeanRT exceeds this multiple
+	// of the recent-window mean (needs ≥3 window entries). 0 disables; values
+	// in (0,1] are invalid — a rejection threshold below the mean would
+	// discard healthy intervals.
+	OutlierFactor float64
+}
+
+// DefaultResilience is the profile fault-injection experiments run with:
+// bounded retries, degraded-interval rejection, outlier rejection, and
+// rollback-to-safe after four bad intervals in a row.
+func DefaultResilience() Resilience {
+	return Resilience{
+		MaxAttempts:   3,
+		RollbackAfter: 4,
+		MinCompleted:  10,
+		MaxErrorRatio: 0.5,
+		OutlierFactor: 6,
+	}
+}
+
+// Validate checks the policy.
+func (r Resilience) Validate() error {
+	if r.MaxAttempts < 0 {
+		return fmt.Errorf("core: negative retry attempts %d", r.MaxAttempts)
+	}
+	if r.RetryBackoff < 0 {
+		return fmt.Errorf("core: negative retry backoff %v", r.RetryBackoff)
+	}
+	if r.RollbackAfter < 0 {
+		return fmt.Errorf("core: negative rollback threshold %d", r.RollbackAfter)
+	}
+	if r.MinCompleted < 0 {
+		return fmt.Errorf("core: negative completion floor %d", r.MinCompleted)
+	}
+	if r.MaxErrorRatio < 0 || r.MaxErrorRatio > 1 {
+		return fmt.Errorf("core: error ratio %v outside [0,1]", r.MaxErrorRatio)
+	}
+	if r.OutlierFactor != 0 && r.OutlierFactor <= 1 {
+		return fmt.Errorf("core: outlier factor %v must be 0 (off) or > 1", r.OutlierFactor)
+	}
+	return nil
+}
+
+// enabled reports whether any resilience behavior is active.
+func (r Resilience) enabled() bool { return r.MaxAttempts > 0 }
+
+// Invalidates decides whether a measurement must be discarded instead of
+// learned from, returning the reason. windowMean is the recent-window mean
+// response time; windowed reports whether enough history exists for the
+// outlier check.
+func (r Resilience) Invalidates(m system.Metrics, windowMean float64, windowed bool) (string, bool) {
+	if m.Invalid {
+		if m.InvalidReason != "" {
+			return m.InvalidReason, true
+		}
+		return "producer-flagged", true
+	}
+	if m.Errors > 0 {
+		if r.MinCompleted > 0 && m.Completed < r.MinCompleted {
+			return "low-completion", true
+		}
+		if r.MaxErrorRatio > 0 {
+			if ratio := float64(m.Errors) / float64(m.Errors+m.Completed); ratio > r.MaxErrorRatio {
+				return "error-ratio", true
+			}
+		}
+	}
+	if r.OutlierFactor > 0 && windowed && windowMean > 0 && m.MeanRT > r.OutlierFactor*windowMean {
+		return "outlier", true
+	}
+	return "", false
+}

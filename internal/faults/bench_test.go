@@ -1,0 +1,84 @@
+package faults
+
+import "testing"
+
+// BenchmarkMeasureBare is the baseline: the inner system measured directly.
+func BenchmarkMeasureBare(b *testing.B) {
+	inner := newFlatSystem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := inner.Measure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureWrappedNoFault measures the wrapper's overhead when the
+// scenario's rules never fire (windows entirely in the past). The delta
+// against BenchmarkMeasureBare is the cost of leaving the fault layer wired
+// in on a clean run — it should be a handful of nanoseconds and zero
+// allocations.
+func BenchmarkMeasureWrappedNoFault(b *testing.B) {
+	inner := newFlatSystem()
+	s, err := New(inner, Options{Scenario: Scenario{Rules: []Rule{
+		{Kind: LatencySpike, From: 1, To: 1},
+		{Kind: ErrorBurst, From: 1, To: 1},
+		{Kind: MeasureOutlier, From: 1, To: 1},
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Measure(); err != nil { // burn the only scheduled interval
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Measure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureWrappedFiring is the other end: every measure-side
+// transform fires on every interval.
+func BenchmarkMeasureWrappedFiring(b *testing.B) {
+	inner := newFlatSystem()
+	s, err := New(inner, Options{Scenario: Scenario{Rules: []Rule{
+		{Kind: LatencySpike},
+		{Kind: ErrorBurst},
+		{Kind: MeasureNoise},
+		{Kind: MeasureOutlier},
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Measure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyWrappedNoFault covers the Apply path with no active rules.
+func BenchmarkApplyWrappedNoFault(b *testing.B) {
+	inner := newFlatSystem()
+	s, err := New(inner, Options{Scenario: Scenario{Rules: []Rule{
+		{Kind: ApplyError, From: 1, To: 1},
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Measure(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := inner.Space().DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Apply(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

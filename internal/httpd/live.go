@@ -43,11 +43,16 @@ type Live struct {
 
 	// Interval is the wall-clock measurement window per Measure call.
 	Interval time.Duration
+	// Timeout bounds one Measure call end to end; a driver that has not
+	// returned by then yields a transient error instead of wedging the agent
+	// loop. 0 means Interval + 5s.
+	Timeout time.Duration
 
 	// Measurement instruments on the server's shared registry.
 	intervals *telemetry.Counter
 	reqErrors *telemetry.Counter
 	empty     *telemetry.Counter
+	timeouts  *telemetry.Counter
 }
 
 var (
@@ -86,6 +91,8 @@ func NewLive(space *config.Space, server *Server, driver LoadDriver, initial con
 			"Failed or timed-out requests observed by the load driver during measurement.", nil),
 		empty: reg.Counter("live_measure_empty_total",
 			"Measurement intervals that completed no requests at all.", nil),
+		timeouts: reg.Counter("live_measure_timeouts_total",
+			"Measurement intervals abandoned because the load driver missed its deadline.", nil),
 	}, nil
 }
 
@@ -116,10 +123,40 @@ func (l *Live) Apply(cfg config.Config) error {
 // the returned Metrics (and counted on the registry) rather than folded into
 // a generic failure; the interval only errors when nothing completed, and
 // that error distinguishes an idle interval from an all-errors one.
+//
+// The whole call runs under a deadline (Timeout, default Interval + 5s): a
+// wedged driver produces a classified transient error the agent's resilience
+// policy can retry or degrade on, never a hung loop. Empty intervals and
+// driver failures are transient for the same reason — the next interval may
+// well be fine.
 func (l *Live) Measure() (system.Metrics, error) {
-	res, err := l.driver.Run(context.Background(), l.Interval)
-	if err != nil {
-		return system.Metrics{}, fmt.Errorf("httpd: measure: %w", err)
+	timeout := l.Timeout
+	if timeout <= 0 {
+		timeout = l.Interval + 5*time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	type outcome struct {
+		res MeasureResult
+		err error
+	}
+	done := make(chan outcome, 1) // buffered: a late driver must not leak its goroutine
+	go func() {
+		res, err := l.driver.Run(ctx, l.Interval)
+		done <- outcome{res, err}
+	}()
+
+	var res MeasureResult
+	select {
+	case <-ctx.Done():
+		l.timeouts.Inc()
+		return system.Metrics{}, system.Transient(fmt.Errorf("httpd: measure: driver missed its %v deadline", timeout))
+	case out := <-done:
+		if out.err != nil {
+			return system.Metrics{}, system.Transient(fmt.Errorf("httpd: measure: %w", out.err))
+		}
+		res = out.res
 	}
 	l.intervals.Inc()
 	if res.Errors > 0 {
@@ -128,9 +165,9 @@ func (l *Live) Measure() (system.Metrics, error) {
 	if res.Completed == 0 {
 		l.empty.Inc()
 		if res.Errors > 0 {
-			return system.Metrics{}, fmt.Errorf("httpd: interval completed no requests (%d errored or timed out)", res.Errors)
+			return system.Metrics{}, system.Transient(fmt.Errorf("httpd: interval completed no requests (%d errored or timed out)", res.Errors))
 		}
-		return system.Metrics{}, errors.New("httpd: interval completed no requests")
+		return system.Metrics{}, system.Transient(errors.New("httpd: interval completed no requests"))
 	}
 	return system.Metrics{
 		MeanRT:          res.MeanRT,

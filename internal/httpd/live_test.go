@@ -1,0 +1,159 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// scriptDriver is a LoadDriver stub whose Run behavior is pluggable.
+type scriptDriver struct {
+	run  func(ctx context.Context, d time.Duration) (MeasureResult, error)
+	work tpcw.Workload
+}
+
+func (s *scriptDriver) Run(ctx context.Context, d time.Duration) (MeasureResult, error) {
+	return s.run(ctx, d)
+}
+func (s *scriptDriver) SetWorkload(w tpcw.Workload) error { s.work = w; return nil }
+func (s *scriptDriver) Workload() tpcw.Workload           { return s.work }
+
+func liveWith(t *testing.T, driver LoadDriver) *Live {
+	t.Helper()
+	space := config.Default()
+	params, err := webtier.ParamsFromConfig(space, space.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(params, vmenv.Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewLive(space, srv, driver, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live
+}
+
+// TestMeasureDeadlineStalledDriver is the wedged-monitor regression test: a
+// driver that never returns — but honors its context — must yield a
+// classified transient error at the deadline, not hang the agent loop.
+func TestMeasureDeadlineStalledDriver(t *testing.T) {
+	driver := &scriptDriver{run: func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+		<-ctx.Done() // stalled until the deadline fires
+		return MeasureResult{}, ctx.Err()
+	}}
+	live := liveWith(t, driver)
+	live.Interval = 20 * time.Millisecond
+	live.Timeout = 60 * time.Millisecond
+
+	start := time.Now()
+	_, err := live.Measure()
+	if err == nil {
+		t.Fatal("stalled driver measured successfully")
+	}
+	if !system.IsTransient(err) {
+		t.Fatalf("deadline error not transient: %v", err)
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error does not name the deadline: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Measure blocked %v despite the deadline", elapsed)
+	}
+}
+
+// TestMeasureDeadlineDriverIgnoresContext covers the worse stall: the driver
+// ignores cancellation entirely. Measure must still return at the deadline;
+// the driver's goroutine finishes later into a buffered channel.
+func TestMeasureDeadlineDriverIgnoresContext(t *testing.T) {
+	driver := &scriptDriver{run: func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+		time.Sleep(500 * time.Millisecond) // deaf to ctx
+		return MeasureResult{Completed: 1, MeanRT: 1}, nil
+	}}
+	live := liveWith(t, driver)
+	live.Interval = 20 * time.Millisecond
+	live.Timeout = 60 * time.Millisecond
+
+	start := time.Now()
+	_, err := live.Measure()
+	if err == nil || !system.IsTransient(err) {
+		t.Fatalf("err = %v, want transient deadline error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("Measure waited %v for a driver that ignores its context", elapsed)
+	}
+}
+
+func TestMeasureClassifiesDriverFailuresTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(ctx context.Context, d time.Duration) (MeasureResult, error)
+	}{
+		{"driver error", func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+			return MeasureResult{}, errors.New("connection refused")
+		}},
+		{"empty interval", func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+			return MeasureResult{}, nil
+		}},
+		{"all errored", func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+			return MeasureResult{Errors: 42}, nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			live := liveWith(t, &scriptDriver{run: tc.run})
+			live.Interval = 10 * time.Millisecond
+			_, err := live.Measure()
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !system.IsTransient(err) {
+				t.Fatalf("not transient: %v", err)
+			}
+		})
+	}
+}
+
+func TestMeasureCleanIntervalUnchanged(t *testing.T) {
+	live := liveWith(t, &scriptDriver{run: func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+		return MeasureResult{MeanRT: 0.8, P95RT: 1.6, Throughput: 120, Completed: 240, Errors: 2}, nil
+	}})
+	live.Interval = 10 * time.Millisecond
+	m, err := live.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanRT != 0.8 || m.Completed != 240 || m.Errors != 2 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.Invalid {
+		t.Fatal("clean interval marked invalid")
+	}
+}
+
+// TestApplyValidationStaysFatal pins the transient/fatal split: a config the
+// space rejects is a programming error, not a fault to retry.
+func TestApplyValidationStaysFatal(t *testing.T) {
+	live := liveWith(t, &scriptDriver{run: func(ctx context.Context, d time.Duration) (MeasureResult, error) {
+		return MeasureResult{Completed: 1, MeanRT: 1}, nil
+	}})
+	bad := live.Config()
+	bad[0] = -1
+	err := live.Apply(bad)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if system.IsTransient(err) {
+		t.Fatalf("validation failure classified transient: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package system
+
+import "errors"
+
+// Real systems fail in two distinct ways, and agents must tell them apart: a
+// transient fault (a reconfiguration that did not take, a wedged measurement
+// interval, a load-driver hiccup) is worth retrying, while a fatal error (an
+// invalid configuration, a programming error) must abort. Implementations
+// classify by wrapping recoverable errors with Transient; callers test with
+// IsTransient and choose retry/degrade versus abort.
+
+// transientError marks an error as recoverable. It wraps, so errors.Is/As
+// still see the underlying cause.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient reports true, marking the error recoverable (see IsTransient).
+func (e *transientError) Transient() bool { return true }
+
+// Transient marks err as a recoverable fault. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether any error in err's chain is marked transient —
+// either by Transient or by any foreign type exposing Transient() bool.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

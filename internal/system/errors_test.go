@@ -1,0 +1,77 @@
+package system
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("driver wedged")
+	te := Transient(base)
+	if !IsTransient(te) {
+		t.Fatal("Transient error not classified transient")
+	}
+	if IsTransient(base) {
+		t.Fatal("plain error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil classified transient")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+	// The mark survives further wrapping, and the chain stays inspectable.
+	wrapped := fmt.Errorf("measure: %w", te)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapping lost the transient mark")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("Transient broke errors.Is on the cause")
+	}
+	if te.Error() != base.Error() {
+		t.Fatalf("Error() = %q, want %q", te.Error(), base.Error())
+	}
+}
+
+func TestMetricsInvalidRendering(t *testing.T) {
+	m := Metrics{MeanRT: 1.5, Completed: 10, IntervalSeconds: 300}
+	if strings.Contains(m.String(), "INVALID") {
+		t.Fatalf("clean metrics render invalid: %q", m.String())
+	}
+	m.Invalid = true
+	if !strings.Contains(m.String(), "INVALID") {
+		t.Fatalf("invalid metrics hide the flag: %q", m.String())
+	}
+	m.InvalidReason = "error-ratio"
+	if !strings.Contains(m.String(), "INVALID(error-ratio)") {
+		t.Fatalf("invalid reason not rendered: %q", m.String())
+	}
+}
+
+func TestMetricsInvalidJSONBackwardCompatible(t *testing.T) {
+	clean, err := json.Marshal(Metrics{MeanRT: 1, Completed: 5, IntervalSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// omitempty: clean intervals serialize exactly as before this field existed.
+	if strings.Contains(string(clean), "invalid") {
+		t.Fatalf("clean metrics JSON leaks invalid fields: %s", clean)
+	}
+	bad, err := json.Marshal(Metrics{Invalid: true, InvalidReason: "no-data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(bad), `"invalid":true`) || !strings.Contains(string(bad), `"invalid_reason":"no-data"`) {
+		t.Fatalf("invalid metrics JSON missing fields: %s", bad)
+	}
+	var round Metrics
+	if err := json.Unmarshal(bad, &round); err != nil {
+		t.Fatal(err)
+	}
+	if !round.Invalid || round.InvalidReason != "no-data" {
+		t.Fatalf("round trip lost invalid fields: %+v", round)
+	}
+}

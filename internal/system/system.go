@@ -38,6 +38,14 @@ type Metrics struct {
 	Errors int `json:"errors,omitempty"`
 	// IntervalSeconds is the measurement duration in (virtual) seconds.
 	IntervalSeconds float64 `json:"interval_seconds"`
+	// Invalid marks a measurement that must not be learned from (degraded
+	// interval, fault-injected garbage, rejected outlier). Producers or the
+	// agent's resilience policy set it; both fields are omitted from JSON for
+	// clean intervals, so existing serialized metrics are unchanged.
+	Invalid bool `json:"invalid,omitempty"`
+	// InvalidReason says why the interval was discarded (e.g. "error-ratio",
+	// "low-completion", "outlier", "no-data").
+	InvalidReason string `json:"invalid_reason,omitempty"`
 }
 
 // String renders the measurement in the compact one-line form used by logs
@@ -49,6 +57,13 @@ func (m Metrics) String() string {
 	}
 	if m.IntervalSeconds > 0 {
 		s += fmt.Sprintf(" over %.0fs", m.IntervalSeconds)
+	}
+	if m.Invalid {
+		if m.InvalidReason != "" {
+			s += fmt.Sprintf(" INVALID(%s)", m.InvalidReason)
+		} else {
+			s += " INVALID"
+		}
 	}
 	return s
 }

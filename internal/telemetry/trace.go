@@ -14,6 +14,17 @@ const (
 	KindPolicySwitch EventKind = "policy-switch"
 )
 
+// Resilience event kinds: "retry" when a transient Apply/Measure failure is
+// retried, "rollback" when the SLA safety guard reverts to the last-known-good
+// configuration, "invalid-measurement" when an interval is discarded instead
+// of learned from, and "fault" when the fault-injection layer fires.
+const (
+	KindRetry    EventKind = "retry"
+	KindRollback EventKind = "rollback"
+	KindInvalid  EventKind = "invalid-measurement"
+	KindFault    EventKind = "fault"
+)
+
 // Event is one structured decision-trace record. Fields are a union over the
 // kinds; unused fields stay at their zero value and are omitted from JSON.
 type Event struct {
@@ -43,6 +54,11 @@ type Event struct {
 	Policy string `json:"policy,omitempty"`
 	// Sweeps is the number of batch sweeps a retrain ran.
 	Sweeps int `json:"sweeps,omitempty"`
+	// Attempts is how many Apply/Measure tries a step needed (retry events
+	// and steps that recovered from transient faults; 0 when untracked).
+	Attempts int `json:"attempts,omitempty"`
+	// Fault names the injected fault kind on "fault" events.
+	Fault string `json:"fault,omitempty"`
 	// Converged reports whether a retrain hit its θ threshold.
 	Converged bool `json:"converged,omitempty"`
 	// Detail carries kind-specific context (e.g. "shop → order" on a

@@ -35,6 +35,7 @@ import (
 	"github.com/rac-project/rac/internal/bench"
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/faults"
 	"github.com/rac-project/rac/internal/httpd"
 	"github.com/rac-project/rac/internal/loadgen"
 	"github.com/rac-project/rac/internal/mdp"
@@ -173,10 +174,17 @@ type (
 	LinearQ = mdp.LinearQ
 	// ApproxLearner performs gradient SARSA on a LinearQ.
 	ApproxLearner = mdp.ApproxLearner
+	// Resilience is the agent's fault-handling policy: retry/backoff,
+	// invalid-measurement rejection, and rollback-to-safe.
+	Resilience = core.Resilience
 )
 
 // DefaultOptions returns the paper's hyper-parameters.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultResilience returns the fault-handling profile used by the
+// fault-injection experiments (retries, rejection, rollback all enabled).
+func DefaultResilience() Resilience { return core.DefaultResilience() }
 
 // NewAgent builds a RAC agent tuning the given system.
 func NewAgent(sys System, opts AgentOptions) (*Agent, error) { return core.NewAgent(sys, opts) }
@@ -312,6 +320,38 @@ type (
 
 // NewHarness builds the experiment harness.
 func NewHarness(opts HarnessOptions) *Harness { return bench.New(opts) }
+
+// Fault injection (package internal/faults): a deterministic, RNG-seeded
+// fault layer that wraps any System and subjects the agent to apply/measure
+// failures, latency spikes, error bursts, capacity drops and measurement
+// noise, scheduled by a JSON-loadable scenario.
+type (
+	// FaultScenario is a declarative, replayable fault schedule.
+	FaultScenario = faults.Scenario
+	// FaultRule schedules one fault kind over a window of intervals.
+	FaultRule = faults.Rule
+	// FaultKind names an injectable fault type.
+	FaultKind = faults.Kind
+	// FaultySystem wraps a System and injects a scenario's faults.
+	FaultySystem = faults.System
+	// FaultOptions configure NewFaultySystem.
+	FaultOptions = faults.Options
+	// FaultInjection records one fired fault.
+	FaultInjection = faults.Injection
+)
+
+// NewFaultySystem wraps sys with a fault-injection layer replaying the
+// scenario in opts.
+func NewFaultySystem(sys System, opts FaultOptions) (*FaultySystem, error) {
+	return faults.New(sys, opts)
+}
+
+// LoadFaultScenario reads and validates a JSON fault scenario from a file
+// (see examples/faults_basic.json).
+func LoadFaultScenario(path string) (FaultScenario, error) { return faults.LoadFile(path) }
+
+// FaultKinds returns every injectable fault kind in stable order.
+func FaultKinds() []FaultKind { return faults.Kinds() }
 
 // FigureIDs returns the reproducible figure identifiers in paper order.
 func FigureIDs() []string { return bench.FigureIDs() }
