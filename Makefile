@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry faults-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry faults-smoke fleet-smoke
 
-check: fmt vet vet-faults build race
+check: fmt vet vet-faults build race fleet-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -27,8 +27,11 @@ build:
 test:
 	$(GO) test ./...
 
+# internal/bench alone runs ~10 min under the race detector, right at go
+# test's default -timeout; the explicit budget keeps the gate from flaking
+# at that boundary on loaded machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Quick benchmark pass over every package: one iteration per benchmark with
 # allocation stats, summarised into BENCH_quick.json via cmd/benchjson. The
@@ -49,3 +52,11 @@ bench-telemetry:
 # resilient agent — a crash or hang here means the recovery loop regressed.
 faults-smoke:
 	$(GO) run ./cmd/racagent -faults examples/faults_basic.json -quick
+
+# End-to-end smoke of the multi-tenant control plane: racd boots two
+# simulated tenants, exercises the admin API, drains with final checkpoints,
+# then boots a second fleet over the same directory and verifies both tenants
+# warm-restart from disk (cmd/racd -selfcheck). Part of `make check` because
+# the checkpoint/restore path only fails visibly across a process restart.
+fleet-smoke:
+	$(GO) run ./cmd/racd -selfcheck

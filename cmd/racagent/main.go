@@ -10,6 +10,12 @@
 //	racagent -agent trial-and-error -clients 80 -mix ordering
 //	racagent -level Level-3 -maxclients 50
 //	racagent -faults examples/faults_basic.json -quick
+//	racagent -snapshot agent.json   # ^C finishes the interval, then saves
+//
+// SIGINT/SIGTERM do not kill the run mid-measurement: the agent finishes its
+// current interval, the summary is printed, and with -snapshot the learned
+// state (policy name, Q-table, both RNG streams) is saved so a later run —
+// or a fleet tenant — can resume from it.
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"github.com/rac-project/rac"
@@ -47,9 +55,13 @@ func run(args []string) error {
 		procs      = fs.Int("procs", 0, "cap the OS threads running the in-process server, load generator and agent (0 = all CPUs)")
 		faultsPath = fs.String("faults", "", "inject faults from this JSON scenario (see examples/faults_basic.json); enables the agent's resilience policy")
 		quick      = fs.Bool("quick", false, "smoke-test sizing: 8 iterations, 300ms intervals, 20 browsers")
+		snapshot   = fs.String("snapshot", "", "save the final agent state (policy + Q-table) to this file at exit (-agent rac only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *snapshot != "" && *agentKind != "rac" {
+		return fmt.Errorf("-snapshot requires -agent rac (got %q)", *agentKind)
 	}
 	if *quick {
 		*iters = 8
@@ -167,9 +179,23 @@ func run(args []string) error {
 		return err
 	}
 
+	// A termination signal never cuts a measurement interval in half: it is
+	// only checked between Step calls, so the in-flight interval completes,
+	// the summary prints, and -snapshot still captures the learned state.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	var retries, invalids, degradeds, rollbacks int
 	fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
+steps:
 	for i := 0; i < *iters; i++ {
+		select {
+		case s := <-sig:
+			fmt.Printf("racagent: %s — stopping after the finished interval\n", s)
+			break steps
+		default:
+		}
 		step, err := tuner.Step()
 		if err != nil {
 			return err
@@ -216,7 +242,35 @@ func run(args []string) error {
 			return fmt.Errorf("telemetry dump: %w", err)
 		}
 	}
+	if *snapshot != "" {
+		if err := saveSnapshot(*snapshot, tuner); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		fmt.Printf("agent state saved to %s\n", *snapshot)
+	}
 	return nil
+}
+
+// saveSnapshot serializes the RAC agent's learned state (policy name,
+// Q-table, RNG streams, retraining window) so a later run can resume it.
+func saveSnapshot(path string, tuner rac.Tuner) error {
+	a, ok := tuner.(*rac.Agent)
+	if !ok {
+		return fmt.Errorf("agent kind %T has no serializable state", tuner)
+	}
+	st, err := a.ExportState()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := st.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // dumpTelemetry writes the end-of-run snapshot (registry state plus the full

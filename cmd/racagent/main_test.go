@@ -1,7 +1,11 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"syscall"
 	"testing"
+	"time"
 
 	"github.com/rac-project/rac"
 )
@@ -39,5 +43,45 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-level", "bogus", "-iters", "1"}); err == nil {
 		t.Error("bogus level accepted")
+	}
+	if err := run([]string{"-agent", "static", "-snapshot", "x.json"}); err == nil {
+		t.Error("-snapshot with a baseline agent accepted")
+	}
+}
+
+// TestSignalFinishesIntervalAndSnapshots interrupts a live run with a real
+// SIGTERM: the agent must finish its in-flight interval, exit cleanly, and
+// leave a loadable state snapshot behind.
+func TestSignalFinishesIntervalAndSnapshots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "agent.json")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-iters", "40", "-interval", "150ms", "-clients", "10", "-snapshot", path})
+	}()
+	// Give the run time to boot the stack and install its signal handler
+	// (the bookstore comes up in milliseconds; the first interval is 150ms).
+	time.Sleep(700 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not stop after SIGTERM")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	defer f.Close()
+	st, err := rac.LoadAgentState(f)
+	if err != nil {
+		t.Fatalf("snapshot does not load: %v", err)
+	}
+	if st.Iteration < 1 {
+		t.Fatalf("snapshot at iteration %d, want at least one finished interval", st.Iteration)
 	}
 }

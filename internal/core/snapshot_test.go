@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/rac-project/rac/internal/system"
+)
+
+// exportJSON serializes an agent's state, failing the test on error.
+func exportJSON(t *testing.T, a *Agent) []byte {
+	t.Helper()
+	st, err := a.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestAgentStateRoundTripByteIdentical(t *testing.T) {
+	sys := newBowlSystem([]float64{400, 20, 30, 60})
+	a, err := NewAgent(sys, AgentOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := exportJSON(t, a)
+
+	// Restore into a freshly constructed agent and re-export: the two
+	// snapshots must match byte for byte.
+	sys2 := newBowlSystem([]float64{400, 20, 30, 60})
+	b, err := NewAgent(sys2, AgentOptions{Seed: 99}) // different seed: restore overwrites it
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadAgentState(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	second := exportJSON(t, b)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("snapshot round trip not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestAgentResumeMatchesUninterruptedRun(t *testing.T) {
+	const total, cut = 30, 13
+	targets := []float64{420, 25, 35, 55}
+
+	// Reference: one uninterrupted run.
+	ref, err := NewAgent(newBowlSystem(targets), AgentOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSteps []StepResult
+	for i := 0; i < total; i++ {
+		s, err := ref.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSteps = append(refSteps, s)
+	}
+
+	// Interrupted: run to the cut, export, rebuild everything from scratch
+	// (new system, new agent), restore, and finish the run.
+	sysA := newBowlSystem(targets)
+	a, err := NewAgent(sysA, AgentOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cut; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := exportJSON(t, a)
+
+	sysB := newBowlSystem(targets)
+	// The bowl system is memoryless given its configuration; re-apply the
+	// snapshot's configuration as the fleet restore path does.
+	st, err := LoadAgentState(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.Apply(append([]int(nil), st.Config...)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAgent(sysB, AgentOptions{Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < total; i++ {
+		s, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refSteps[i]
+		if s.Iteration != want.Iteration || s.Config.Key() != want.Config.Key() ||
+			s.MeanRT != want.MeanRT || s.Reward != want.Reward || s.Action != want.Action {
+			t.Fatalf("resumed step %d diverged: got %+v want %+v", i+1, s, want)
+		}
+	}
+
+	// Final learned state must be byte-identical too.
+	refBlob := exportJSON(t, ref)
+	resBlob := exportJSON(t, b)
+	if !bytes.Equal(refBlob, resBlob) {
+		t.Fatal("resumed run's final state differs from the uninterrupted run")
+	}
+}
+
+func TestAgentResumeWithSnapshottableSystem(t *testing.T) {
+	// A noisy analytic system consumes its RNG every Measure; resuming must
+	// restore the system state too, or the streams diverge.
+	mk := func() *system.Analytic {
+		sys, err := system.NewAnalytic(system.AnalyticOptions{Seed: 11, NoiseSigma: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	const total, cut = 16, 7
+
+	refSys := mk()
+	ref, err := NewAgent(refSys, AgentOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refRTs []float64
+	for i := 0; i < total; i++ {
+		s, err := ref.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRTs = append(refRTs, s.MeanRT)
+	}
+
+	sysA := mk()
+	a, err := NewAgent(sysA, AgentOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cut; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agentBlob := exportJSON(t, a)
+	sysBlob, err := sysA.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysB := mk()
+	if err := sysB.ImportState(sysBlob); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAgent(sysB, AgentOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadAgentState(bytes.NewReader(agentBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < total; i++ {
+		s, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MeanRT != refRTs[i] {
+			t.Fatalf("step %d: resumed rt %v, uninterrupted %v", i+1, s.MeanRT, refRTs[i])
+		}
+	}
+}
+
+func TestAgentRestoreRejectsBadSnapshots(t *testing.T) {
+	sys := newBowlSystem([]float64{400, 20, 30, 60})
+	a, err := NewAgent(sys, AgentOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Step(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.RestoreState(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+
+	bad := *good
+	bad.Version = AgentStateVersion + 1
+	if err := a.RestoreState(&bad); err == nil {
+		t.Error("future version accepted")
+	}
+
+	bad = *good
+	bad.PolicyName = "never-trained"
+	if err := a.RestoreState(&bad); err == nil {
+		t.Error("unknown policy accepted")
+	}
+
+	bad = *good
+	bad.Config = []int{1, 2}
+	if err := a.RestoreState(&bad); err == nil {
+		t.Error("wrong-arity config accepted")
+	}
+
+	bad = *good
+	bad.QTable = nil
+	if err := a.RestoreState(&bad); err == nil {
+		t.Error("missing Q-table accepted")
+	}
+
+	bad = *good
+	bad.QTable = json.RawMessage(`{"actions":3,"initial":0,"rows":{}}`)
+	if err := a.RestoreState(&bad); err == nil {
+		t.Error("wrong action count accepted")
+	}
+
+	// The pristine snapshot still restores after all the rejected attempts.
+	if err := a.RestoreState(good); err != nil {
+		t.Fatalf("good snapshot rejected after failed restores: %v", err)
+	}
+}
+
+func TestForcePolicySwitchesImmediately(t *testing.T) {
+	targets := []float64{400, 20, 30, 60}
+	sys := newBowlSystem(targets)
+	p := bowlPolicy(t, targets, "forced")
+	a, err := NewAgent(sys, AgentOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.ForcePolicy(p)
+	if a.Policy() != p {
+		t.Fatal("ForcePolicy did not install the policy")
+	}
+	s, err := a.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PolicyName != "forced" {
+		t.Fatalf("step after ForcePolicy reports policy %q", s.PolicyName)
+	}
+	a.ForcePolicy(nil)
+	if a.Policy() != nil {
+		t.Fatal("ForcePolicy(nil) did not clear the policy")
+	}
+}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -91,6 +92,12 @@ func New(sys system.System, opts Options) (*System, error) {
 
 // Scenario returns the schedule the wrapper replays.
 func (s *System) Scenario() Scenario { return s.sc }
+
+// Inner returns the wrapped system. Restore paths use it to re-apply a
+// checkpointed configuration without routing through the injection layer
+// (which would consume scheduled faults and RNG draws that belong to the
+// resumed run).
+func (s *System) Inner() system.System { return s.inner }
 
 // Injected returns a copy of the fired-fault log, in injection order.
 func (s *System) Injected() []Injection {
@@ -340,4 +347,82 @@ func (s *System) AppLevel() vmenv.Level {
 		return vmenv.Level{}
 	}
 	return s.adj.AppLevel()
+}
+
+var _ system.Snapshottable = (*System)(nil)
+
+// faultsState is the serialized runtime state of the wrapper: the schedule
+// position, the injection RNG mid-stream, the capacity-drop status and the
+// fired-fault log, plus the inner system's blob when it is snapshottable.
+type faultsState struct {
+	Intervals int         `json:"intervals"`
+	RNG       uint64      `json:"rng"`
+	Shadow    []int       `json:"shadow,omitempty"`
+	Dropped   bool        `json:"dropped,omitempty"`
+	Saved     string      `json:"saved,omitempty"`
+	Log       []Injection `json:"log,omitempty"`
+	Inner     []byte      `json:"inner,omitempty"`
+}
+
+// ExportState captures the wrapper's runtime state so a restored tenant sees
+// the same remaining fault schedule an uninterrupted run would. The inner
+// system's state is embedded when it implements system.Snapshottable;
+// otherwise only the wrapper state travels and the inner system restarts
+// fresh.
+func (s *System) ExportState() ([]byte, error) {
+	st := faultsState{
+		Intervals: s.intervals,
+		RNG:       s.rng.State(),
+		Dropped:   s.dropped,
+		Log:       s.Injected(),
+	}
+	if s.shadow != nil {
+		st.Shadow = s.shadow.Clone()
+	}
+	if s.dropped {
+		st.Saved = s.saved.Name
+	}
+	if snap, ok := s.inner.(system.Snapshottable); ok {
+		blob, err := snap.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("faults: inner state: %w", err)
+		}
+		st.Inner = blob
+	}
+	return json.Marshal(st)
+}
+
+// ImportState restores state captured by ExportState.
+func (s *System) ImportState(blob []byte) error {
+	var st faultsState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("faults: state: %w", err)
+	}
+	if st.Inner != nil {
+		snap, ok := s.inner.(system.Snapshottable)
+		if !ok {
+			return errors.New("faults: state embeds inner system state but the wrapped system is not snapshottable")
+		}
+		if err := snap.ImportState(st.Inner); err != nil {
+			return err
+		}
+	}
+	if st.Dropped {
+		saved, err := vmenv.ByName(st.Saved)
+		if err != nil {
+			return fmt.Errorf("faults: state: %w", err)
+		}
+		s.saved = saved
+	} else {
+		s.saved = vmenv.Level{}
+	}
+	s.intervals = st.Intervals
+	s.rng = sim.RestoreRNG(st.RNG)
+	s.dropped = st.Dropped
+	s.shadow = nil
+	if st.Shadow != nil {
+		s.shadow = config.Config(st.Shadow).Clone()
+	}
+	s.log = append([]Injection(nil), st.Log...)
+	return nil
 }

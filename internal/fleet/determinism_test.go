@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runFleet executes a fresh 4-tenant fleet at the given worker count and
+// returns each tenant's full step log and final serialized agent state.
+func runFleet(t *testing.T, procs, rounds int) (map[string][]StepRecord, map[string][]byte) {
+	t.Helper()
+	f, err := New(Options{Seed: 1234, Procs: procs, RegistryDir: t.TempDir(), TrainInit: fastTrain()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []TenantSpec{
+		{Name: "alpha", Backend: "analytic", Context: "context-1", NoiseSigma: 0.2, TrainPolicy: true},
+		{Name: "beta", Backend: "analytic", Context: "context-2", NoiseSigma: 0.2, TrainPolicy: true},
+		{Name: "gamma", Backend: "analytic", Context: "context-1", NoiseSigma: 0.1},
+		{Name: "delta", Backend: "analytic", Context: "context-3", NoiseSigma: 0.3},
+	}
+	for _, sp := range specs {
+		if _, err := f.Admit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	logs := make(map[string][]StepRecord, len(specs))
+	states := make(map[string][]byte, len(specs))
+	for _, sp := range specs {
+		tn := f.Tenant(sp.Name)
+		logs[sp.Name] = tn.StepLog()
+		states[sp.Name] = exportAgent(t, tn)
+	}
+	return logs, states
+}
+
+// TestFleetDeterministicAcrossProcs is the fleet determinism regression: a
+// 4-tenant fleet produces identical per-tenant step logs and byte-identical
+// final Q-tables whether rounds run on one worker or eight. Tenant streams
+// are pre-split by name and rounds are barrier-synchronized, so scheduling
+// interleaving must not be observable.
+func TestFleetDeterministicAcrossProcs(t *testing.T) {
+	const rounds = 15
+	logs1, states1 := runFleet(t, 1, rounds)
+	logs8, states8 := runFleet(t, 8, rounds)
+
+	for name, log1 := range logs1 {
+		log8 := logs8[name]
+		if len(log1) != len(log8) {
+			t.Fatalf("tenant %s: %d records at procs=1, %d at procs=8", name, len(log1), len(log8))
+		}
+		for i := range log1 {
+			if log1[i] != log8[i] {
+				t.Errorf("tenant %s step %d: procs=1 %+v, procs=8 %+v", name, i, log1[i], log8[i])
+			}
+		}
+		if !bytes.Equal(states1[name], states8[name]) {
+			t.Errorf("tenant %s: final agent state differs between procs=1 and procs=8", name)
+		}
+	}
+}

@@ -1,0 +1,795 @@
+// Package fleet is the multi-tenant control plane: it runs many RAC agents —
+// one per managed web system — concurrently on the shared worker pool,
+// checkpoints their learned state to disk, and warm-starts new tenants from a
+// registry of context-matched policies. The scheduling is deterministic: each
+// tenant derives every random draw from its own pre-split seed and rounds are
+// barrier-synchronized, so a fleet run is byte-identical at any worker count.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/faults"
+	"github.com/rac-project/rac/internal/parallel"
+	"github.com/rac-project/rac/internal/queueing"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// SystemBuilder constructs the managed system for one tenant. A builder may
+// return (nil, nil) to decline the spec, falling back to the built-in
+// backends ("sim", "analytic"); racd uses this hook to add "live".
+type SystemBuilder func(spec TenantSpec, ctx system.Context, seed uint64) (system.System, error)
+
+// Options configure a Fleet.
+type Options struct {
+	// Seed is the fleet-wide base seed; each tenant folds its name into it,
+	// so per-tenant streams are stable under tenant addition and removal.
+	Seed uint64
+	// Procs bounds the workers stepping tenants in one round. Zero or
+	// negative uses every CPU; results are identical for every value.
+	Procs int
+	// SLASeconds is the default SLA for tenants that do not set their own;
+	// zero uses the paper default (2 s).
+	SLASeconds float64
+	// CheckpointDir enables the checkpoint subsystem: each tenant's learned
+	// state is snapshotted there and restored on admission after a restart.
+	// Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the default snapshot cadence in completed intervals
+	// (default 5); per-tenant specs may override it.
+	CheckpointEvery int
+	// CheckpointKeep is how many snapshots to retain per tenant (minimum 2).
+	CheckpointKeep int
+	// RegistryDir enables the shared policy registry: trained initial
+	// policies are published there keyed by system context, and new tenants
+	// admitted into a matching context warm-start from them. Empty disables
+	// the registry.
+	RegistryDir string
+	// TrainInit overrides the coarse-sampling and offline-training schedule
+	// used when a tenant trains a context policy (TenantSpec.TrainPolicy).
+	// Only CoarseLevels and Batch are honored — seed, SLA, worker count and
+	// telemetry stay fleet-controlled. Nil uses the paper defaults; smoke
+	// tests pass a reduced schedule.
+	TrainInit *core.InitOptions
+	// StepLog is how many recent step records each tenant retains in memory
+	// (default 256; negative disables the log).
+	StepLog int
+	// Telemetry, when non-nil, receives the fleet gauges and counters plus
+	// per-tenant step latency histograms.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives lifecycle and checkpoint events alongside
+	// the agents' decision events.
+	Trace *telemetry.Trace
+	// NewSystem, when non-nil, is consulted first for every tenant backend.
+	NewSystem SystemBuilder
+}
+
+// fleetInstruments are the control plane's registry metrics; nil when
+// telemetry is not wired.
+type fleetInstruments struct {
+	reg         *telemetry.Registry
+	rounds      *telemetry.Counter
+	checkpoints *telemetry.Counter
+	restores    *telemetry.Counter
+	warmStarts  *telemetry.Counter
+}
+
+func newFleetInstruments(reg *telemetry.Registry) *fleetInstruments {
+	return &fleetInstruments{
+		reg: reg,
+		rounds: reg.Counter("rac_fleet_rounds_total",
+			"Barrier-synchronized scheduling rounds the fleet has run.", nil),
+		checkpoints: reg.Counter("rac_fleet_checkpoints_total",
+			"Tenant state snapshots written to the checkpoint store.", nil),
+		restores: reg.Counter("rac_fleet_restores_total",
+			"Tenants restored from an on-disk checkpoint at admission.", nil),
+		warmStarts: reg.Counter("rac_fleet_warm_starts_total",
+			"Tenants warm-started from a context-matched registry policy.", nil),
+	}
+}
+
+// stepBuckets resolve per-tenant step latency: simulated steps are
+// millisecond-scale, live measurement intervals are minutes.
+var stepBuckets = []float64{1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 30, 120, 600}
+
+// Fleet is the control plane: it admits tenants, steps every running tenant
+// once per round on the shared pool, writes periodic checkpoints, and serves
+// the admin lifecycle API.
+type Fleet struct {
+	opts  Options
+	space *config.Space
+
+	ckpts    *CheckpointStore // nil without CheckpointDir
+	registry *PolicyRegistry  // nil without RegistryDir
+	policies *core.PolicyStore
+
+	// runMu serializes scheduling rounds with admin operations that touch
+	// agent internals (forced policy switches, manual checkpoints).
+	runMu sync.Mutex
+
+	mu      sync.Mutex
+	tenants []*Tenant // admission order — the fleet's deterministic iteration order
+	byName  map[string]*Tenant
+	rounds  int
+
+	tel   *fleetInstruments
+	trace *telemetry.Trace
+}
+
+// New builds an empty fleet.
+func New(opts Options) (*Fleet, error) {
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("fleet: negative checkpoint cadence %d", opts.CheckpointEvery)
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 5
+	}
+	if opts.StepLog == 0 {
+		opts.StepLog = 256
+	}
+	f := &Fleet{
+		opts:     opts,
+		space:    config.Default(),
+		policies: core.NewPolicyStore(),
+		byName:   make(map[string]*Tenant),
+		trace:    opts.Trace,
+	}
+	var err error
+	if opts.CheckpointDir != "" {
+		if f.ckpts, err = NewCheckpointStore(opts.CheckpointDir, opts.CheckpointKeep); err != nil {
+			return nil, err
+		}
+	}
+	if opts.RegistryDir != "" {
+		if f.registry, err = NewPolicyRegistry(opts.RegistryDir, f.space); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Telemetry != nil {
+		f.tel = newFleetInstruments(opts.Telemetry)
+	}
+	return f, nil
+}
+
+// Space returns the configuration space shared by every tenant, registry
+// policy and checkpoint in this fleet.
+func (f *Fleet) Space() *config.Space { return f.space }
+
+// Registry returns the shared policy registry (nil when disabled).
+func (f *Fleet) Registry() *PolicyRegistry { return f.registry }
+
+// Checkpoints returns the checkpoint store (nil when disabled).
+func (f *Fleet) Checkpoints() *CheckpointStore { return f.ckpts }
+
+// Rounds returns the number of completed scheduling rounds.
+func (f *Fleet) Rounds() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rounds
+}
+
+// ContextKey is the registry key of a system context: traffic mix, client
+// population and VM resource level. Tenants admitted into contexts with equal
+// keys share warm-start policies.
+func ContextKey(ctx system.Context) string {
+	return fmt.Sprintf("%s-%d@%s", ctx.Workload.Mix, ctx.Workload.Clients, ctx.Level.Name)
+}
+
+// deriveSeed folds a tenant name into the fleet seed, so a tenant's streams
+// depend only on its own name — stable when other tenants come and go.
+func deriveSeed(base uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base ^ h.Sum64()
+}
+
+// Tenant returns the named tenant, or nil.
+func (f *Fleet) Tenant(name string) *Tenant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.byName[name]
+}
+
+// Tenants returns the tenants in admission order.
+func (f *Fleet) Tenants() []*Tenant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Tenant, len(f.tenants))
+	copy(out, f.tenants)
+	return out
+}
+
+// Statuses snapshots every tenant for the admin API, in admission order.
+func (f *Fleet) Statuses() []TenantStatus {
+	ts := f.Tenants()
+	out := make([]TenantStatus, len(ts))
+	for i, t := range ts {
+		out[i] = t.Status()
+	}
+	return out
+}
+
+// Active counts tenants that can still make progress (not stopped or failed).
+func (f *Fleet) Active() int {
+	n := 0
+	for _, t := range f.Tenants() {
+		switch t.State() {
+		case StateStopped, StateFailed:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Admit builds, warm-starts and (when a checkpoint exists) restores one
+// tenant, leaving it in StateRunning. The sequence is: resolve the context,
+// build the backend system, adopt a context-matched registry policy (or train
+// and publish one when the spec asks for it), construct the agent, then — if
+// the checkpoint store holds a valid snapshot for this tenant name — restore
+// the agent and system state from it.
+func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	_, dup := f.byName[spec.Name]
+	f.mu.Unlock()
+	if dup {
+		return nil, fmt.Errorf("fleet: tenant %s already admitted", spec.Name)
+	}
+
+	ctxName := spec.Context
+	if ctxName == "" {
+		ctxName = "context-1"
+	}
+	ctx, err := system.ContextByName(ctxName)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
+	}
+	key := ContextKey(ctx)
+	seed := spec.Seed
+	if seed == 0 {
+		seed = deriveSeed(f.opts.Seed, spec.Name)
+	}
+
+	sys, err := f.buildSystem(spec, ctx, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
+	}
+
+	// Pull the tenant's newest valid snapshot first: it decides whether the
+	// registry policy is a warm start or just name resolution for restore.
+	var ck *Checkpoint
+	var ckPath string
+	if f.ckpts != nil {
+		if ck, ckPath, err = f.ckpts.Latest(spec.Name); err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
+		}
+	}
+
+	pol, warm, err := f.contextPolicy(spec, ctx, key)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
+	}
+
+	o := core.DefaultOptions()
+	if f.opts.SLASeconds > 0 {
+		o.SLASeconds = f.opts.SLASeconds
+	}
+	if spec.SLASeconds > 0 {
+		o.SLASeconds = spec.SLASeconds
+	}
+	if spec.Faults != "" {
+		o.Resilience = core.DefaultResilience()
+	}
+	agent, err := core.NewAgent(sys, core.AgentOptions{
+		Options:   o,
+		Policy:    pol,
+		Store:     f.policies,
+		Seed:      seed,
+		Telemetry: f.opts.Telemetry,
+		Trace:     f.opts.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
+	}
+
+	t := &Tenant{
+		spec:        spec,
+		contextKey:  key,
+		state:       StateStarting,
+		sys:         sys,
+		agent:       agent,
+		stepLogCap:  f.opts.StepLog,
+		warmStarted: pol != nil && warm,
+	}
+	if f.tel != nil {
+		t.stepSeconds = f.tel.reg.Histogram("rac_fleet_step_seconds",
+			"Wall-clock latency of one tenant step (apply + measure + retrain).",
+			stepBuckets, telemetry.Labels{"tenant": spec.Name})
+	}
+	if t.warmStarted && f.tel != nil {
+		f.tel.warmStarts.Inc()
+	}
+
+	if ck != nil {
+		if err := f.restore(t, ck, ckPath); err != nil {
+			// A snapshot that decodes but no longer matches the tenant (policy
+			// gone from the registry, space drift) falls back to a cold start;
+			// the trace records why.
+			f.traceEvent(telemetry.Event{
+				Kind:   telemetry.KindCheckpoint,
+				Tenant: spec.Name,
+				Detail: "restore failed, cold start: " + err.Error(),
+			})
+			if aerr := sys.Apply(agent.Config()); aerr != nil {
+				return nil, fmt.Errorf("fleet: tenant %s: reset after failed restore: %w", spec.Name, aerr)
+			}
+		}
+	}
+
+	f.mu.Lock()
+	if _, dup := f.byName[spec.Name]; dup {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: tenant %s already admitted", spec.Name)
+	}
+	f.tenants = append(f.tenants, t)
+	f.byName[spec.Name] = t
+	f.mu.Unlock()
+
+	f.transition(t, StateRunning, "admitted")
+	return t, nil
+}
+
+// buildSystem constructs (and optionally fault-wraps) the tenant's backend.
+func (f *Fleet) buildSystem(spec TenantSpec, ctx system.Context, seed uint64) (system.System, error) {
+	var sys system.System
+	var err error
+	if f.opts.NewSystem != nil {
+		if sys, err = f.opts.NewSystem(spec, ctx, seed); err != nil {
+			return nil, err
+		}
+	}
+	if sys == nil {
+		switch spec.Backend {
+		case "", "sim":
+			sys, err = system.NewSimulated(system.SimulatedOptions{
+				Space:          f.space,
+				Context:        ctx,
+				Seed:           seed,
+				SettleSeconds:  spec.SettleSeconds,
+				MeasureSeconds: spec.MeasureSeconds,
+			})
+		case "analytic":
+			sys, err = system.NewAnalytic(system.AnalyticOptions{
+				Space:      f.space,
+				Context:    ctx,
+				Seed:       seed,
+				NoiseSigma: spec.NoiseSigma,
+			})
+		default:
+			err = fmt.Errorf("unknown backend %q", spec.Backend)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.Faults != "" {
+		sc, err := faults.LoadFile(spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		return faults.New(sys, faults.Options{
+			Scenario:  sc,
+			Seed:      seed,
+			Telemetry: f.opts.Telemetry,
+			Trace:     f.opts.Trace,
+		})
+	}
+	return sys, nil
+}
+
+// contextPolicy resolves the tenant's initial policy against the shared
+// registry: adopt the stored policy for the context when one exists, or train
+// and publish one when the spec asks for it. The returned warm flag reports a
+// true warm start — a policy that existed before this admission. Either way
+// the policy joins the in-memory store, so restored snapshots can re-bind it
+// by name and running agents can switch to it on context changes.
+func (f *Fleet) contextPolicy(spec TenantSpec, ctx system.Context, key string) (*core.Policy, bool, error) {
+	if f.registry == nil {
+		return nil, false, nil
+	}
+	pol, err := f.registry.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	warm := pol != nil
+	if pol == nil && spec.TrainPolicy {
+		if pol, err = f.trainPolicy(spec, ctx, key); err != nil {
+			return nil, false, err
+		}
+		if err = f.registry.Put(key, pol); err != nil {
+			return nil, false, err
+		}
+	}
+	if pol == nil {
+		return nil, false, nil
+	}
+	if f.policies.ByName(pol.Name()) == nil {
+		f.policies.Add(pol)
+	}
+	if spec.NoWarmStart {
+		return nil, false, nil
+	}
+	return pol, warm, nil
+}
+
+// trainPolicy runs the paper's policy initialization for the tenant's context
+// on the analytic queueing surface — fast and deterministic, seeded by the
+// context key so every tenant training the same context produces the same
+// policy bytes.
+func (f *Fleet) trainPolicy(spec TenantSpec, ctx system.Context, key string) (*core.Policy, error) {
+	cal := webtier.DefaultCalibration()
+	sample := func(cfg config.Config) (float64, error) {
+		params, err := webtier.ParamsFromConfig(f.space, cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := queueing.SolveWebsite(cal, params, ctx.Workload, ctx.Level)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanRT, nil
+	}
+	sla := f.opts.SLASeconds
+	if spec.SLASeconds > 0 {
+		sla = spec.SLASeconds
+	}
+	io := core.InitOptions{
+		SLASeconds: sla,
+		Seed:       deriveSeed(f.opts.Seed, "policy:"+key),
+		Procs:      f.opts.Procs,
+		Telemetry:  f.opts.Telemetry,
+	}
+	if f.opts.TrainInit != nil {
+		io.CoarseLevels = f.opts.TrainInit.CoarseLevels
+		io.Batch = f.opts.TrainInit.Batch
+	}
+	return core.LearnPolicy(key, f.space, sample, io)
+}
+
+// restore rebuilds a tenant's live state from a checkpoint: re-apply the
+// snapshot's configuration (through the fault wrapper's inner system, so the
+// injection schedule is not consumed twice), import the backend's state blob,
+// then restore the agent. On success the tenant resumes exactly where the
+// snapshot left off.
+func (f *Fleet) restore(t *Tenant, ck *Checkpoint, path string) error {
+	cfg := config.Config(append([]int(nil), ck.Agent.Config...))
+	target := t.sys
+	if fs, ok := target.(*faults.System); ok {
+		target = fs.Inner()
+	}
+	if err := target.Apply(cfg); err != nil {
+		return fmt.Errorf("re-apply config %s: %w", cfg.Key(), err)
+	}
+	if len(ck.System) > 0 {
+		snap, ok := t.sys.(system.Snapshottable)
+		if !ok {
+			return fmt.Errorf("checkpoint has system state but backend %q cannot import it", t.spec.Backend)
+		}
+		if err := snap.ImportState(ck.System); err != nil {
+			return fmt.Errorf("import system state: %w", err)
+		}
+	}
+	if err := t.agent.RestoreState(ck.Agent); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.interval = ck.Interval
+	t.warmStarted = ck.WarmStarted
+	t.restored = true
+	t.mu.Unlock()
+	if f.tel != nil {
+		f.tel.restores.Inc()
+	}
+	f.traceEvent(telemetry.Event{
+		Kind:      telemetry.KindCheckpoint,
+		Tenant:    t.spec.Name,
+		Iteration: ck.Interval,
+		Detail:    "restored from " + path,
+	})
+	return nil
+}
+
+// RunRound steps every running tenant once, concurrently on the worker pool,
+// then — after the barrier — writes due checkpoints and completes drains in
+// admission order. Step failures fail the tenant, not the round; only
+// checkpoint I/O errors are returned (joined).
+func (f *Fleet) RunRound() error {
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+
+	f.mu.Lock()
+	all := make([]*Tenant, len(f.tenants))
+	copy(all, f.tenants)
+	f.mu.Unlock()
+
+	var running []*Tenant
+	for _, t := range all {
+		if t.State() == StateRunning {
+			running = append(running, t)
+		}
+	}
+	// Barrier: one step per running tenant. Each step consumes only that
+	// tenant's streams, so dispatch order cannot leak into results.
+	_ = parallel.ForEach(parallel.Options{Procs: f.opts.Procs, Telemetry: f.opts.Telemetry},
+		len(running), func(i int) error {
+			running[i].step()
+			return nil
+		})
+
+	f.mu.Lock()
+	f.rounds++
+	f.mu.Unlock()
+	if f.tel != nil {
+		f.tel.rounds.Inc()
+	}
+
+	// Post-barrier bookkeeping in admission order: deterministic checkpoint
+	// and trace sequences at any Procs.
+	var errs []error
+	for _, t := range all {
+		switch t.State() {
+		case StateRunning:
+			if f.ckpts != nil && t.checkpointDue(f.opts.CheckpointEvery) {
+				if err := f.checkpoint(t, "periodic"); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		case StateDraining:
+			if f.ckpts != nil {
+				if err := f.checkpoint(t, "final"); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			f.transition(t, StateStopped, "drained")
+		case StateFailed:
+			if t.failedNeedsGauge() {
+				f.updateGauges()
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// failedNeedsGauge reports (once) that a tenant failed since the gauges were
+// last refreshed, so the state gauge converges without a transition call.
+func (t *Tenant) failedNeedsGauge() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == StateFailed && !t.failedSeen {
+		t.failedSeen = true
+		return true
+	}
+	return false
+}
+
+// Run executes up to rounds scheduling rounds, stopping early when no tenant
+// can make progress. It returns the number of rounds run and the first
+// checkpoint error encountered (the loop keeps going past checkpoint errors).
+func (f *Fleet) Run(rounds int) (int, error) {
+	var firstErr error
+	for i := 0; i < rounds; i++ {
+		if f.Active() == 0 {
+			return i, firstErr
+		}
+		if err := f.RunRound(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return rounds, firstErr
+}
+
+// checkpoint snapshots one tenant to the store. Call with runMu held or from
+// the admission path (before the tenant is visible to rounds).
+func (f *Fleet) checkpoint(t *Tenant, reason string) error {
+	st, err := t.agent.ExportState()
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint %s: %w", t.spec.Name, err)
+	}
+	var sysBlob []byte
+	if snap, ok := t.sys.(system.Snapshottable); ok {
+		if sysBlob, err = snap.ExportState(); err != nil {
+			return fmt.Errorf("fleet: checkpoint %s: %w", t.spec.Name, err)
+		}
+	}
+	t.mu.Lock()
+	ck := &Checkpoint{
+		Tenant:      t.spec.Name,
+		Spec:        t.spec,
+		Interval:    t.interval,
+		WarmStarted: t.warmStarted,
+		Agent:       st,
+		System:      sysBlob,
+	}
+	t.mu.Unlock()
+	path, err := f.ckpts.Write(ck)
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint %s: %w", t.spec.Name, err)
+	}
+	t.mu.Lock()
+	t.checkpoints++
+	t.mu.Unlock()
+	if f.tel != nil {
+		f.tel.checkpoints.Inc()
+	}
+	f.traceEvent(telemetry.Event{
+		Kind:      telemetry.KindCheckpoint,
+		Tenant:    t.spec.Name,
+		Iteration: ck.Interval,
+		Detail:    reason + ": " + path,
+	})
+	return nil
+}
+
+// CheckpointNow snapshots the named tenant immediately, outside the periodic
+// cadence. It returns an error when checkpointing is disabled.
+func (f *Fleet) CheckpointNow(name string) error {
+	t := f.Tenant(name)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %s", name)
+	}
+	if f.ckpts == nil {
+		return errors.New("fleet: checkpointing disabled")
+	}
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+	return f.checkpoint(t, "manual")
+}
+
+// Pause holds a running tenant: it keeps its state but is skipped by rounds.
+func (f *Fleet) Pause(name string) error {
+	return f.setState(name, StatePaused, "paused by admin", StateRunning)
+}
+
+// Resume releases a paused tenant back into the scheduling rounds.
+func (f *Fleet) Resume(name string) error {
+	return f.setState(name, StateRunning, "resumed by admin", StatePaused)
+}
+
+// Drain asks a tenant to stop after its current interval: the next round
+// skips it, writes its final checkpoint, and marks it stopped.
+func (f *Fleet) Drain(name string) error {
+	return f.setState(name, StateDraining, "drain requested", StateRunning, StatePaused)
+}
+
+// setState performs one admin FSM transition, validating the source state.
+func (f *Fleet) setState(name string, to State, detail string, from ...State) error {
+	t := f.Tenant(name)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %s", name)
+	}
+	t.mu.Lock()
+	cur := t.state
+	ok := false
+	for _, s := range from {
+		if cur == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("fleet: tenant %s is %s, cannot move to %s", name, cur, to)
+	}
+	t.state = to
+	t.mu.Unlock()
+	f.noteTransition(t.spec.Name, cur, to, detail)
+	return nil
+}
+
+// transition moves a tenant to a new state unconditionally (internal paths
+// whose source state is already established).
+func (f *Fleet) transition(t *Tenant, to State, detail string) {
+	t.mu.Lock()
+	from := t.state
+	t.state = to
+	t.mu.Unlock()
+	f.noteTransition(t.spec.Name, from, to, detail)
+}
+
+// noteTransition emits the lifecycle trace event and refreshes the state
+// gauges after any FSM move.
+func (f *Fleet) noteTransition(name string, from, to State, detail string) {
+	f.traceEvent(telemetry.Event{
+		Kind:   telemetry.KindLifecycle,
+		Tenant: name,
+		Detail: fmt.Sprintf("%s -> %s (%s)", from, to, detail),
+	})
+	f.updateGauges()
+}
+
+// traceEvent adds ev to the fleet trace when one is wired.
+func (f *Fleet) traceEvent(ev telemetry.Event) {
+	if f.trace != nil {
+		f.trace.Add(ev)
+	}
+}
+
+// updateGauges recomputes the per-state tenant gauge family.
+func (f *Fleet) updateGauges() {
+	if f.tel == nil {
+		return
+	}
+	counts := make(map[State]int, 6)
+	for _, t := range f.Tenants() {
+		counts[t.State()]++
+	}
+	for _, s := range States() {
+		f.tel.reg.Gauge("rac_fleet_tenants",
+			"Tenants currently in each lifecycle state.",
+			telemetry.Labels{"state": string(s)}).Set(float64(counts[s]))
+	}
+}
+
+// ForcePolicy installs the registry policy stored under key as the named
+// tenant's initial policy, immediately and regardless of the violation
+// counter — the admin override for operators who know the context changed.
+func (f *Fleet) ForcePolicy(name, key string) error {
+	t := f.Tenant(name)
+	if t == nil {
+		return fmt.Errorf("fleet: unknown tenant %s", name)
+	}
+	pol := f.policies.ByName(key)
+	if pol == nil && f.registry != nil {
+		p, err := f.registry.Get(key)
+		if err != nil {
+			return err
+		}
+		if p != nil {
+			f.policies.Add(p)
+			pol = p
+		}
+	}
+	if pol == nil {
+		return fmt.Errorf("fleet: no policy for context %q", key)
+	}
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+	switch t.State() {
+	case StateStopped, StateFailed:
+		return fmt.Errorf("fleet: tenant %s is %s", name, t.State())
+	}
+	t.agent.ForcePolicy(pol)
+	return nil
+}
+
+// Shutdown drains every active tenant: each gets a final checkpoint (when
+// checkpointing is enabled) and moves to StateStopped. Safe to call multiple
+// times; the daemon runs it on SIGINT/SIGTERM after the current round.
+func (f *Fleet) Shutdown() error {
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+	var errs []error
+	for _, t := range f.Tenants() {
+		switch t.State() {
+		case StateStopped, StateFailed:
+			continue
+		}
+		if f.ckpts != nil {
+			if err := f.checkpoint(t, "shutdown"); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		f.transition(t, StateStopped, "fleet shutdown")
+	}
+	return errors.Join(errs...)
+}

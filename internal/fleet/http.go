@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// FleetView is the admin API's fleet-wide summary.
+type FleetView struct {
+	Rounds   int            `json:"rounds"`
+	Active   int            `json:"active"`
+	Tenants  []TenantStatus `json:"tenants"`
+	Policies []string       `json:"policies,omitempty"`
+}
+
+// Handler returns the admin HTTP API, intended to be mounted at /admin/fleet
+// next to the live server's /metrics and /admin/trace endpoints:
+//
+//	GET  /admin/fleet                     fleet summary with every tenant
+//	GET  /admin/fleet/{name}              one tenant's status
+//	POST /admin/fleet/{name}/pause        running → paused
+//	POST /admin/fleet/{name}/resume       paused → running
+//	POST /admin/fleet/{name}/drain        finish interval, checkpoint, stop
+//	POST /admin/fleet/{name}/checkpoint   snapshot immediately
+//	POST /admin/fleet/{name}/policy?key=K force-switch to the policy for
+//	                                      context key K
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /admin/fleet", f.handleList)
+	mux.HandleFunc("GET /admin/fleet/{name}", f.handleStatus)
+	mux.HandleFunc("POST /admin/fleet/{name}/pause", f.lifecycleHandler(f.Pause))
+	mux.HandleFunc("POST /admin/fleet/{name}/resume", f.lifecycleHandler(f.Resume))
+	mux.HandleFunc("POST /admin/fleet/{name}/drain", f.lifecycleHandler(f.Drain))
+	mux.HandleFunc("POST /admin/fleet/{name}/checkpoint", f.lifecycleHandler(f.CheckpointNow))
+	mux.HandleFunc("POST /admin/fleet/{name}/policy", f.handlePolicy)
+	return mux
+}
+
+// handleList serves the fleet summary.
+func (f *Fleet) handleList(w http.ResponseWriter, r *http.Request) {
+	view := FleetView{
+		Rounds:  f.Rounds(),
+		Active:  f.Active(),
+		Tenants: f.Statuses(),
+	}
+	if f.registry != nil {
+		view.Policies = f.registry.Keys()
+	}
+	writeJSON(w, view)
+}
+
+// handleStatus serves one tenant's status.
+func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t := f.Tenant(r.PathValue("name"))
+	if t == nil {
+		http.Error(w, "unknown tenant", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, t.Status())
+}
+
+// lifecycleHandler adapts a by-name fleet operation to an HTTP endpoint.
+// Unknown tenants are 404, illegal FSM transitions 409, everything else 500.
+func (f *Fleet) lifecycleHandler(op func(name string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := op(name); err != nil {
+			writeOpError(w, name, err)
+			return
+		}
+		if t := f.Tenant(name); t != nil {
+			writeJSON(w, t.Status())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// handlePolicy force-switches a tenant to the policy stored for ?key=.
+func (f *Fleet) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing ?key= context key", http.StatusBadRequest)
+		return
+	}
+	if err := f.ForcePolicy(name, key); err != nil {
+		writeOpError(w, name, err)
+		return
+	}
+	if t := f.Tenant(name); t != nil {
+		writeJSON(w, t.Status())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeOpError maps fleet operation errors onto HTTP status codes.
+func writeOpError(w http.ResponseWriter, name string, err error) {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown tenant"), strings.Contains(msg, "no policy for context"):
+		http.Error(w, msg, http.StatusNotFound)
+	case strings.Contains(msg, "cannot move to"), strings.Contains(msg, "is stopped"),
+		strings.Contains(msg, "is failed"):
+		http.Error(w, msg, http.StatusConflict)
+	case errors.Is(err, ErrCorruptCheckpoint):
+		http.Error(w, msg, http.StatusInternalServerError)
+	default:
+		http.Error(w, msg, http.StatusInternalServerError)
+	}
+}
+
+// writeJSON serves v with the standard headers.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/core"
+)
+
+// PolicyRegistry is the fleet's shared, disk-backed catalogue of initial
+// policies keyed by system context (traffic mix, client population, VM
+// level). One tenant trains a policy for its context; every later tenant
+// admitted into a matching context warm-starts from that policy's Q-table
+// instead of cold initialization — the SQLR observation that learned state
+// pays off when it is retained and reused across instances.
+//
+// Policies are stored one file per context key (core.Policy.Save JSON),
+// written atomically, and cached in memory after first load. All methods are
+// safe for concurrent use.
+type PolicyRegistry struct {
+	dir   string
+	space *config.Space
+
+	mu    sync.Mutex
+	cache map[string]*core.Policy
+}
+
+// NewPolicyRegistry roots a registry at dir (created if missing). Loaded
+// policies are bound to space, which must structurally match the space they
+// were trained on.
+func NewPolicyRegistry(dir string, space *config.Space) (*PolicyRegistry, error) {
+	if dir == "" {
+		return nil, errors.New("fleet: empty registry directory")
+	}
+	if space == nil {
+		return nil, errors.New("fleet: nil space")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: registry dir: %w", err)
+	}
+	return &PolicyRegistry{dir: dir, space: space, cache: make(map[string]*core.Policy)}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *PolicyRegistry) Dir() string { return r.dir }
+
+// path names the policy file for a context key.
+func (r *PolicyRegistry) path(key string) string {
+	return filepath.Join(r.dir, sanitizeName(key)+".policy.json")
+}
+
+// Get returns the policy stored under key, or (nil, nil) when the context has
+// no trained policy yet.
+func (r *PolicyRegistry) Get(key string) (*core.Policy, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.cache[key]; ok {
+		return p, nil
+	}
+	f, err := os.Open(r.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: registry read %q: %w", key, err)
+	}
+	defer f.Close()
+	p, err := core.LoadPolicy(f, r.space)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: registry policy %q: %w", key, err)
+	}
+	r.cache[key] = p
+	return p, nil
+}
+
+// Put stores p under key, atomically replacing any previous policy for the
+// same context.
+func (r *PolicyRegistry) Put(key string, p *core.Policy) error {
+	if key == "" {
+		return errors.New("fleet: empty registry key")
+	}
+	if p == nil {
+		return errors.New("fleet: nil policy")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tmp, err := os.CreateTemp(r.dir, "policy-*.tmp")
+	if err != nil {
+		return fmt.Errorf("fleet: registry temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := p.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: registry save %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: registry close: %w", err)
+	}
+	if err := os.Rename(tmpName, r.path(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: registry rename: %w", err)
+	}
+	r.cache[key] = p
+	return nil
+}
+
+// Keys lists the context keys with stored policies, sorted. File names are
+// sanitized on write, so keys containing exotic characters list in their
+// sanitized form.
+func (r *PolicyRegistry) Keys() []string {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".policy.json") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(name, ".policy.json"))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
+)
+
+// State is a tenant's lifecycle FSM state. Legal transitions:
+//
+//	starting → running            (admission completes)
+//	running  ⇄ paused             (admin pause/resume)
+//	running | paused → draining   (admin drain or fleet shutdown)
+//	draining → stopped            (final checkpoint written)
+//	any      → failed             (Step returned a non-recoverable error)
+type State string
+
+// The tenant lifecycle states.
+const (
+	StateStarting State = "starting"
+	StateRunning  State = "running"
+	StatePaused   State = "paused"
+	StateDraining State = "draining"
+	StateStopped  State = "stopped"
+	StateFailed   State = "failed"
+)
+
+// States lists the lifecycle states in FSM order, for gauges and docs.
+func States() []State {
+	return []State{StateStarting, StateRunning, StatePaused, StateDraining, StateStopped, StateFailed}
+}
+
+// TenantSpec describes one managed system: what backend to build, which
+// paper context it runs in, its SLA, and how it participates in the fleet's
+// checkpoint and warm-start machinery. The zero values of optional fields
+// inherit fleet defaults. Specs serialize to JSON as entries of the racd
+// config file.
+type TenantSpec struct {
+	// Name uniquely identifies the tenant within the fleet.
+	Name string `json:"name"`
+	// Backend selects the managed system: "sim" (discrete-event webtier
+	// model), "analytic" (MVA queueing surface), or any value understood by a
+	// custom SystemBuilder (racd adds "live"). Default "sim".
+	Backend string `json:"backend,omitempty"`
+	// Context is the paper context name ("context-1" … "context-6") the
+	// tenant's system starts in. Default "context-1".
+	Context string `json:"context,omitempty"`
+	// SLASeconds overrides the fleet's SLA for this tenant when positive.
+	SLASeconds float64 `json:"slaSeconds,omitempty"`
+	// Seed drives the tenant's RNG streams. Zero derives a stable seed from
+	// the fleet seed and the tenant name.
+	Seed uint64 `json:"seed,omitempty"`
+	// Faults wraps the system in the fault-injection layer with the scenario
+	// at this path and enables the agent's resilience policy.
+	Faults string `json:"faults,omitempty"`
+	// NoiseSigma adds lognormal measurement noise (analytic backend only).
+	NoiseSigma float64 `json:"noiseSigma,omitempty"`
+	// SettleSeconds and MeasureSeconds override the sim backend's virtual
+	// measurement windows when positive (smoke tests shrink them).
+	SettleSeconds  float64 `json:"settleSeconds,omitempty"`
+	MeasureSeconds float64 `json:"measureSeconds,omitempty"`
+	// CheckpointEvery overrides the fleet checkpoint cadence (intervals
+	// between snapshots) for this tenant when positive.
+	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	// TrainPolicy trains an initial policy for the tenant's context at
+	// admission (fast, on the analytic surface) and publishes it to the
+	// shared registry when the context has none yet.
+	TrainPolicy bool `json:"trainPolicy,omitempty"`
+	// NoWarmStart opts the tenant out of registry warm starts — it always
+	// cold-starts, even when a context-matched policy exists.
+	NoWarmStart bool `json:"noWarmStart,omitempty"`
+}
+
+// validate checks the spec's standalone fields (backend strings are resolved
+// later by the system builder, which knows the supported set).
+func (sp TenantSpec) validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf("fleet: tenant without a name")
+	}
+	if sp.SLASeconds < 0 {
+		return fmt.Errorf("fleet: tenant %s: negative SLA %v", sp.Name, sp.SLASeconds)
+	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("fleet: tenant %s: negative checkpoint interval %d", sp.Name, sp.CheckpointEvery)
+	}
+	return nil
+}
+
+// StepRecord is one line of a tenant's in-memory step log: the compact,
+// deterministic digest the determinism regression test compares across
+// -procs values.
+type StepRecord struct {
+	Iteration int     `json:"iteration"`
+	Config    string  `json:"config"`
+	MeanRT    float64 `json:"mean_rt"`
+	Reward    float64 `json:"reward"`
+	Invalid   bool    `json:"invalid,omitempty"`
+	Switched  bool    `json:"switched,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+}
+
+// TenantStatus is the admin API's view of one tenant.
+type TenantStatus struct {
+	Name        string  `json:"name"`
+	State       State   `json:"state"`
+	Backend     string  `json:"backend"`
+	Context     string  `json:"context"`
+	ContextKey  string  `json:"context_key"`
+	Interval    int     `json:"interval"`
+	Policy      string  `json:"policy,omitempty"`
+	WarmStarted bool    `json:"warm_started,omitempty"`
+	Restored    bool    `json:"restored,omitempty"`
+	LastRT      float64 `json:"last_rt,omitempty"`
+	LastReward  float64 `json:"last_reward,omitempty"`
+	Violations  int     `json:"violations,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
+	Checkpoints int     `json:"checkpoints,omitempty"`
+}
+
+// Tenant is one managed system inside the fleet: a backend system, the RAC
+// agent tuning it, and lifecycle/checkpoint bookkeeping. All mutable state is
+// guarded by mu; the fleet's round scheduler steps at most one goroutine per
+// tenant at a time.
+type Tenant struct {
+	mu sync.Mutex
+
+	spec       TenantSpec
+	contextKey string
+	state      State
+	sys        system.System
+	agent      *core.Agent
+
+	interval    int // completed measurement intervals
+	checkpoints int // snapshots written for this tenant
+	warmStarted bool
+	restored    bool
+	failedSeen  bool // failure already reflected in the state gauges
+	lastStep    core.StepResult
+	lastErr     error
+
+	stepLog    []StepRecord
+	stepLogCap int
+
+	stepSeconds *telemetry.Histogram // per-tenant step latency; nil without telemetry
+}
+
+// Spec returns the tenant's admission spec.
+func (t *Tenant) Spec() TenantSpec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spec
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.spec.Name }
+
+// ContextKey returns the registry key of the tenant's admission context.
+func (t *Tenant) ContextKey() string { return t.contextKey }
+
+// State returns the current lifecycle state.
+func (t *Tenant) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Agent exposes the tenant's agent for diagnostics and tests.
+func (t *Tenant) Agent() *core.Agent { return t.agent }
+
+// System exposes the tenant's managed system for diagnostics and tests.
+func (t *Tenant) System() system.System { return t.sys }
+
+// Interval returns the number of completed measurement intervals.
+func (t *Tenant) Interval() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.interval
+}
+
+// Status snapshots the tenant for the admin API.
+func (t *Tenant) Status() TenantStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TenantStatus{
+		Name:        t.spec.Name,
+		State:       t.state,
+		Backend:     t.spec.Backend,
+		Context:     t.spec.Context,
+		ContextKey:  t.contextKey,
+		Interval:    t.interval,
+		WarmStarted: t.warmStarted,
+		Restored:    t.restored,
+		LastRT:      t.lastStep.MeanRT,
+		LastReward:  t.lastStep.Reward,
+		Violations:  t.lastStep.Violations,
+		Checkpoints: t.checkpoints,
+	}
+	if p := t.agent.Policy(); p != nil {
+		st.Policy = p.Name()
+	}
+	if t.lastErr != nil {
+		st.LastError = t.lastErr.Error()
+	}
+	return st
+}
+
+// StepLog returns a copy of the retained step records, oldest first.
+func (t *Tenant) StepLog() []StepRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StepRecord, len(t.stepLog))
+	copy(out, t.stepLog)
+	return out
+}
+
+// step runs one agent iteration and folds the outcome into the tenant's
+// bookkeeping. It is called by the fleet's round scheduler with the tenant in
+// StateRunning; a step error fails the tenant rather than the fleet.
+func (t *Tenant) step() {
+	start := time.Now()
+	res, err := t.agent.Step()
+	elapsed := time.Since(start).Seconds()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stepSeconds != nil {
+		t.stepSeconds.Observe(elapsed)
+	}
+	if err != nil {
+		t.lastErr = err
+		t.state = StateFailed
+		return
+	}
+	t.interval++
+	t.lastStep = res
+	t.lastErr = nil
+	if t.stepLogCap > 0 {
+		rec := StepRecord{
+			Iteration: res.Iteration,
+			Config:    res.Config.Key(),
+			MeanRT:    res.MeanRT,
+			Reward:    res.Reward,
+			Invalid:   res.Invalid,
+			Switched:  res.Switched,
+			Policy:    res.PolicyName,
+		}
+		if len(t.stepLog) >= t.stepLogCap {
+			copy(t.stepLog, t.stepLog[1:])
+			t.stepLog[len(t.stepLog)-1] = rec
+		} else {
+			t.stepLog = append(t.stepLog, rec)
+		}
+	}
+}
+
+// checkpointDue reports whether the tenant owes a periodic snapshot given the
+// effective cadence.
+func (t *Tenant) checkpointDue(defaultEvery int) bool {
+	every := t.spec.CheckpointEvery
+	if every <= 0 {
+		every = defaultEvery
+	}
+	if every <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state != StateFailed && t.interval > 0 && t.interval%every == 0
+}

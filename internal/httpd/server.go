@@ -73,6 +73,11 @@ type Server struct {
 	// decision ring; attached by the experiment driver, not the server).
 	traceMu sync.Mutex
 	trace   *telemetry.Trace
+
+	// extra routes mounted by the embedding process (e.g. the fleet admin
+	// API at /admin/fleet), registered before Start.
+	extraMu sync.Mutex
+	extra   map[string]http.Handler
 }
 
 // NewServer builds the stack with the given initial configuration and level.
@@ -123,6 +128,19 @@ func (s *Server) SetTrace(t *telemetry.Trace) {
 	s.traceMu.Unlock()
 }
 
+// Mount registers an extra handler on the server's mux under the given
+// pattern — how the fleet admin API lands next to /metrics and /admin/trace.
+// Call before Start (or Handler); later calls only affect subsequently built
+// handlers.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.extraMu.Lock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
+	s.extraMu.Unlock()
+}
+
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
 // until Shutdown. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
@@ -155,7 +173,11 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Shutdown stops the server and waits for the serve loop to exit.
+// Shutdown stops the server gracefully: the listener closes immediately (no
+// new connections), in-flight requests drain, and the wait is bounded by ctx —
+// when the deadline expires before the drain completes, remaining connections
+// are cut with Close so Shutdown always returns by the deadline instead of
+// hanging on a stuck request.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
@@ -164,6 +186,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	err := srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// Bounded drain: the deadline passed with connections still open.
+		_ = srv.Close()
+	}
 	<-s.done
 	// Stop any leftover reaper timers.
 	s.idleMu.Lock()
@@ -284,6 +310,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.extraMu.Lock()
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
+	s.extraMu.Unlock()
 	return mux
 }
 

@@ -277,6 +277,63 @@ func TestStartShutdown(t *testing.T) {
 	}
 }
 
+func TestShutdownBoundedByDeadline(t *testing.T) {
+	srv, err := NewServer(webtier.DefaultParams(), vmenv.Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handler that never finishes within the shutdown deadline.
+	stuck := make(chan struct{})
+	t.Cleanup(func() { close(stuck) })
+	srv.Mount("/stuck", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stuck:
+		case <-time.After(30 * time.Second):
+		}
+	}))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		http.Get("http://" + addr + "/stuck") //nolint:errcheck — cut by shutdown
+	}()
+	<-started
+	time.Sleep(50 * time.Millisecond) // let the request reach the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	err = srv.Shutdown(ctx)
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v despite the 200ms deadline", elapsed)
+	}
+	if err == nil {
+		t.Fatal("Shutdown reported a clean drain with a stuck in-flight request")
+	}
+}
+
+func TestMountServesExtraRoutes(t *testing.T) {
+	srv, err := NewServer(webtier.DefaultParams(), vmenv.Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Mount("/admin/fleet", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "fleet here") //nolint:errcheck
+	}))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if code, body := get(t, ts.URL+"/admin/fleet"); code != http.StatusOK || body != "fleet here" {
+		t.Fatalf("mounted route: %d %q", code, body)
+	}
+	// The built-in routes are untouched.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz broken by Mount: %d", code)
+	}
+}
+
 func TestSemaphoreResize(t *testing.T) {
 	s := newSemaphore(1)
 	if !s.tryAcquire(time.Millisecond) {

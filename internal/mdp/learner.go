@@ -64,6 +64,11 @@ func NewLearner(table *QTable, params Params, rng *sim.RNG) (*Learner, error) {
 // Table returns the underlying Q-table.
 func (l *Learner) Table() *QTable { return l.table }
 
+// RNG exposes the learner's exploration stream so agent checkpoints can
+// capture and restore it; resuming with the same stream state replays the
+// exact ε-greedy choices an uninterrupted run would have made.
+func (l *Learner) RNG() *sim.RNG { return l.rng }
+
 // Params returns the hyper-parameters.
 func (l *Learner) Params() Params { return l.params }
 

@@ -31,6 +31,18 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// State returns the generator's internal state. Together with RestoreRNG it
+// lets checkpoints capture a stream mid-sequence and resume it later with the
+// exact same future outputs — the fleet layer's warm-restart contract.
+func (r *RNG) State() uint64 { return r.state }
+
+// RestoreRNG reconstructs a generator from a state previously returned by
+// State. The restored stream continues precisely where the captured one
+// stopped (unlike NewRNG, which treats its argument as a fresh seed).
+func RestoreRNG(state uint64) *RNG {
+	return &RNG{state: state}
+}
+
 // SplitN derives n independent child streams, advancing the parent by n
 // steps. All children exist before any is consumed, so handing one stream to
 // each unit of a parallel.Map keeps results independent of execution order —

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"github.com/rac-project/rac/internal/config"
@@ -144,3 +145,51 @@ func (a *Analytic) Workload() tpcw.Workload { return a.workload }
 
 // AppLevel returns the current VM allocation.
 func (a *Analytic) AppLevel() vmenv.Level { return a.level }
+
+var _ Snapshottable = (*Analytic)(nil)
+
+// analyticState is the serialized runtime state of an Analytic system.
+type analyticState struct {
+	Config  []int  `json:"config"`
+	Mix     string `json:"mix"`
+	Clients int    `json:"clients"`
+	Level   string `json:"level"`
+	RNG     uint64 `json:"rng"`
+}
+
+// ExportState captures the applied configuration, the context and the noise
+// stream, so a restored system measures exactly what this one would have.
+func (a *Analytic) ExportState() ([]byte, error) {
+	return json.Marshal(analyticState{
+		Config:  a.cfg.Clone(),
+		Mix:     a.workload.Mix.String(),
+		Clients: a.workload.Clients,
+		Level:   a.level.Name,
+		RNG:     a.rng.State(),
+	})
+}
+
+// ImportState restores state captured by ExportState.
+func (a *Analytic) ImportState(blob []byte) error {
+	var st analyticState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("analytic state: %w", err)
+	}
+	mix, err := tpcw.ParseMix(st.Mix)
+	if err != nil {
+		return fmt.Errorf("analytic state: %w", err)
+	}
+	level, err := vmenv.ByName(st.Level)
+	if err != nil {
+		return fmt.Errorf("analytic state: %w", err)
+	}
+	cfg := config.Config(st.Config)
+	if err := a.space.Validate(cfg); err != nil {
+		return fmt.Errorf("analytic state: %w", err)
+	}
+	a.cfg = cfg.Clone()
+	a.workload = tpcw.Workload{Mix: mix, Clients: st.Clients}
+	a.level = level
+	a.rng = sim.RestoreRNG(st.RNG)
+	return nil
+}

@@ -82,6 +82,23 @@ type System interface {
 	Measure() (Metrics, error)
 }
 
+// Snapshottable is implemented by systems whose runtime state can be captured
+// into an opaque blob and restored later — the fleet checkpoint layer uses it
+// so a warm-restarted tenant resumes with the measurement stream an
+// uninterrupted run would have seen. Systems that cannot express their state
+// compactly (the discrete-event simulator) simply do not implement it; their
+// tenants restart with a fresh measurement stream, which the agent's restored
+// Q-table absorbs within a few intervals.
+type Snapshottable interface {
+	// ExportState captures the system's runtime state (applied configuration,
+	// context, RNG streams). The blob is opaque to callers but stable across
+	// process restarts of the same binary version.
+	ExportState() ([]byte, error)
+	// ImportState restores state previously captured by ExportState on a
+	// structurally identical system (same configuration space).
+	ImportState([]byte) error
+}
+
 // Adjustable is the experiment driver's control surface for the environment
 // dynamics agents must adapt to: traffic changes and VM reallocation.
 // Agents must not use it.

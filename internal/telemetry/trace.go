@@ -25,6 +25,14 @@ const (
 	KindFault    EventKind = "fault"
 )
 
+// Fleet event kinds: "lifecycle" when a tenant transitions between FSM states
+// (starting/running/paused/draining/stopped), "checkpoint" when a tenant's
+// state is snapshotted to or restored from disk.
+const (
+	KindLifecycle  EventKind = "lifecycle"
+	KindCheckpoint EventKind = "checkpoint"
+)
+
 // Event is one structured decision-trace record. Fields are a union over the
 // kinds; unused fields stay at their zero value and are omitted from JSON.
 type Event struct {
@@ -61,6 +69,9 @@ type Event struct {
 	Fault string `json:"fault,omitempty"`
 	// Converged reports whether a retrain hit its θ threshold.
 	Converged bool `json:"converged,omitempty"`
+	// Tenant names the fleet tenant an event belongs to (fleet-managed runs
+	// only; empty for single-agent runs).
+	Tenant string `json:"tenant,omitempty"`
 	// Detail carries kind-specific context (e.g. "shop → order" on a
 	// policy switch).
 	Detail string `json:"detail,omitempty"`

@@ -36,6 +36,7 @@ import (
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/faults"
+	"github.com/rac-project/rac/internal/fleet"
 	"github.com/rac-project/rac/internal/httpd"
 	"github.com/rac-project/rac/internal/loadgen"
 	"github.com/rac-project/rac/internal/mdp"
@@ -379,3 +380,55 @@ func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 // NewTrace returns a decision-trace ring holding the most recent capacity
 // events.
 func NewTrace(capacity int) *Trace { return telemetry.NewTrace(capacity) }
+
+// Multi-tenant fleet (package internal/fleet): a control plane that runs one
+// RAC agent per managed web system on the shared worker pool, checkpoints
+// learned state to disk for warm restarts, and warm-starts new tenants from a
+// registry of context-matched policies. cmd/racd wraps it in a daemon; the
+// admin lifecycle API (Fleet.Handler) mounts next to /metrics on any mux.
+type (
+	// Fleet is the multi-tenant control plane.
+	Fleet = fleet.Fleet
+	// FleetOptions configure NewFleet.
+	FleetOptions = fleet.Options
+	// TenantSpec declares one managed tenant; racd configs hold a list of
+	// these in JSON.
+	TenantSpec = fleet.TenantSpec
+	// Tenant is one managed system plus the RAC agent tuning it.
+	Tenant = fleet.Tenant
+	// TenantStatus is the admin API's per-tenant summary.
+	TenantStatus = fleet.TenantStatus
+	// TenantState is a tenant lifecycle state (starting → running → paused →
+	// draining → stopped, or failed).
+	TenantState = fleet.State
+	// FleetView is the admin API's fleet-wide summary (GET /admin/fleet).
+	FleetView = fleet.FleetView
+	// FleetCheckpoint is one tenant's persisted state snapshot.
+	FleetCheckpoint = fleet.Checkpoint
+	// FleetSystemBuilder lets a daemon plug extra backends ("live") into the
+	// fleet's tenant admission.
+	FleetSystemBuilder = fleet.SystemBuilder
+	// AgentState is the serializable snapshot of a RAC agent mid-run: both
+	// RNG streams, the Q-table, the retraining window and the SLA bookkeeping.
+	AgentState = core.AgentState
+)
+
+// ErrCorruptCheckpoint reports a checkpoint file that failed validation
+// (magic, version, length or CRC); the fleet skips such files and falls back
+// to the previous snapshot.
+var ErrCorruptCheckpoint = fleet.ErrCorruptCheckpoint
+
+// NewFleet builds an empty fleet control plane.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
+
+// ReadFleetCheckpoint decodes one checkpoint file, verifying its envelope.
+func ReadFleetCheckpoint(path string) (*FleetCheckpoint, error) {
+	return fleet.ReadCheckpointFile(path)
+}
+
+// FleetContextKey renders the registry key a system context maps to.
+func FleetContextKey(ctx Context) string { return fleet.ContextKey(ctx) }
+
+// LoadAgentState reads an agent snapshot previously written with
+// AgentState.Save (for example by racagent -snapshot).
+func LoadAgentState(r io.Reader) (*AgentState, error) { return core.LoadAgentState(r) }
