@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry faults-smoke fleet-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load faults-smoke fleet-smoke loadgen-smoke
 
-check: fmt vet vet-faults build race fleet-smoke
+check: fmt vet vet-faults build race fleet-smoke loadgen-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -47,6 +47,23 @@ bench:
 # The telemetry hot path must stay allocation-free; see internal/telemetry.
 bench-telemetry:
 	$(GO) test -run xxx -bench . -benchmem ./internal/telemetry/
+
+# The data-plane acceptance benchmark: sustained throughput of the seed
+# closed-loop browser driver versus the sharded open-loop engine against the
+# same live stack, summarised into BENCH_load.json (compare the req/s
+# metrics). Same two-step form as `make bench`.
+bench-load:
+	@$(GO) test -run xxx -bench Sustained -benchtime 5x ./internal/loadgen/ > BENCH_load.txt || \
+		{ cat BENCH_load.txt; rm -f BENCH_load.txt; exit 1; }
+	@cat BENCH_load.txt
+	$(GO) run ./cmd/benchjson BENCH_load.txt -o BENCH_load.json
+	@echo "wrote BENCH_load.json"
+
+# One-iteration smoke of both load-generator benchmarks: catches a data-plane
+# regression (engine deadlock, accounting panic) without the full bench-load
+# run, so it is cheap enough for `make check`.
+loadgen-smoke:
+	$(GO) test -run xxx -bench Sustained -benchtime 1x ./internal/loadgen/
 
 # End-to-end smoke of the fault-injection path: live server, scripted faults,
 # resilient agent — a crash or hang here means the recovery loop regressed.

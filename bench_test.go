@@ -7,6 +7,7 @@
 package rac_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"testing"
@@ -180,10 +181,10 @@ func BenchmarkPolicyInitialization(b *testing.B) {
 		b.Fatal(err)
 	}
 	sampler := func(cfg config.Config) (float64, error) {
-		if err := analytic.Apply(cfg); err != nil {
+		if err := analytic.Apply(context.Background(), cfg); err != nil {
 			return 0, err
 		}
-		m, err := analytic.Measure()
+		m, err := analytic.Measure(context.Background())
 		if err != nil {
 			return 0, err
 		}
@@ -214,7 +215,7 @@ func BenchmarkAgentIteration(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -314,7 +315,7 @@ func BenchmarkAblationBackends(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sys.Measure(); err != nil {
+			if _, err := sys.Measure(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -326,7 +327,7 @@ func BenchmarkAblationBackends(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sys.Measure(); err != nil {
+			if _, err := sys.Measure(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}

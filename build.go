@@ -1,0 +1,202 @@
+package rac
+
+import (
+	"fmt"
+	"time"
+)
+
+// SystemSpec declares a system to tune, in one struct that covers every
+// backend the commands expose. racagent, racsim and racd all build their
+// systems through BuildSystem instead of each carrying its own copy of the
+// backend switch.
+type SystemSpec struct {
+	// Backend selects the system kind: "sim" (discrete-time simulator, the
+	// default), "analytic" (MVA queueing surface), or "live" (real in-process
+	// HTTP stack plus load generator).
+	Backend string
+	// Space defaults to DefaultSpace().
+	Space *Space
+	// Initial is the starting configuration; nil means the space default.
+	Initial Config
+	// Context sets the workload and VM level the system starts in.
+	Context Context
+	// Seed drives every stream the backend consumes (simulation, noise,
+	// load-generator arrivals, fault schedule).
+	Seed uint64
+
+	// SettleSeconds and MeasureSeconds override the sim backend's virtual
+	// measurement windows when positive.
+	SettleSeconds  float64
+	MeasureSeconds float64
+	// NoiseSigma adds lognormal measurement noise (analytic backend).
+	NoiseSigma float64
+
+	// Addr is the live backend's listen address; empty means an ephemeral
+	// localhost port.
+	Addr string
+	// Interval overrides the live backend's wall-clock measurement interval
+	// when positive.
+	Interval time.Duration
+	// Load carries the live backend's load-generator options. BaseURL is
+	// filled in from the started server; a zero Workload inherits
+	// Context.Workload and a zero Seed inherits Seed. Set Rate to drive the
+	// open-loop engine instead of closed-loop browsers.
+	Load LoadOptions
+	// Trace, when non-nil, is attached to the live server's admin endpoints
+	// and handed to the fault layer.
+	Trace *Trace
+
+	// FaultsPath wraps the system in the fault-injection layer with the JSON
+	// scenario at this path. Faults does the same with an already-loaded
+	// scenario and takes precedence.
+	FaultsPath string
+	Faults     *FaultScenario
+	// Telemetry receives the fault layer's instruments. The live backend
+	// defaults to the server's own registry so everything lands on /metrics.
+	Telemetry *Telemetry
+}
+
+// BuiltSystem is BuildSystem's result: the System to hand to an agent plus
+// the backend-specific artifacts callers need for printing, stats and
+// shutdown. Fields are nil when the backend does not produce them.
+type BuiltSystem struct {
+	// System is the tuning target — the fault-wrapped system when a scenario
+	// was configured, the bare backend otherwise.
+	System System
+	// Live, Server and Driver are set for backend "live". The server is
+	// started; the caller owns its shutdown.
+	Live   *LiveSystem
+	Server *LiveServer
+	Driver *LoadDriver
+	// Addr is the live server's listen address ("host:port").
+	Addr string
+	// Faulty is the fault-injection layer when one was configured.
+	Faulty *FaultySystem
+}
+
+// BuildSystem constructs a system backend from one declarative spec — the
+// shared path behind racagent's live stack, racsim's fault replay and racd's
+// live tenants.
+func BuildSystem(spec SystemSpec) (*BuiltSystem, error) {
+	space := spec.Space
+	if space == nil {
+		space = DefaultSpace()
+	}
+	initial := spec.Initial
+	if initial == nil {
+		initial = space.DefaultConfig()
+	}
+
+	built := &BuiltSystem{}
+	switch spec.Backend {
+	case "", "sim":
+		sys, err := NewSimulatedSystem(SimulatedOptions{
+			Space:          space,
+			Initial:        initial,
+			Context:        spec.Context,
+			Seed:           spec.Seed,
+			SettleSeconds:  spec.SettleSeconds,
+			MeasureSeconds: spec.MeasureSeconds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		built.System = sys
+	case "analytic":
+		sys, err := NewAnalyticSystem(AnalyticOptions{
+			Space:      space,
+			Initial:    initial,
+			Context:    spec.Context,
+			Seed:       spec.Seed,
+			NoiseSigma: spec.NoiseSigma,
+		})
+		if err != nil {
+			return nil, err
+		}
+		built.System = sys
+	case "live":
+		if err := buildLive(spec, space, initial, built); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("rac: unknown backend %q (want sim, analytic or live)", spec.Backend)
+	}
+
+	if spec.Faults != nil || spec.FaultsPath != "" {
+		sc := spec.Faults
+		if sc == nil {
+			loaded, err := LoadFaultScenario(spec.FaultsPath)
+			if err != nil {
+				return nil, err
+			}
+			sc = &loaded
+		}
+		tel := spec.Telemetry
+		if tel == nil && built.Server != nil {
+			tel = built.Server.Telemetry()
+		}
+		faulty, err := NewFaultySystem(built.System, FaultOptions{
+			Scenario:  *sc,
+			Seed:      spec.Seed,
+			Telemetry: tel,
+			Trace:     spec.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		built.Faulty = faulty
+		built.System = faulty
+	}
+	return built, nil
+}
+
+// buildLive boots the real stack: server, load driver, System adapter.
+func buildLive(spec SystemSpec, space *Space, initial Config, built *BuiltSystem) error {
+	params, err := ParamsFromConfig(space, initial)
+	if err != nil {
+		return err
+	}
+	server, err := NewLiveServer(params, spec.Context.Level)
+	if err != nil {
+		return err
+	}
+	listen := spec.Addr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	addr, err := server.Start(listen)
+	if err != nil {
+		return err
+	}
+	if spec.Trace != nil {
+		server.SetTrace(spec.Trace)
+	}
+
+	lo := spec.Load
+	lo.BaseURL = "http://" + addr
+	if lo.Workload == (Workload{}) {
+		lo.Workload = spec.Context.Workload
+	}
+	if lo.Seed == 0 {
+		lo.Seed = spec.Seed
+	}
+	driver, err := NewLoadDriverOptions(lo)
+	if err != nil {
+		return err
+	}
+	driver.SetTelemetry(server.Telemetry())
+
+	live, err := NewLiveSystem(space, server, driver, initial)
+	if err != nil {
+		return err
+	}
+	if spec.Interval > 0 {
+		live.Interval = spec.Interval
+	}
+	built.System = live
+	built.Live = live
+	built.Server = server
+	built.Driver = driver
+	built.Addr = addr
+	return nil
+}

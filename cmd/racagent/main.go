@@ -56,9 +56,17 @@ func run(args []string) error {
 		faultsPath = fs.String("faults", "", "inject faults from this JSON scenario (see examples/faults_basic.json); enables the agent's resilience policy")
 		quick      = fs.Bool("quick", false, "smoke-test sizing: 8 iterations, 300ms intervals, 20 browsers")
 		snapshot   = fs.String("snapshot", "", "save the final agent state (policy + Q-table) to this file at exit (-agent rac only)")
+		openLoop   = fs.Bool("open", false, "open-loop load: offer a fixed arrival schedule instead of emulated browsers (defaults -rate to 30)")
+		rate       = fs.Float64("rate", 0, "open-loop offered load in paper-scale req/s (>0 implies -open; 0 keeps the closed loop)")
+		arrival    = fs.String("arrival", "", "open-loop arrival process: poisson (default) or uniform")
+		shards     = fs.Int("shards", 0, "open-loop accounting shards (0 = default; results identical for any value)")
+		inflight   = fs.Int("inflight", 0, "open-loop bound on concurrently outstanding requests (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *openLoop && *rate == 0 {
+		*rate = 30
 	}
 	if *snapshot != "" && *agentKind != "rac" {
 		return fmt.Errorf("-snapshot requires -agent rac (got %q)", *agentKind)
@@ -90,71 +98,55 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	params, err := rac.ParamsFromConfig(space, start)
+	trace := rac.NewTrace(*traceCap)
+	built, err := rac.BuildSystem(rac.SystemSpec{
+		Backend:  "live",
+		Space:    space,
+		Initial:  start,
+		Context:  rac.Context{Name: "racagent", Workload: rac.Workload{Mix: mix, Clients: *clients}, Level: level},
+		Seed:     *seed,
+		Interval: *interval,
+		Load: rac.LoadOptions{
+			Rate:           *rate,
+			ArrivalProcess: rac.LoadArrival(*arrival),
+			Shards:         *shards,
+			MaxInFlight:    *inflight,
+		},
+		Trace:      trace,
+		FaultsPath: *faultsPath,
+	})
 	if err != nil {
 		return err
 	}
-
-	server, err := rac.NewLiveServer(params, level)
-	if err != nil {
-		return err
-	}
-	addr, err := server.Start("127.0.0.1:0")
-	if err != nil {
-		return err
-	}
+	server, sys, faulty := built.Server, built.System, built.Faulty
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = server.Shutdown(ctx)
 	}()
-	fmt.Printf("bookstore on http://%s  (%s, %d browsers, %s)\n", addr, mix, *clients, level)
-	fmt.Printf("observability: http://%s/metrics  http://%s/admin/trace\n", addr, addr)
-
-	trace := rac.NewTrace(*traceCap)
-	server.SetTrace(trace)
-
-	driver, err := rac.NewLoadDriver("http://"+addr, rac.Workload{Mix: mix, Clients: *clients}, *seed)
-	if err != nil {
-		return err
+	if *rate > 0 {
+		fmt.Printf("bookstore on http://%s  (%s, open loop %.0f req/s %s, %s)\n",
+			built.Addr, mix, *rate, built.Driver.Options().ArrivalProcess, level)
+	} else {
+		fmt.Printf("bookstore on http://%s  (%s, %d browsers, %s)\n", built.Addr, mix, *clients, level)
 	}
-	driver.SetTelemetry(server.Telemetry())
-	live, err := rac.NewLiveSystem(space, server, driver, start)
-	if err != nil {
-		return err
-	}
-	live.Interval = *interval
+	fmt.Printf("observability: http://%s/metrics  http://%s/admin/trace\n", built.Addr, built.Addr)
 
 	// With -faults the live stack is wrapped in the fault-injection layer and
 	// the RAC agent runs its resilience policy (retry with real backoff,
 	// invalid-interval rejection, rollback-to-safe).
-	var sys rac.System = live
-	var faulty *rac.FaultySystem
 	agentOpts := rac.AgentOptions{
 		Seed:      *seed,
 		Telemetry: server.Telemetry(),
 		Trace:     trace,
 	}
-	if *faultsPath != "" {
-		sc, err := rac.LoadFaultScenario(*faultsPath)
-		if err != nil {
-			return err
-		}
-		faulty, err = rac.NewFaultySystem(live, rac.FaultOptions{
-			Scenario:  sc,
-			Seed:      *seed,
-			Telemetry: server.Telemetry(),
-			Trace:     trace,
-		})
-		if err != nil {
-			return err
-		}
-		sys = faulty
+	if faulty != nil {
 		o := rac.DefaultOptions()
 		o.Resilience = rac.DefaultResilience()
 		o.Resilience.RetryBackoff = 100 * time.Millisecond
 		agentOpts.Options = o
 		agentOpts.Sleep = time.Sleep
+		sc := faulty.Scenario()
 		name := sc.Name
 		if name == "" {
 			name = "unnamed"
@@ -196,7 +188,7 @@ steps:
 			break steps
 		default:
 		}
-		step, err := tuner.Step()
+		step, err := tuner.Step(context.Background())
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,8 @@
 //	racbench -fig fig2 -quick     # fast low-fidelity pass
 //	racbench -faults examples/faults_basic.json -quick
 //	                              # recovery-under-faults figure
+//	racbench -fig load -quick     # open-loop data-plane throughput figure
+//	                              # (real HTTP over wall clock; not in -all)
 package main
 
 import (
@@ -33,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("racbench", flag.ContinueOnError)
 	var (
-		figID  = fs.String("fig", "", "figure to regenerate (fig1..fig10)")
+		figID  = fs.String("fig", "", "figure to regenerate (fig1..fig10, or load for the data-plane throughput figure)")
 		all    = fs.Bool("all", false, "regenerate every figure")
 		seed   = fs.Uint64("seed", 1, "experiment seed")
 		quick  = fs.Bool("quick", false, "low-fidelity fast mode")

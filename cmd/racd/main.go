@@ -184,34 +184,30 @@ func (d *daemon) buildLive(spec rac.TenantSpec, ctx rac.Context, seed uint64) (r
 	if spec.Backend != "live" {
 		return nil, nil
 	}
-	space := d.fleet.Space()
-	start := space.DefaultConfig()
-	params, err := rac.ParamsFromConfig(space, start)
-	if err != nil {
-		return nil, err
-	}
-	server, err := rac.NewLiveServer(params, ctx.Level)
-	if err != nil {
-		return nil, err
-	}
-	addr, err := server.Start("127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	driver, err := rac.NewLoadDriver("http://"+addr, ctx.Workload, seed)
-	if err != nil {
-		return nil, err
-	}
-	driver.SetTelemetry(server.Telemetry())
-	live, err := rac.NewLiveSystem(space, server, driver, start)
-	if err != nil {
-		return nil, err
-	}
+	var interval time.Duration
 	if spec.MeasureSeconds > 0 {
-		live.Interval = time.Duration(spec.MeasureSeconds * float64(time.Second))
+		interval = time.Duration(spec.MeasureSeconds * float64(time.Second))
 	}
-	d.liveServers = append(d.liveServers, server)
-	return live, nil
+	// Fault wrapping stays with the fleet (it layers spec.Faults over
+	// whatever this hook returns), so the spec's faults are not passed here.
+	built, err := rac.BuildSystem(rac.SystemSpec{
+		Backend:  "live",
+		Space:    d.fleet.Space(),
+		Context:  ctx,
+		Seed:     seed,
+		Interval: interval,
+		Load: rac.LoadOptions{
+			Rate:           spec.Rate,
+			ArrivalProcess: rac.LoadArrival(spec.Arrival),
+			Shards:         spec.LoadShards,
+			MaxInFlight:    spec.LoadInFlight,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.liveServers = append(d.liveServers, built.Server)
+	return built.Live, nil
 }
 
 // admitAll admits every configured tenant, reporting warm starts and

@@ -11,14 +11,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
+	"github.com/rac-project/rac"
 	"github.com/rac-project/rac/internal/config"
-	"github.com/rac-project/rac/internal/faults"
 	"github.com/rac-project/rac/internal/parallel"
 	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
@@ -178,25 +179,22 @@ func runOnce(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.
 func runFaults(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmenv.Level,
 	scenPath string, intervals int, seed uint64, warmup, interval float64, tel *simTelemetry) error {
 
-	sc, err := faults.LoadFile(scenPath)
-	if err != nil {
-		return err
-	}
-	sim, err := system.NewSimulated(system.SimulatedOptions{
+	built, err := rac.BuildSystem(rac.SystemSpec{
+		Backend:        "sim",
 		Space:          space,
 		Initial:        cfg,
 		Context:        system.Context{Name: "racsim", Workload: w, Level: lvl},
 		Seed:           seed,
 		SettleSeconds:  warmup,
 		MeasureSeconds: interval,
+		FaultsPath:     scenPath,
+		Telemetry:      tel.reg,
 	})
 	if err != nil {
 		return err
 	}
-	sys, err := faults.New(sim, faults.Options{Scenario: sc, Seed: seed, Telemetry: tel.reg})
-	if err != nil {
-		return err
-	}
+	sys := built.Faulty
+	sc := sys.Scenario()
 
 	name := sc.Name
 	if name == "" {
@@ -207,7 +205,7 @@ func runFaults(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmen
 	fmt.Fprintln(tw, "interval\tmeanRT(s)\tp95(s)\tX(req/s)\tcompleted\terrors\tfaults")
 	for i := 1; i <= intervals; i++ {
 		before := len(sys.Injected())
-		m, err := sys.Measure()
+		m, err := sys.Measure(context.Background())
 		fired := ""
 		for _, inj := range sys.Injected()[before:] {
 			if fired != "" {

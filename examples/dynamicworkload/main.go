@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -94,11 +95,11 @@ func run() error {
 			}
 			note = "→ traffic changed to ordering mix"
 		}
-		a, err := agent.Step()
+		a, err := agent.Step(context.Background())
 		if err != nil {
 			return err
 		}
-		s, err := static.Step()
+		s, err := static.Step(context.Background())
 		if err != nil {
 			return err
 		}

@@ -69,7 +69,7 @@ func run() error {
 
 	fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
 	for i := 1; i <= 20; i++ {
-		step, err := agent.Step()
+		step, err := agent.Step(context.Background())
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func run() error {
 
 	var first, best float64
 	for i := 0; i < 25; i++ {
-		step, err := agent.Step()
+		step, err := agent.Step(context.Background())
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,7 +77,7 @@ func run() error {
 			}
 			note = "→ VM reallocated to " + level.Name
 		}
-		step, err := agent.Step()
+		step, err := agent.Step(context.Background())
 		if err != nil {
 			return err
 		}

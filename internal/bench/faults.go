@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/rac-project/rac/internal/core"
@@ -115,7 +116,7 @@ func (h *Harness) runFaultAgent(sc faults.Scenario, label string, res core.Resil
 
 	run := FaultRun{Label: label, Trace: trace}
 	for i := 0; i < iters; i++ {
-		sr, err := agent.Step()
+		sr, err := agent.Step(context.Background())
 		if err != nil {
 			run.Aborted = true
 			run.AbortIteration = i + 1

@@ -545,6 +545,10 @@ func (h *Harness) Figures() map[string]func() (*Figure, error) {
 		"fig8":  h.Fig08,
 		"fig9":  h.Fig09,
 		"fig10": h.Fig10,
+		// Beyond the paper: the data-plane throughput/scaling figure. Not in
+		// FigureIDs (and so not part of -all), because it drives real HTTP
+		// load over wall clock instead of the simulator.
+		"load": h.FigLoad,
 	}
 }
 

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -167,10 +168,10 @@ func (h *Harness) measureConfig(ctx system.Context, cfg config.Config, seeds int
 		if err != nil {
 			return 0, err
 		}
-		if err := sys.Apply(cfg); err != nil {
+		if err := sys.Apply(context.Background(), cfg); err != nil {
 			return 0, err
 		}
-		m, err := sys.Measure()
+		m, err := sys.Measure(context.Background())
 		if err != nil {
 			return 0, err
 		}
@@ -261,10 +262,10 @@ func (h *Harness) trainPolicy(ctx system.Context) (*core.Policy, error) {
 			if err != nil {
 				return 0, err
 			}
-			if err := sys.Apply(cfg); err != nil {
+			if err := sys.Apply(context.Background(), cfg); err != nil {
 				return 0, err
 			}
-			m, err := sys.Measure()
+			m, err := sys.Measure(context.Background())
 			if err != nil {
 				return 0, err
 			}
@@ -339,7 +340,7 @@ func (h *Harness) RunSchedule(mk TunerFactory, phases []Phase, salt uint64) ([]c
 			}
 		}
 		for i := 0; i < phase.Iterations; i++ {
-			res, err := tuner.Step()
+			res, err := tuner.Step(context.Background())
 			if err != nil {
 				return nil, fmt.Errorf("bench: phase %d iter %d: %w", pi, i, err)
 			}

@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+func TestFigLoadQuick(t *testing.T) {
+	fig, err := quickHarness(3).FigLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "load" {
+		t.Fatalf("id %q", fig.ID)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("%d series, want completed+shed", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Values) != len(fig.X) {
+			t.Fatalf("series %s has %d values for %d rates", s.Label, len(s.Values), len(fig.X))
+		}
+	}
+	if fig.Series[0].Values[0] <= 0 {
+		t.Fatalf("no completed throughput at the lowest offered rate: %+v", fig.Series[0])
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -55,8 +56,10 @@ type StepResult struct {
 // implement it, so the experiment harness runs them interchangeably.
 type Tuner interface {
 	// Step measures one interval, possibly reconfiguring first, and reports
-	// the outcome.
-	Step() (StepResult, error)
+	// the outcome. Canceling ctx aborts the in-flight Apply/Measure and
+	// returns the context's error; the aborted interval is never learned
+	// from and never retried.
+	Step(ctx context.Context) (StepResult, error)
 }
 
 // Agent is the RAC online agent (paper Algorithm 3): ε-greedy actions from a
@@ -252,7 +255,7 @@ func (a *Agent) QTable() *mdp.QTable { return a.q }
 // checks are reported but not learned from, and after RollbackAfter
 // consecutive bad intervals the agent re-applies the last configuration that
 // satisfied the SLA.
-func (a *Agent) Step() (StepResult, error) {
+func (a *Agent) Step(ctx context.Context) (StepResult, error) {
 	a.iteration++
 	r := a.opts.Resilience
 
@@ -261,8 +264,11 @@ func (a *Agent) Step() (StepResult, error) {
 	choice := a.learner.SelectAction(a.cur.Key(), feasible)
 	action := a.actions[choice]
 	next, _ := action.Apply(a.space, a.cur)
-	applyTries, err := a.attempt("apply", next.Key(), func() error { return a.sys.Apply(next) })
+	applyTries, err := a.attempt(ctx, "apply", next.Key(), func() error { return a.sys.Apply(ctx, next) })
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return StepResult{}, cerr
+		}
 		if !r.enabled() || !system.IsTransient(err) {
 			return StepResult{}, fmt.Errorf("core: apply %s: %w", next.Key(), err)
 		}
@@ -274,9 +280,9 @@ func (a *Agent) Step() (StepResult, error) {
 
 	// 2. Measure the new configuration.
 	var m system.Metrics
-	measureTries, merr := a.attempt("measure", next.Key(), func() error {
+	measureTries, merr := a.attempt(ctx, "measure", next.Key(), func() error {
 		var e error
-		m, e = a.sys.Measure()
+		m, e = a.sys.Measure(ctx)
 		return e
 	})
 	attempts := applyTries
@@ -284,10 +290,15 @@ func (a *Agent) Step() (StepResult, error) {
 		attempts = measureTries
 	}
 	if merr != nil {
+		if err := ctx.Err(); err != nil {
+			// A canceled step is the caller draining, not a flaky interval:
+			// surface the cancellation itself, undecorated and unlearned.
+			return StepResult{}, err
+		}
 		if !r.enabled() || !system.IsTransient(merr) {
 			return StepResult{}, fmt.Errorf("core: measure: %w", merr)
 		}
-		return a.degradedStep(next, action, attempts, merr), nil
+		return a.degradedStep(ctx, next, action, attempts, merr), nil
 	}
 
 	rt := m.MeanRT
@@ -309,7 +320,7 @@ func (a *Agent) Step() (StepResult, error) {
 		if reason, bad := r.Invalidates(m, a.window.Mean(), a.window.Len() >= 3); bad {
 			res.Invalid = true
 			res.InvalidReason = reason
-			return a.finishInvalid(res, next), nil
+			return a.finishInvalid(ctx, res, next), nil
 		}
 	}
 
@@ -419,7 +430,7 @@ func (a *Agent) Step() (StepResult, error) {
 			a.lastRT = rt
 			a.slaStreak++
 		}
-		a.maybeRollback(&res)
+		a.maybeRollback(ctx, &res)
 	}
 	return res, nil
 }
@@ -427,8 +438,9 @@ func (a *Agent) Step() (StepResult, error) {
 // attempt runs fn under the resilience policy's bounded retry, returning how
 // many tries it took and the final error. With resilience disabled (or
 // MaxAttempts 1) fn runs exactly once, preserving the pre-resilience step
-// byte for byte. Only transient failures are retried.
-func (a *Agent) attempt(op, state string, fn func() error) (int, error) {
+// byte for byte. Only transient failures are retried — and never once ctx is
+// canceled, so a drain is not mistaken for a flaky system.
+func (a *Agent) attempt(ctx context.Context, op, state string, fn func() error) (int, error) {
 	maxTries := a.opts.Resilience.MaxAttempts
 	if maxTries < 1 {
 		maxTries = 1
@@ -439,7 +451,7 @@ func (a *Agent) attempt(op, state string, fn func() error) (int, error) {
 		if err == nil {
 			return tries, nil
 		}
-		if tries >= maxTries || !system.IsTransient(err) {
+		if tries >= maxTries || !system.IsTransient(err) || ctx.Err() != nil {
 			return tries, err
 		}
 		if a.tel != nil {
@@ -464,7 +476,7 @@ func (a *Agent) attempt(op, state string, fn func() error) (int, error) {
 // finishInvalid completes a step whose measurement was rejected: the raw
 // values are reported for figures, nothing is learned, and the bad interval
 // feeds the rollback streak.
-func (a *Agent) finishInvalid(res StepResult, next config.Config) StepResult {
+func (a *Agent) finishInvalid(ctx context.Context, res StepResult, next config.Config) StepResult {
 	res.Violations = a.violations
 	if a.policy != nil {
 		res.PolicyName = a.policy.Name()
@@ -485,14 +497,14 @@ func (a *Agent) finishInvalid(res StepResult, next config.Config) StepResult {
 	}
 	a.cur = next
 	a.slaStreak++
-	a.maybeRollback(&res)
+	a.maybeRollback(ctx, &res)
 	return res
 }
 
 // degradedStep completes a step that obtained no measurement at all: the last
 // believable response time is carried forward, marked invalid so nothing
 // downstream learns from it.
-func (a *Agent) degradedStep(next config.Config, action config.Action, attempts int, cause error) StepResult {
+func (a *Agent) degradedStep(ctx context.Context, next config.Config, action config.Action, attempts int, cause error) StepResult {
 	rt := a.lastRT
 	if rt == 0 {
 		rt = a.opts.SLASeconds // no history yet: a neutral, zero-reward guess
@@ -520,14 +532,14 @@ func (a *Agent) degradedStep(next config.Config, action config.Action, attempts 
 			Detail:    "no-data: " + cause.Error(),
 		})
 	}
-	return a.finishInvalid(res, next)
+	return a.finishInvalid(ctx, res, next)
 }
 
 // maybeRollback re-applies the last-known-good configuration once the
 // consecutive bad-interval streak reaches the policy threshold. A transient
 // failure of the rollback itself leaves the streak in place, so the guard
 // tries again next step.
-func (a *Agent) maybeRollback(res *StepResult) {
+func (a *Agent) maybeRollback(ctx context.Context, res *StepResult) {
 	r := a.opts.Resilience
 	if r.RollbackAfter <= 0 || a.slaStreak < r.RollbackAfter || a.lastGood == nil {
 		return
@@ -535,7 +547,7 @@ func (a *Agent) maybeRollback(res *StepResult) {
 	if a.lastGood.Equal(a.cur) {
 		return // already at the safest known point
 	}
-	if _, err := a.attempt("rollback", a.lastGood.Key(), func() error { return a.sys.Apply(a.lastGood) }); err != nil {
+	if _, err := a.attempt(ctx, "rollback", a.lastGood.Key(), func() error { return a.sys.Apply(ctx, a.lastGood) }); err != nil {
 		return
 	}
 	a.cur = a.lastGood.Clone()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -46,7 +47,7 @@ func (b *bowlSystem) rt(cfg config.Config) float64 {
 func (b *bowlSystem) Space() *config.Space  { return b.space }
 func (b *bowlSystem) Config() config.Config { return b.cfg.Clone() }
 
-func (b *bowlSystem) Apply(cfg config.Config) error {
+func (b *bowlSystem) Apply(ctx context.Context, cfg config.Config) error {
 	if err := b.space.Validate(cfg); err != nil {
 		return err
 	}
@@ -55,7 +56,7 @@ func (b *bowlSystem) Apply(cfg config.Config) error {
 	return nil
 }
 
-func (b *bowlSystem) Measure() (system.Metrics, error) {
+func (b *bowlSystem) Measure(ctx context.Context) (system.Metrics, error) {
 	b.metered++
 	rt := b.rt(b.cfg)
 	return system.Metrics{MeanRT: rt, P95RT: 2 * rt, Throughput: 50, Completed: 5000, IntervalSeconds: 300}, nil
@@ -101,7 +102,7 @@ func TestAgentConvergesTowardOptimum(t *testing.T) {
 	startRT := sys.rt(sys.Config())
 	var last StepResult
 	for i := 0; i < 25; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,13 +129,13 @@ func TestAgentWithoutPolicyStillLearns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := agent.Step()
+	first, err := agent.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sumEarly, sumLate float64
 	for i := 0; i < 60; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestAgentRewardMatchesSLA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agent.Step()
+	res, err := agent.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestAgentFrozenFollowsPolicyWithoutLearning(t *testing.T) {
 	}
 	var rts []float64
 	for i := 0; i < 20; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func TestAgentStepMovesAtMostOneStep(t *testing.T) {
 	}
 	prev := sys.Config()
 	for i := 0; i < 30; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func TestAgentDetectsContextChangeAndSwitches(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -243,7 +244,7 @@ func TestAgentDetectsContextChangeAndSwitches(t *testing.T) {
 	switched := false
 	switchedAt := 0
 	for i := 0; i < 15; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,13 +277,13 @@ func TestAgentNoSwitchWithoutStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	sys.shift = 5
 	for i := 0; i < 10; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -438,7 +439,7 @@ func TestAgentOnRealSimulator(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -454,7 +455,7 @@ func TestAgentOnRealSimulator(t *testing.T) {
 func ExampleAgent() {
 	sys := newBowlSystem([]float64{300, 11, 45, 55})
 	agent, _ := NewAgent(sys, AgentOptions{Seed: 1})
-	res, _ := agent.Step()
+	res, _ := agent.Step(context.Background())
 	fmt.Println(res.Iteration)
 	// Output: 1
 }
@@ -470,7 +471,7 @@ func TestAgentDeterministicAcrossRuns(t *testing.T) {
 		}
 		var keys []string
 		for i := 0; i < 15; i++ {
-			res, err := agent.Step()
+			res, err := agent.Step(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -502,7 +503,7 @@ func TestThroughputReward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agent.Step()
+	res, err := agent.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,7 +523,7 @@ func TestAgentViolationCountingAndReset(t *testing.T) {
 	}
 	// Stabilize.
 	for i := 0; i < 15; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -531,7 +532,7 @@ func TestAgentViolationCountingAndReset(t *testing.T) {
 	sys.shift = 4
 	prev := 0
 	for i := 0; i < 12; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -557,7 +558,7 @@ func TestAgentQTableGrowsOnlyWithVisits(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}

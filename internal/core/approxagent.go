@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -75,7 +76,7 @@ func (a *ApproxAgent) Config() config.Config { return a.cur.Clone() }
 
 // Step performs one online SARSA iteration: apply the pending action,
 // measure, choose the next action, and update the weights.
-func (a *ApproxAgent) Step() (StepResult, error) {
+func (a *ApproxAgent) Step(ctx context.Context) (StepResult, error) {
 	a.iteration++
 
 	if !a.hasPend {
@@ -88,10 +89,10 @@ func (a *ApproxAgent) Step() (StepResult, error) {
 	}
 	action := a.actions[a.pending]
 	next, _ := action.Apply(a.space, a.cur)
-	if err := a.sys.Apply(next); err != nil {
+	if err := a.sys.Apply(ctx, next); err != nil {
 		return StepResult{}, fmt.Errorf("core: approx apply %s: %w", next.Key(), err)
 	}
-	m, err := a.sys.Measure()
+	m, err := a.sys.Measure(ctx)
 	if err != nil {
 		return StepResult{}, fmt.Errorf("core: approx measure: %w", err)
 	}

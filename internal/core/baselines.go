@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -34,9 +35,9 @@ func NewStaticAgent(sys system.System, opts Options) (*StaticAgent, error) {
 }
 
 // Step measures one interval under the unchanged configuration.
-func (s *StaticAgent) Step() (StepResult, error) {
+func (s *StaticAgent) Step(ctx context.Context) (StepResult, error) {
 	s.iteration++
-	m, err := s.sys.Measure()
+	m, err := s.sys.Measure(ctx)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -91,7 +92,7 @@ func NewTrialAndErrorAgent(sys system.System, opts Options) (*TrialAndErrorAgent
 }
 
 // Step tries the next value of the parameter under tuning.
-func (t *TrialAndErrorAgent) Step() (StepResult, error) {
+func (t *TrialAndErrorAgent) Step(ctx context.Context) (StepResult, error) {
 	t.iteration++
 	def := t.space.Def(t.param)
 
@@ -99,10 +100,10 @@ func (t *TrialAndErrorAgent) Step() (StepResult, error) {
 	trial := t.cur.Clone()
 	oldVal := trial[t.param]
 	trial[t.param] = def.Value(t.level)
-	if err := t.sys.Apply(trial); err != nil {
+	if err := t.sys.Apply(ctx, trial); err != nil {
 		return StepResult{}, fmt.Errorf("core: trial apply: %w", err)
 	}
-	m, err := t.sys.Measure()
+	m, err := t.sys.Measure(ctx)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -186,12 +187,12 @@ func NewHillClimbAgent(sys system.System, opts Options) (*HillClimbAgent, error)
 
 // Step probes the next neighbour; when the probe cycle completes, it moves
 // to the best neighbour if it improves on the current point.
-func (h *HillClimbAgent) Step() (StepResult, error) {
+func (h *HillClimbAgent) Step(ctx context.Context) (StepResult, error) {
 	h.iteration++
 
 	if !h.baseSet {
 		// Measure the starting point first.
-		m, err := h.measure(h.cur)
+		m, err := h.measure(ctx, h.cur)
 		if err != nil {
 			return StepResult{}, err
 		}
@@ -227,7 +228,7 @@ func (h *HillClimbAgent) Step() (StepResult, error) {
 		h.next = 1
 		h.bestRT = h.baseRT
 		h.bestCfg = h.cur.Clone()
-		m, err := h.measure(h.cur)
+		m, err := h.measure(ctx, h.cur)
 		if err != nil {
 			return StepResult{}, err
 		}
@@ -245,7 +246,7 @@ func (h *HillClimbAgent) Step() (StepResult, error) {
 	action := h.actions[h.next]
 	h.next++
 	trial, _ := action.Apply(h.space, h.cur)
-	m, err := h.measure(trial)
+	m, err := h.measure(ctx, trial)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -262,11 +263,11 @@ func (h *HillClimbAgent) Step() (StepResult, error) {
 	}, nil
 }
 
-func (h *HillClimbAgent) measure(cfg config.Config) (float64, error) {
-	if err := h.sys.Apply(cfg); err != nil {
+func (h *HillClimbAgent) measure(ctx context.Context, cfg config.Config) (float64, error) {
+	if err := h.sys.Apply(ctx, cfg); err != nil {
 		return 0, fmt.Errorf("core: hillclimb apply: %w", err)
 	}
-	m, err := h.sys.Measure()
+	m, err := h.sys.Measure(ctx)
 	if err != nil {
 		return 0, err
 	}

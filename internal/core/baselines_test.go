@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/rac-project/rac/internal/config"
@@ -14,7 +15,7 @@ func TestStaticAgentNeverReconfigures(t *testing.T) {
 	}
 	initial := sys.Config()
 	for i := 0; i < 10; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestTrialAndErrorSchedule(t *testing.T) {
 	// The first Levels() steps sweep parameter 0 across its lattice.
 	seen := make(map[int]bool)
 	for i := 0; i < firstDef.Levels(); i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestTrialAndErrorSchedule(t *testing.T) {
 	// After the sweep, parameter 0 is fixed at its best value: the bowl's
 	// capacity-group target is a mean of 300, and with MaxThreads still at
 	// its default 200, the best MaxClients alone is 400.
-	res, err := agent.Step()
+	res, err := agent.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestTrialAndErrorEventuallyNearOptimal(t *testing.T) {
 		total += d.Levels()
 	}
 	for i := 0; i < total; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func TestHillClimbImproves(t *testing.T) {
 	def := sys.rt(sys.space.DefaultConfig())
 	var last StepResult
 	for i := 0; i < 120; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestApproxAgentLearnsOnBowl(t *testing.T) {
 	start := sys.rt(sys.Config())
 	var early, late float64
 	for i := 0; i < 120; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestApproxAgentMovesOneStep(t *testing.T) {
 	}
 	prev := sys.Config()
 	for i := 0; i < 20; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,11 +225,11 @@ func TestTrialAndErrorWrapsIntoNewRound(t *testing.T) {
 	}
 	// One full round plus one step: the schedule must wrap to parameter 0.
 	for i := 0; i < total; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := agent.Step()
+	res, err := agent.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestTrialAndErrorWrapsIntoNewRound(t *testing.T) {
 	// fixed values rather than freeze forever.
 	sys.targets = []float64{100, 3, 15, 85}
 	for i := 0; i < total; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -255,7 +256,7 @@ func TestStaticAgentRewardTracksMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agent.Step()
+	res, err := agent.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ type flakySystem struct {
 	nextMetrics []system.Metrics
 }
 
-func (f *flakySystem) Apply(cfg config.Config) error {
+func (f *flakySystem) Apply(ctx context.Context, cfg config.Config) error {
 	if len(f.applyErrs) > 0 {
 		err := f.applyErrs[0]
 		f.applyErrs = f.applyErrs[1:]
@@ -29,10 +30,10 @@ func (f *flakySystem) Apply(cfg config.Config) error {
 			return err
 		}
 	}
-	return f.bowlSystem.Apply(cfg)
+	return f.bowlSystem.Apply(ctx, cfg)
 }
 
-func (f *flakySystem) Measure() (system.Metrics, error) {
+func (f *flakySystem) Measure(ctx context.Context) (system.Metrics, error) {
 	if len(f.measureErrs) > 0 {
 		err := f.measureErrs[0]
 		f.measureErrs = f.measureErrs[1:]
@@ -45,7 +46,7 @@ func (f *flakySystem) Measure() (system.Metrics, error) {
 		f.nextMetrics = f.nextMetrics[1:]
 		return m, nil
 	}
-	return f.bowlSystem.Measure()
+	return f.bowlSystem.Measure(context.Background())
 }
 
 func resilientAgent(t *testing.T, sys system.System, res Resilience, extra AgentOptions) *Agent {
@@ -72,7 +73,7 @@ func TestStepRetriesTransientApply(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	trace := telemetry.NewTrace(32)
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 3}, AgentOptions{Telemetry: reg, Trace: trace})
-	res, err := a.Step()
+	res, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatalf("step with retries left: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestStepFatalApplyStillAborts(t *testing.T) {
 	sys := &flakySystem{bowlSystem: newBowlSystem(bowlTargets)}
 	sys.applyErrs = []error{errors.New("config rejected")}
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 5}, AgentOptions{})
-	if _, err := a.Step(); err == nil {
+	if _, err := a.Step(context.Background()); err == nil {
 		t.Fatal("fatal apply error swallowed by the resilience layer")
 	}
 	if sys.applied != 0 {
@@ -108,7 +109,7 @@ func TestStepHoldsConfigWhenApplyExhausted(t *testing.T) {
 	sys.applyErrs = []error{te, te, te}
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 3}, AgentOptions{})
 	before := a.Config()
-	res, err := a.Step()
+	res, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatalf("exhausted transient apply aborted the step: %v", err)
 	}
@@ -128,13 +129,13 @@ func TestStepDegradesWhenMeasureExhausted(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 2}, AgentOptions{Telemetry: reg})
 	// One clean step to establish a believable response time.
-	first, err := a.Step()
+	first, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	te := system.Transient(errors.New("monitor wedged"))
 	sys.measureErrs = []error{te, te}
-	res, err := a.Step()
+	res, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatalf("degraded step aborted: %v", err)
 	}
@@ -151,7 +152,7 @@ func TestStepDegradesWhenMeasureExhausted(t *testing.T) {
 		t.Fatalf("degraded counter = %v, want 1", got)
 	}
 	// The next interval is clean again and the agent keeps tuning.
-	if _, err := a.Step(); err != nil {
+	if _, err := a.Step(context.Background()); err != nil {
 		t.Fatalf("step after degradation: %v", err)
 	}
 }
@@ -167,7 +168,7 @@ func TestErrorBurstIntervalNotLearned(t *testing.T) {
 		AgentOptions{Telemetry: reg, Trace: trace})
 	// The burst interval: 3 survivors with a great-looking MeanRT, 997 errors.
 	sys.nextMetrics = []system.Metrics{{MeanRT: 0.05, Throughput: 0.1, Completed: 3, Errors: 997, IntervalSeconds: 300}}
-	res, err := a.Step()
+	res, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestErrorBurstIntervalNotLearned(t *testing.T) {
 	}
 	// High error ratio with plenty of completions is rejected too.
 	sys.nextMetrics = []system.Metrics{{MeanRT: 0.05, Throughput: 5, Completed: 300, Errors: 700, IntervalSeconds: 300}}
-	res, err = a.Step()
+	res, err = a.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,13 +206,13 @@ func TestOutlierMeasurementRejected(t *testing.T) {
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 3, OutlierFactor: 6}, AgentOptions{})
 	// Fill the reference window with believable measurements.
 	for i := 0; i < 4; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	base := sys.rt(sys.Config())
 	sys.nextMetrics = []system.Metrics{{MeanRT: 20 * base, Throughput: 50, Completed: 5000, IntervalSeconds: 300}}
-	res, err := a.Step()
+	res, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestProducerFlaggedMeasurementRejected(t *testing.T) {
 	sys := &flakySystem{bowlSystem: newBowlSystem(bowlTargets)}
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 1}, AgentOptions{})
 	sys.nextMetrics = []system.Metrics{{MeanRT: 1, Completed: 100, Invalid: true, InvalidReason: "degraded-driver", IntervalSeconds: 300}}
-	res, err := a.Step()
+	res, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestRollbackToLastKnownGood(t *testing.T) {
 		AgentOptions{Telemetry: reg, Trace: trace})
 	// Healthy phase: establishes a last-known-good configuration.
 	for i := 0; i < 5; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -253,7 +254,7 @@ func TestRollbackToLastKnownGood(t *testing.T) {
 	sys.shift = 50
 	rolled := false
 	for i := 0; i < 6 && !rolled; i++ {
-		res, err := a.Step()
+		res, err := a.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,7 +284,7 @@ func TestRetryBackoffDoublesThroughSleepHook(t *testing.T) {
 	var pauses []time.Duration
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 4, RetryBackoff: 100 * time.Millisecond},
 		AgentOptions{Sleep: func(d time.Duration) { pauses = append(pauses, d) }})
-	if _, err := a.Step(); err != nil {
+	if _, err := a.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
@@ -303,7 +304,7 @@ func TestZeroResilienceAbortsLikeLegacy(t *testing.T) {
 	sys := &flakySystem{bowlSystem: newBowlSystem(bowlTargets)}
 	sys.applyErrs = []error{system.Transient(errors.New("glitch"))}
 	a := resilientAgent(t, sys, Resilience{}, AgentOptions{})
-	if _, err := a.Step(); err == nil {
+	if _, err := a.Step(context.Background()); err == nil {
 		t.Fatal("zero resilience policy swallowed a transient error")
 	}
 }
@@ -320,7 +321,7 @@ func TestResilientTrajectoryMatchesLegacyOnCleanRuns(t *testing.T) {
 		}
 		var out []StepResult
 		for i := 0; i < 20; i++ {
-			r, err := a.Step()
+			r, err := a.Step(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

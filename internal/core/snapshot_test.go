@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestAgentStateRoundTripByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func TestAgentResumeMatchesUninterruptedRun(t *testing.T) {
 	}
 	var refSteps []StepResult
 	for i := 0; i < total; i++ {
-		s, err := ref.Step()
+		s, err := ref.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestAgentResumeMatchesUninterruptedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < cut; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -94,7 +95,7 @@ func TestAgentResumeMatchesUninterruptedRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sysB.Apply(append([]int(nil), st.Config...)); err != nil {
+	if err := sysB.Apply(context.Background(), append([]int(nil), st.Config...)); err != nil {
 		t.Fatal(err)
 	}
 	b, err := NewAgent(sysB, AgentOptions{Seed: 777})
@@ -105,7 +106,7 @@ func TestAgentResumeMatchesUninterruptedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := cut; i < total; i++ {
-		s, err := b.Step()
+		s, err := b.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestAgentResumeWithSnapshottableSystem(t *testing.T) {
 	}
 	var refRTs []float64
 	for i := 0; i < total; i++ {
-		s, err := ref.Step()
+		s, err := ref.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestAgentResumeWithSnapshottableSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < cut; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -182,7 +183,7 @@ func TestAgentResumeWithSnapshottableSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := cut; i < total; i++ {
-		s, err := b.Step()
+		s, err := b.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func TestAgentRestoreRejectsBadSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Step(); err != nil {
+	if _, err := a.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	good, err := a.ExportState()
@@ -255,7 +256,7 @@ func TestForcePolicySwitchesImmediately(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -263,7 +264,7 @@ func TestForcePolicySwitchesImmediately(t *testing.T) {
 	if a.Policy() != p {
 		t.Fatal("ForcePolicy did not install the policy")
 	}
-	s, err := a.Step()
+	s, err := a.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

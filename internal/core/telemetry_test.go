@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/rac-project/rac/internal/telemetry"
@@ -16,7 +17,7 @@ func TestAgentEmitsTelemetry(t *testing.T) {
 	}
 	const iters = 8
 	for i := 0; i < iters; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func TestAgentTracesPolicySwitch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
-		if _, err := agent.Step(); err != nil {
+		if _, err := agent.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -74,7 +75,7 @@ func TestAgentTracesPolicySwitch(t *testing.T) {
 	sys.shift = 3
 	switched := false
 	for i := 0; i < 15 && !switched; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

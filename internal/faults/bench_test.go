@@ -1,13 +1,16 @@
 package faults
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // BenchmarkMeasureBare is the baseline: the inner system measured directly.
 func BenchmarkMeasureBare(b *testing.B) {
 	inner := newFlatSystem()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := inner.Measure(); err != nil {
+		if _, err := inner.Measure(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -28,13 +31,13 @@ func BenchmarkMeasureWrappedNoFault(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := s.Measure(); err != nil { // burn the only scheduled interval
+	if _, err := s.Measure(context.Background()); err != nil { // burn the only scheduled interval
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Measure(); err != nil {
+		if _, err := s.Measure(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +58,7 @@ func BenchmarkMeasureWrappedFiring(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Measure(); err != nil {
+		if _, err := s.Measure(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,14 +73,14 @@ func BenchmarkApplyWrappedNoFault(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := s.Measure(); err != nil {
+	if _, err := s.Measure(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	cfg := inner.Space().DefaultConfig()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Apply(cfg); err != nil {
+		if err := s.Apply(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -164,7 +165,7 @@ func (s *System) ActualConfig() config.Config { return s.inner.Config() }
 // Apply forwards the reconfiguration, unless an apply-side rule fires first:
 // apply-error returns a transient error, apply-ignored reports success while
 // leaving the inner system unchanged.
-func (s *System) Apply(cfg config.Config) error {
+func (s *System) Apply(ctx context.Context, cfg config.Config) error {
 	for _, r := range s.sc.Rules {
 		switch r.Kind {
 		case ApplyError:
@@ -183,7 +184,7 @@ func (s *System) Apply(cfg config.Config) error {
 			}
 		}
 	}
-	if err := s.inner.Apply(cfg); err != nil {
+	if err := s.inner.Apply(ctx, cfg); err != nil {
 		return err
 	}
 	s.shadow = nil
@@ -194,7 +195,7 @@ func (s *System) Apply(cfg config.Config) error {
 // measure-side fault or measures the inner system and perturbs the result.
 // The interval counter advances on every call — a lost interval still burns
 // its measurement window, exactly like a wedged monitor on a live system.
-func (s *System) Measure() (system.Metrics, error) {
+func (s *System) Measure(ctx context.Context) (system.Metrics, error) {
 	s.applyCapacityRules()
 	defer func() { s.intervals++ }()
 
@@ -213,7 +214,7 @@ func (s *System) Measure() (system.Metrics, error) {
 		}
 	}
 
-	m, err := s.inner.Measure()
+	m, err := s.inner.Measure(ctx)
 	if err != nil {
 		return m, err
 	}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -35,7 +36,7 @@ func newFlatSystem() *flatSystem {
 func (f *flatSystem) Space() *config.Space  { return f.space }
 func (f *flatSystem) Config() config.Config { return f.cfg.Clone() }
 
-func (f *flatSystem) Apply(cfg config.Config) error {
+func (f *flatSystem) Apply(ctx context.Context, cfg config.Config) error {
 	if err := f.space.Validate(cfg); err != nil {
 		return err
 	}
@@ -44,7 +45,7 @@ func (f *flatSystem) Apply(cfg config.Config) error {
 	return nil
 }
 
-func (f *flatSystem) Measure() (system.Metrics, error) {
+func (f *flatSystem) Measure(ctx context.Context) (system.Metrics, error) {
 	return system.Metrics{MeanRT: 1, P95RT: 2, Throughput: 100, Completed: 1000, IntervalSeconds: 300}, nil
 }
 
@@ -70,7 +71,7 @@ func wrap(t *testing.T, inner system.System, sc Scenario, seed uint64) *System {
 func TestApplyErrorIsTransient(t *testing.T) {
 	inner := newFlatSystem()
 	s := wrap(t, inner, Scenario{Rules: []Rule{{Kind: ApplyError, From: 1, To: 1}}}, 1)
-	err := s.Apply(inner.space.DefaultConfig())
+	err := s.Apply(context.Background(), inner.space.DefaultConfig())
 	if err == nil {
 		t.Fatal("scripted apply-error did not fire")
 	}
@@ -81,10 +82,10 @@ func TestApplyErrorIsTransient(t *testing.T) {
 		t.Fatal("failed apply reached the inner system")
 	}
 	// After the window the apply goes through.
-	if _, err := s.Measure(); err != nil {
+	if _, err := s.Measure(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Apply(inner.space.DefaultConfig()); err != nil {
+	if err := s.Apply(context.Background(), inner.space.DefaultConfig()); err != nil {
 		t.Fatalf("apply after fault window: %v", err)
 	}
 }
@@ -93,7 +94,7 @@ func TestApplyIgnoredShadowsConfig(t *testing.T) {
 	inner := newFlatSystem()
 	s := wrap(t, inner, Scenario{Rules: []Rule{{Kind: ApplyIgnored, From: 1, To: 1}}}, 1)
 	want := inner.space.DefaultConfig().With(inner.space, config.MaxClients, 300)
-	if err := s.Apply(want); err != nil {
+	if err := s.Apply(context.Background(), want); err != nil {
 		t.Fatalf("apply-ignored must report success: %v", err)
 	}
 	if inner.applies != 0 {
@@ -107,10 +108,10 @@ func TestApplyIgnoredShadowsConfig(t *testing.T) {
 		t.Fatal("ActualConfig() shows the ignored value")
 	}
 	// A later successful apply clears the shadow.
-	if _, err := s.Measure(); err != nil {
+	if _, err := s.Measure(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Apply(want); err != nil {
+	if err := s.Apply(context.Background(), want); err != nil {
 		t.Fatal(err)
 	}
 	if inner.applies != 1 {
@@ -124,13 +125,13 @@ func TestApplyIgnoredShadowsConfig(t *testing.T) {
 func TestMeasureFaultsLoseIntervals(t *testing.T) {
 	for _, kind := range []Kind{MeasureError, MeasureTimeout} {
 		s := wrap(t, newFlatSystem(), Scenario{Rules: []Rule{{Kind: kind, From: 2, To: 2}}}, 1)
-		if _, err := s.Measure(); err != nil {
+		if _, err := s.Measure(context.Background()); err != nil {
 			t.Fatalf("%s: interval 1 failed: %v", kind, err)
 		}
-		if _, err := s.Measure(); err == nil || !system.IsTransient(err) {
+		if _, err := s.Measure(context.Background()); err == nil || !system.IsTransient(err) {
 			t.Fatalf("%s: interval 2 err = %v, want transient", kind, err)
 		}
-		if _, err := s.Measure(); err != nil {
+		if _, err := s.Measure(context.Background()); err != nil {
 			t.Fatalf("%s: interval 3 failed: %v", kind, err)
 		}
 		if s.Intervals() != 3 {
@@ -144,21 +145,21 @@ func TestLatencySpikeAndOutlierScaleRT(t *testing.T) {
 		{Kind: LatencySpike, From: 1, To: 1, Magnitude: 6},
 		{Kind: MeasureOutlier, From: 2, To: 2},
 	}}, 1)
-	m, err := s.Measure()
+	m, err := s.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.MeanRT != 6 || m.P95RT != 12 {
 		t.Fatalf("spike x6: rt=%v p95=%v", m.MeanRT, m.P95RT)
 	}
-	m, err = s.Measure()
+	m, err = s.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.MeanRT != 10 { // default outlier magnitude
 		t.Fatalf("outlier: rt=%v, want 10", m.MeanRT)
 	}
-	m, _ = s.Measure()
+	m, _ = s.Measure(context.Background())
 	if m.MeanRT != 1 {
 		t.Fatalf("after windows: rt=%v, want clean 1", m.MeanRT)
 	}
@@ -168,7 +169,7 @@ func TestErrorBurstMovesCompletionsToErrors(t *testing.T) {
 	s := wrap(t, newFlatSystem(), Scenario{Rules: []Rule{
 		{Kind: ErrorBurst, From: 1, To: 1, Magnitude: 0.7},
 	}}, 1)
-	m, err := s.Measure()
+	m, err := s.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestMeasureNoisePerturbsDeterministically(t *testing.T) {
 		s := wrap(t, newFlatSystem(), sc, 9)
 		var rts []float64
 		for i := 0; i < 5; i++ {
-			m, err := s.Measure()
+			m, err := s.Measure(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -212,21 +213,21 @@ func TestMeasureNoisePerturbsDeterministically(t *testing.T) {
 func TestCapacityDropDegradesAndRestores(t *testing.T) {
 	inner := newFlatSystem()
 	s := wrap(t, inner, Scenario{Rules: []Rule{{Kind: CapacityDrop, From: 2, To: 3}}}, 1)
-	if _, err := s.Measure(); err != nil {
+	if _, err := s.Measure(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if inner.level != vmenv.Level1 {
 		t.Fatal("capacity dropped before its window")
 	}
-	s.Measure()
+	s.Measure(context.Background())
 	if inner.level != vmenv.Level2 {
 		t.Fatalf("interval 2: level %v, want degraded Level-2", inner.level)
 	}
-	s.Measure()
+	s.Measure(context.Background())
 	if inner.level != vmenv.Level2 {
 		t.Fatalf("interval 3: level %v, want still degraded", inner.level)
 	}
-	s.Measure()
+	s.Measure(context.Background())
 	if inner.level != vmenv.Level1 {
 		t.Fatalf("interval 4: level %v, want restored Level-1", inner.level)
 	}
@@ -245,7 +246,7 @@ func TestCapacityDropDegradesAndRestores(t *testing.T) {
 func TestCapacityDropHoldsDriverReallocation(t *testing.T) {
 	inner := newFlatSystem()
 	s := wrap(t, inner, Scenario{Rules: []Rule{{Kind: CapacityDrop, From: 1, To: 2}}}, 1)
-	s.Measure()
+	s.Measure(context.Background())
 	if inner.level != vmenv.Level2 {
 		t.Fatalf("level %v, want degraded", inner.level)
 	}
@@ -257,8 +258,8 @@ func TestCapacityDropHoldsDriverReallocation(t *testing.T) {
 	if inner.level != vmenv.Level2 {
 		t.Fatal("driver reallocation overrode an active capacity fault")
 	}
-	s.Measure()
-	s.Measure()
+	s.Measure(context.Background())
+	s.Measure(context.Background())
 	if inner.level != vmenv.Level3 {
 		t.Fatalf("restored %v, want the driver's Level-3", inner.level)
 	}
@@ -270,7 +271,7 @@ func TestProbabilisticRuleFiresSometimes(t *testing.T) {
 	}}, 3)
 	fired, clean := 0, 0
 	for i := 0; i < 200; i++ {
-		m, err := s.Measure()
+		m, err := s.Measure(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,8 +301,8 @@ func TestInjectionsReachTelemetryAndTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Measure()
-	s.Measure()
+	s.Measure(context.Background())
+	s.Measure(context.Background())
 	snap := reg.Snapshot()
 	found := false
 	for _, m := range snap.Counters {
@@ -331,7 +332,7 @@ func TestNonAdjustableInnerSkipsCapacityRules(t *testing.T) {
 	// Hide the Adjustable half behind a plain System.
 	type bare struct{ system.System }
 	s := wrap(t, bare{inner}, Scenario{Rules: []Rule{{Kind: CapacityDrop, From: 1}}}, 1)
-	if _, err := s.Measure(); err != nil {
+	if _, err := s.Measure(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if inner.level != vmenv.Level1 {
@@ -359,7 +360,7 @@ func ExampleSystem() {
 	s, _ := New(inner, Options{Scenario: Scenario{
 		Rules: []Rule{{Kind: LatencySpike, From: 1, To: 1, Magnitude: 3}},
 	}})
-	m, _ := s.Measure()
+	m, _ := s.Measure(context.Background())
 	fmt.Printf("rt=%.0f injections=%d\n", m.MeanRT, len(s.Injected()))
 	// Output: rt=3 injections=1
 }

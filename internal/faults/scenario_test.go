@@ -2,6 +2,7 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -152,8 +153,8 @@ func TestDeterminismAcrossProcs(t *testing.T) {
 				return nil, err
 			}
 			for iv := 0; iv < 30; iv++ {
-				s.Apply(s.Space().DefaultConfig()) // may transiently fail: ignore
-				s.Measure()
+				s.Apply(context.Background(), s.Space().DefaultConfig()) // may transiently fail: ignore
+				s.Measure(context.Background())
 			}
 			return s.Injected(), nil
 		})

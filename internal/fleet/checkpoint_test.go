@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -24,7 +25,7 @@ func testCheckpoint(t *testing.T, tenant string, interval int) *Checkpoint {
 		t.Fatal(err)
 	}
 	for i := 0; i < interval; i++ {
-		if _, err := a.Step(); err != nil {
+		if _, err := a.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}

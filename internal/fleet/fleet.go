@@ -7,6 +7,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -121,6 +122,12 @@ type Fleet struct {
 
 	tel   *fleetInstruments
 	trace *telemetry.Trace
+
+	// runCtx is canceled by Shutdown before it waits for the round lock, so
+	// an in-flight live measurement interval aborts instead of running out
+	// its window. Steps canceled this way are discarded, not failed.
+	runCtx  context.Context
+	stopRun context.CancelFunc
 }
 
 // New builds an empty fleet.
@@ -141,6 +148,7 @@ func New(opts Options) (*Fleet, error) {
 		byName:   make(map[string]*Tenant),
 		trace:    opts.Trace,
 	}
+	f.runCtx, f.stopRun = context.WithCancel(context.Background())
 	var err error
 	if opts.CheckpointDir != "" {
 		if f.ckpts, err = NewCheckpointStore(opts.CheckpointDir, opts.CheckpointKeep); err != nil {
@@ -330,7 +338,7 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 				Tenant: spec.Name,
 				Detail: "restore failed, cold start: " + err.Error(),
 			})
-			if aerr := sys.Apply(agent.Config()); aerr != nil {
+			if aerr := sys.Apply(context.Background(), agent.Config()); aerr != nil {
 				return nil, fmt.Errorf("fleet: tenant %s: reset after failed restore: %w", spec.Name, aerr)
 			}
 		}
@@ -477,7 +485,7 @@ func (f *Fleet) restore(t *Tenant, ck *Checkpoint, path string) error {
 	if fs, ok := target.(*faults.System); ok {
 		target = fs.Inner()
 	}
-	if err := target.Apply(cfg); err != nil {
+	if err := target.Apply(context.Background(), cfg); err != nil {
 		return fmt.Errorf("re-apply config %s: %w", cfg.Key(), err)
 	}
 	if len(ck.System) > 0 {
@@ -532,7 +540,7 @@ func (f *Fleet) RunRound() error {
 	// tenant's streams, so dispatch order cannot leak into results.
 	_ = parallel.ForEach(parallel.Options{Procs: f.opts.Procs, Telemetry: f.opts.Telemetry},
 		len(running), func(i int) error {
-			running[i].step()
+			running[i].step(f.runCtx)
 			return nil
 		})
 
@@ -776,6 +784,10 @@ func (f *Fleet) ForcePolicy(name, key string) error {
 // checkpointing is enabled) and moves to StateStopped. Safe to call multiple
 // times; the daemon runs it on SIGINT/SIGTERM after the current round.
 func (f *Fleet) Shutdown() error {
+	// Cancel before waiting for the round lock: a live tenant mid-interval
+	// aborts its measurement instead of holding the drain for the rest of
+	// the window.
+	f.stopRun()
 	f.runMu.Lock()
 	defer f.runMu.Unlock()
 	var errs []error

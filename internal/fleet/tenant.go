@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -66,6 +67,17 @@ type TenantSpec struct {
 	// CheckpointEvery overrides the fleet checkpoint cadence (intervals
 	// between snapshots) for this tenant when positive.
 	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	// Rate switches a "live" tenant's load generator to the open-loop engine:
+	// offered load in paper-scale requests per second. Zero keeps the
+	// closed-loop emulated browsers.
+	Rate float64 `json:"rate,omitempty"`
+	// Arrival selects the open-loop arrival process ("poisson" or "uniform";
+	// empty means poisson).
+	Arrival string `json:"arrival,omitempty"`
+	// LoadShards and LoadInFlight tune the open-loop engine's accounting
+	// shards and admission bound (0 = engine defaults).
+	LoadShards   int `json:"loadShards,omitempty"`
+	LoadInFlight int `json:"loadInFlight,omitempty"`
 	// TrainPolicy trains an initial policy for the tenant's context at
 	// admission (fast, on the analytic surface) and publishes it to the
 	// shared registry when the context has none yet.
@@ -219,10 +231,13 @@ func (t *Tenant) StepLog() []StepRecord {
 
 // step runs one agent iteration and folds the outcome into the tenant's
 // bookkeeping. It is called by the fleet's round scheduler with the tenant in
-// StateRunning; a step error fails the tenant rather than the fleet.
-func (t *Tenant) step() {
+// StateRunning; a step error fails the tenant rather than the fleet — unless
+// the error is the fleet's own shutdown cancellation, in which case the
+// aborted interval is simply discarded (no interval count, no state change)
+// so the final checkpoint captures a consistent agent.
+func (t *Tenant) step(ctx context.Context) {
 	start := time.Now()
-	res, err := t.agent.Step()
+	res, err := t.agent.Step(ctx)
 	elapsed := time.Since(start).Seconds()
 
 	t.mu.Lock()
@@ -231,6 +246,10 @@ func (t *Tenant) step() {
 		t.stepSeconds.Observe(elapsed)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			t.lastErr = err
+			return
+		}
 		t.lastErr = err
 		t.state = StateFailed
 		return

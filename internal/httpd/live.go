@@ -24,12 +24,18 @@ type LoadDriver interface {
 }
 
 // MeasureResult is one live measurement interval, in paper-scale seconds.
+// Offered and Shed are only populated by open-loop drivers: the offered
+// schedule is fixed in advance, and arrivals the harness could not admit in
+// time are shed (counted, not silently delayed) so recorded latencies stay
+// free of coordinated omission.
 type MeasureResult struct {
 	MeanRT     float64
 	P95RT      float64
 	Throughput float64
 	Completed  int
 	Errors     int
+	Offered    int
+	Shed       int
 }
 
 // Live adapts the real HTTP stack plus a load generator to the
@@ -102,8 +108,12 @@ func (l *Live) Space() *config.Space { return l.space }
 // Config returns the applied configuration.
 func (l *Live) Config() config.Config { return l.cfg.Clone() }
 
-// Apply reconfigures the live server.
-func (l *Live) Apply(cfg config.Config) error {
+// Apply reconfigures the live server. Reconfiguration is in-process and
+// quick, so the context is only checked on entry.
+func (l *Live) Apply(ctx context.Context, cfg config.Config) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := l.space.Validate(cfg); err != nil {
 		return err
 	}
@@ -128,13 +138,15 @@ func (l *Live) Apply(cfg config.Config) error {
 // wedged driver produces a classified transient error the agent's resilience
 // policy can retry or degrade on, never a hung loop. Empty intervals and
 // driver failures are transient for the same reason — the next interval may
-// well be fine.
-func (l *Live) Measure() (system.Metrics, error) {
+// well be fine. Caller cancellation (ctx) is different: it aborts the
+// in-flight interval and returns ctx.Err() unwrapped, so a draining daemon's
+// cancel is never retried as if it were a flaky measurement.
+func (l *Live) Measure(ctx context.Context) (system.Metrics, error) {
 	timeout := l.Timeout
 	if timeout <= 0 {
 		timeout = l.Interval + 5*time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	mctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
 	type outcome struct {
@@ -143,17 +155,23 @@ func (l *Live) Measure() (system.Metrics, error) {
 	}
 	done := make(chan outcome, 1) // buffered: a late driver must not leak its goroutine
 	go func() {
-		res, err := l.driver.Run(ctx, l.Interval)
+		res, err := l.driver.Run(mctx, l.Interval)
 		done <- outcome{res, err}
 	}()
 
 	var res MeasureResult
 	select {
-	case <-ctx.Done():
+	case <-mctx.Done():
+		if err := ctx.Err(); err != nil {
+			return system.Metrics{}, err
+		}
 		l.timeouts.Inc()
 		return system.Metrics{}, system.Transient(fmt.Errorf("httpd: measure: driver missed its %v deadline", timeout))
 	case out := <-done:
 		if out.err != nil {
+			if err := ctx.Err(); err != nil {
+				return system.Metrics{}, err
+			}
 			return system.Metrics{}, system.Transient(fmt.Errorf("httpd: measure: %w", out.err))
 		}
 		res = out.res
@@ -175,6 +193,8 @@ func (l *Live) Measure() (system.Metrics, error) {
 		Throughput:      res.Throughput,
 		Completed:       res.Completed,
 		Errors:          res.Errors,
+		Offered:         res.Offered,
+		Shed:            res.Shed,
 		IntervalSeconds: l.Interval.Seconds() * TimeScale,
 	}, nil
 }

@@ -57,7 +57,7 @@ func TestMeasureDeadlineStalledDriver(t *testing.T) {
 	live.Timeout = 60 * time.Millisecond
 
 	start := time.Now()
-	_, err := live.Measure()
+	_, err := live.Measure(context.Background())
 	if err == nil {
 		t.Fatal("stalled driver measured successfully")
 	}
@@ -85,7 +85,7 @@ func TestMeasureDeadlineDriverIgnoresContext(t *testing.T) {
 	live.Timeout = 60 * time.Millisecond
 
 	start := time.Now()
-	_, err := live.Measure()
+	_, err := live.Measure(context.Background())
 	if err == nil || !system.IsTransient(err) {
 		t.Fatalf("err = %v, want transient deadline error", err)
 	}
@@ -113,7 +113,7 @@ func TestMeasureClassifiesDriverFailuresTransient(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			live := liveWith(t, &scriptDriver{run: tc.run})
 			live.Interval = 10 * time.Millisecond
-			_, err := live.Measure()
+			_, err := live.Measure(context.Background())
 			if err == nil {
 				t.Fatal("no error")
 			}
@@ -129,7 +129,7 @@ func TestMeasureCleanIntervalUnchanged(t *testing.T) {
 		return MeasureResult{MeanRT: 0.8, P95RT: 1.6, Throughput: 120, Completed: 240, Errors: 2}, nil
 	}})
 	live.Interval = 10 * time.Millisecond
-	m, err := live.Measure()
+	m, err := live.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestApplyValidationStaysFatal(t *testing.T) {
 	}})
 	bad := live.Config()
 	bad[0] = -1
-	err := live.Apply(bad)
+	err := live.Apply(context.Background(), bad)
 	if err == nil {
 		t.Fatal("invalid config accepted")
 	}

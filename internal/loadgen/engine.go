@@ -1,0 +1,222 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rac-project/rac/internal/httpd"
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/telemetry"
+	"github.com/rac-project/rac/internal/tpcw"
+)
+
+// arrival is one slot of the open-loop schedule: when to issue (wall-clock
+// seconds from interval start) and which interaction class.
+type arrival struct {
+	at    float64
+	class tpcw.Class
+}
+
+// buildSchedule lays out the whole interval's offered load up front, from a
+// single RNG stream consumed sequentially. Everything downstream — sharding,
+// worker count, GOMAXPROCS — only decides who executes each slot, never what
+// the slots are, which is what makes an open-loop run byte-identical at any
+// shard count.
+func buildSchedule(o Options, mix tpcw.Mix, duration time.Duration) []arrival {
+	wallSeconds := duration.Seconds()
+	n := int(o.Rate*wallSeconds*httpd.TimeScale + 0.5)
+	if n <= 0 {
+		return nil
+	}
+	rng := sim.NewRNG(o.Seed ^ 0x09E41009)
+	sched := make([]arrival, n)
+
+	switch o.ArrivalProcess {
+	case ArrivalUniform:
+		gap := wallSeconds / float64(n)
+		for k := range sched {
+			sched[k].at = (float64(k) + 0.5) * gap
+		}
+	default: // ArrivalPoisson
+		// A Poisson process conditioned on n arrivals in [0, D) is n sorted
+		// uniforms, generated in order via normalized exponential spacings:
+		// t_k = D · S_k/S_{n+1} with S the prefix sums of n+1 Exp(1) draws.
+		// Sequential like the uniform case, and never past the interval end.
+		gaps := make([]float64, n+1)
+		var total float64
+		for i := range gaps {
+			gaps[i] = rng.ExpFloat64(1)
+			total += gaps[i]
+		}
+		var cum float64
+		for k := range sched {
+			cum += gaps[k]
+			sched[k].at = wallSeconds * cum / total
+		}
+	}
+
+	probs := tpcw.ClassProbs(mix)
+	classes := tpcw.Classes()
+	for k := range sched {
+		sched[k].class = classes[rng.Pick(probs)]
+	}
+	return sched
+}
+
+// shardAcct is one shard's accounting: a latency histogram for completed
+// requests plus error/shed counters. Workers touch only atomics here — the
+// per-request hot path neither locks nor allocates.
+type shardAcct struct {
+	hist *telemetry.Histogram
+	errs atomic.Int64
+	shed atomic.Int64
+}
+
+// runOpen drives the open-loop engine for one interval: pre-built schedule,
+// S shards × W pacing workers (bounded in-flight = S·W, each worker owns at
+// most one outstanding request), pooled keep-alive connections, per-shard
+// accounting merged at interval close.
+func (d *Driver) runOpen(ctx context.Context, duration time.Duration) (Result, error) {
+	o := d.opts
+	sched := buildSchedule(o, d.workload.Mix, duration)
+	if d.offered != nil {
+		d.offered.Add(int64(len(sched)))
+	}
+
+	nShards := o.Shards
+	perShard := o.MaxInFlight / nShards
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	shards := make([]*shardAcct, nShards)
+	for i := range shards {
+		shards[i] = &shardAcct{hist: telemetry.NewHistogram(nil)}
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        2 * o.MaxInFlight,
+		MaxIdleConnsPerHost: o.MaxInFlight,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	client := &http.Client{Transport: transport, Timeout: o.Timeout}
+	defer transport.CloseIdleConnections()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si := 0; si < nShards; si++ {
+		for w := 0; w < perShard; w++ {
+			wg.Add(1)
+			go func(si, w int) {
+				defer wg.Done()
+				d.openWorker(ctx, client, sched, shards[si], si, nShards, w, perShard, start)
+			}(si, w)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err // canceled interval: partial data is meaningless
+	}
+
+	merged := shards[0].hist.Snapshot()
+	var nErr, nShed int64
+	nErr = shards[0].errs.Load()
+	nShed = shards[0].shed.Load()
+	for _, sh := range shards[1:] {
+		merged.Merge(sh.hist.Snapshot())
+		nErr += sh.errs.Load()
+		nShed += sh.shed.Load()
+	}
+
+	res := Result{
+		Completed: int(merged.Count),
+		Errors:    int(nErr),
+		Offered:   len(sched),
+		Shed:      int(nShed),
+	}
+	if merged.Count > 0 {
+		res.MeanRT = merged.Sum / float64(merged.Count)
+		res.P95RT = merged.Quantile(0.95)
+	}
+	if paperSeconds := duration.Seconds() * httpd.TimeScale; paperSeconds > 0 {
+		res.Throughput = float64(merged.Count) / paperSeconds
+	}
+	return res, nil
+}
+
+// openWorker executes its fixed subsequence of the schedule: shard si owns
+// global indices k ≡ si (mod nShards), and within the shard worker w owns
+// shard-local indices j ≡ w (mod perShard). The assignment is a pure
+// function of the indices, so which goroutine runs a slot never changes what
+// the slot does.
+func (d *Driver) openWorker(ctx context.Context, client *http.Client, sched []arrival,
+	acct *shardAcct, si, nShards, w, perShard int, start time.Time) {
+	var timer *time.Timer
+	for j := w; ; j += perShard {
+		k := j*nShards + si
+		if k >= len(sched) {
+			return
+		}
+		a := sched[k]
+
+		if d.exec != nil {
+			// Test hook: pure function of the arrival, no pacing, no HTTP —
+			// exercises exactly the sharded accounting path.
+			if rt, ok := d.exec(k, a.class); ok {
+				acct.hist.Observe(rt)
+			} else {
+				acct.errs.Add(1)
+			}
+			continue
+		}
+
+		target := start.Add(time.Duration(a.at * float64(time.Second)))
+		wait := time.Until(target)
+		if wait > 0 {
+			if timer == nil {
+				timer = time.NewTimer(wait)
+				defer timer.Stop()
+			} else {
+				timer.Reset(wait)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else if -wait > d.opts.ShedGrace {
+			// Too far behind schedule (the previous request on this worker
+			// overstayed, or the whole engine is saturated): count the
+			// arrival as shed instead of issuing it late and polluting the
+			// latency distribution with self-inflicted queueing.
+			acct.shed.Add(1)
+			if d.shed != nil {
+				d.shed.Inc()
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+
+		if d.issued != nil {
+			d.issued.Inc()
+		}
+		t0 := time.Now()
+		ok := d.request(ctx, client, a.class)
+		if ctx.Err() != nil {
+			return // do not record requests cut off by cancellation
+		}
+		if ok {
+			acct.hist.Observe(time.Since(t0).Seconds() * httpd.TimeScale)
+		} else {
+			acct.errs.Add(1)
+			if d.errored != nil {
+				d.errored.Inc()
+			}
+		}
+	}
+}

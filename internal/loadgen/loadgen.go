@@ -1,17 +1,21 @@
-// Package loadgen drives HTTP load against the live three-tier stack with
-// TPC-W-style emulated browsers: each browser loops think → request → think
-// with mix-weighted interaction classes and per-browser cookie jars, on the
-// same compressed time scale as package httpd.
+// Package loadgen drives HTTP load against the live three-tier stack in one
+// of two modes. The closed loop emulates TPC-W browsers — think → request →
+// think with mix-weighted interaction classes and per-browser cookie jars —
+// so concurrency equals the emulated population. The open loop (Options.Rate
+// > 0) offers load on a fixed arrival schedule regardless of how fast the
+// system answers: a sharded worker engine paces Poisson or uniform arrivals
+// from one deterministic schedule, accounts every response into per-shard
+// latency histograms without allocating, and sheds arrivals it cannot admit
+// on time instead of silently delaying them (no coordinated omission). Both
+// modes run on the same compressed time scale as package httpd.
 package loadgen
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/cookiejar"
-	"net/url"
 	"sync"
 	"time"
 
@@ -46,36 +50,50 @@ func classPath(c tpcw.Class) string {
 // metrics; the alias makes Driver satisfy httpd.LoadDriver.
 type Result = httpd.MeasureResult
 
-// Driver generates load against a base URL.
+// Driver generates load against a base URL, in closed- or open-loop mode
+// depending on its Options.
 type Driver struct {
+	opts     Options
 	base     string
 	workload tpcw.Workload
 	seed     uint64
 
+	// exec, when non-nil, replaces the HTTP request + pacing of the
+	// open-loop engine with a pure function of the arrival (tests use it to
+	// make the sharded accounting path fully deterministic).
+	exec func(k int, class tpcw.Class) (rt float64, ok bool)
+
 	// Optional instruments (see SetTelemetry); nil when unwired.
 	issued  *telemetry.Counter
 	errored *telemetry.Counter
+	offered *telemetry.Counter
+	shed    *telemetry.Counter
 }
 
-// New builds a driver for the base URL ("http://127.0.0.1:port").
-func New(base string, workload tpcw.Workload, seed uint64) (*Driver, error) {
-	if _, err := url.Parse(base); err != nil {
-		return nil, fmt.Errorf("loadgen: base url: %w", err)
-	}
-	if err := workload.Validate(); err != nil {
+// New builds a driver from validated options.
+func New(opts Options) (*Driver, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
 		return nil, err
 	}
-	return &Driver{base: base, workload: workload, seed: seed}, nil
+	return &Driver{opts: o, base: o.BaseURL, workload: o.Workload, seed: o.Seed}, nil
 }
 
-// SetTelemetry registers the driver's issued/errored request counters on
-// reg (typically the live server's registry, so generator-side counts sit
-// next to the server-side ones on /metrics). Call before Run.
+// Options returns the driver's resolved options (defaults filled in).
+func (d *Driver) Options() Options { return d.opts }
+
+// SetTelemetry registers the driver's request counters on reg (typically the
+// live server's registry, so generator-side counts sit next to the
+// server-side ones on /metrics). Call before Run.
 func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
 	d.issued = reg.Counter("loadgen_requests_total",
 		"Requests issued by the emulated browsers.", nil)
 	d.errored = reg.Counter("loadgen_request_errors_total",
 		"Issued requests that failed, timed out, or returned a non-200 status.", nil)
+	d.offered = reg.Counter("loadgen_offered_total",
+		"Requests the open-loop schedule offered.", nil)
+	d.shed = reg.Counter("loadgen_shed_total",
+		"Offered requests shed by open-loop admission control instead of issued late.", nil)
 }
 
 // SetWorkload changes the emulated population for subsequent runs.
@@ -91,11 +109,15 @@ func (d *Driver) SetWorkload(w tpcw.Workload) error {
 func (d *Driver) Workload() tpcw.Workload { return d.workload }
 
 // Run generates load for the given wall-clock duration and returns interval
-// statistics. It is synchronous; every browser goroutine exits before Run
-// returns.
+// statistics. It is synchronous; every worker goroutine exits before Run
+// returns. With Options.Rate set it runs the open-loop engine; otherwise the
+// closed-loop emulated browsers.
 func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error) {
 	if duration <= 0 {
 		return Result{}, errors.New("loadgen: non-positive duration")
+	}
+	if d.opts.Rate > 0 {
+		return d.runOpen(ctx, duration)
 	}
 	runCtx, cancel := context.WithTimeout(ctx, duration)
 	defer cancel()

@@ -11,7 +11,7 @@ import (
 	"github.com/rac-project/rac/internal/webtier"
 )
 
-func startStack(t *testing.T) (*httpd.Server, string) {
+func startStack(t testing.TB) (*httpd.Server, string) {
 	t.Helper()
 	srv, err := httpd.NewServer(webtier.DefaultParams(), vmenv.Level1)
 	if err != nil {
@@ -32,14 +32,14 @@ func startStack(t *testing.T) (*httpd.Server, string) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New("http://x", tpcw.Workload{}, 1); err == nil {
+	if _, err := New(Options{BaseURL: "http://x", Workload: tpcw.Workload{}, Seed: 1}); err == nil {
 		t.Fatal("invalid workload accepted")
 	}
 }
 
 func TestDriverGeneratesTraffic(t *testing.T) {
 	srv, base := startStack(t)
-	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 20}, 7)
+	d, err := New(Options{BaseURL: base, Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 20}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestDriverGeneratesTraffic(t *testing.T) {
 
 func TestDriverRejectsNonPositiveDuration(t *testing.T) {
 	_, base := startStack(t)
-	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 2}, 1)
+	d, err := New(Options{BaseURL: base, Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 2}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestDriverRejectsNonPositiveDuration(t *testing.T) {
 
 func TestDriverSetWorkload(t *testing.T) {
 	_, base := startStack(t)
-	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 5}, 1)
+	d, err := New(Options{BaseURL: base, Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 5}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestDriverSetWorkload(t *testing.T) {
 
 func TestDriverCountsErrors(t *testing.T) {
 	// Point at a dead address: every request fails, none complete.
-	d, err := New("http://127.0.0.1:1", tpcw.Workload{Mix: tpcw.Shopping, Clients: 5}, 3)
+	d, err := New(Options{BaseURL: "http://127.0.0.1:1", Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 5}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestDriverCountsErrors(t *testing.T) {
 
 func TestLiveSystemEndToEnd(t *testing.T) {
 	srv, base := startStack(t)
-	d, err := New(base, tpcw.Workload{Mix: tpcw.Shopping, Clients: 25}, 11)
+	d, err := New(Options{BaseURL: base, Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 25}, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestLiveSystemEndToEnd(t *testing.T) {
 	}
 	live.Interval = time.Second
 
-	m, err := live.Measure()
+	m, err := live.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestLiveSystemEndToEnd(t *testing.T) {
 	cfg := live.Config()
 	idx := 0
 	cfg[idx] = space.Def(idx).Min
-	if err := live.Apply(cfg); err != nil {
+	if err := live.Apply(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Params().MaxClients != space.Def(idx).Min {
@@ -159,7 +159,7 @@ func TestLiveWeakerLevelSlower(t *testing.T) {
 		t.Skip("live load test")
 	}
 	srv, base := startStack(t)
-	d, err := New(base, tpcw.Workload{Mix: tpcw.Ordering, Clients: 30}, 13)
+	d, err := New(Options{BaseURL: base, Workload: tpcw.Workload{Mix: tpcw.Ordering, Clients: 30}, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +169,14 @@ func TestLiveWeakerLevelSlower(t *testing.T) {
 	}
 	live.Interval = 1500 * time.Millisecond
 
-	m1, err := live.Measure()
+	m1, err := live.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := live.SetAppLevel(vmenv.Level3); err != nil {
 		t.Fatal(err)
 	}
-	m3, err := live.Measure()
+	m3, err := live.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,300 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/rac-project/rac/internal/tpcw"
+)
+
+func validOptions() Options {
+	return Options{
+		BaseURL:  "http://127.0.0.1:1",
+		Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 1},
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		want   error
+	}{
+		{"empty url", func(o *Options) { o.BaseURL = "" }, ErrBadURL},
+		{"bad workload", func(o *Options) { o.Workload = tpcw.Workload{} }, ErrBadWorkload},
+		{"negative rate", func(o *Options) { o.Rate = -1 }, ErrBadRate},
+		{"bad arrival", func(o *Options) { o.ArrivalProcess = "bursty" }, ErrBadArrival},
+		{"negative shards", func(o *Options) { o.Shards = -1 }, ErrBadShards},
+		{"negative inflight", func(o *Options) { o.MaxInFlight = -2 }, ErrBadInFlight},
+		{"negative timeout", func(o *Options) { o.Timeout = -time.Second }, ErrBadTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(&o)
+			if _, err := New(o); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	d, err := New(validOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := d.Options()
+	if o.Shards != 4 || o.MaxInFlight != 64 {
+		t.Fatalf("shards/inflight defaults: %d/%d", o.Shards, o.MaxInFlight)
+	}
+	if o.ArrivalProcess != ArrivalPoisson {
+		t.Fatalf("arrival default: %q", o.ArrivalProcess)
+	}
+	if o.Timeout != 5*time.Second || o.ShedGrace != 10*time.Millisecond {
+		t.Fatalf("timeout/grace defaults: %v/%v", o.Timeout, o.ShedGrace)
+	}
+	// An in-flight bound below the shard count is raised, not rejected.
+	o2 := validOptions()
+	o2.Shards = 8
+	o2.MaxInFlight = 2
+	d2, err := New(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Options().MaxInFlight; got != 8 {
+		t.Fatalf("MaxInFlight not raised to shard count: %d", got)
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	for name, want := range map[string]Arrival{
+		"":        ArrivalPoisson,
+		"poisson": ArrivalPoisson,
+		"uniform": ArrivalUniform,
+	} {
+		got, err := ParseArrival(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseArrival(%q) = %q, %v", name, got, err)
+		}
+	}
+	if _, err := ParseArrival("bursty"); !errors.Is(err, ErrBadArrival) {
+		t.Fatalf("bad arrival error: %v", err)
+	}
+}
+
+func TestBuildSchedule(t *testing.T) {
+	for _, arr := range []Arrival{ArrivalPoisson, ArrivalUniform} {
+		t.Run(string(arr), func(t *testing.T) {
+			o := validOptions()
+			o.Rate = 5 // paper req/s → 5·2·100 = 1000 arrivals over 2 s wall
+			o.ArrivalProcess = arr
+			o.Seed = 99
+			dur := 2 * time.Second
+			sched := buildSchedule(o, tpcw.Shopping, dur)
+			if len(sched) != 1000 {
+				t.Fatalf("schedule length %d, want 1000", len(sched))
+			}
+			prev := 0.0
+			for k, a := range sched {
+				if a.at < prev || a.at >= dur.Seconds() {
+					t.Fatalf("arrival %d at %v out of order or past interval end", k, a.at)
+				}
+				prev = a.at
+			}
+			again := buildSchedule(o, tpcw.Shopping, dur)
+			if !reflect.DeepEqual(sched, again) {
+				t.Fatal("schedule not deterministic")
+			}
+		})
+	}
+}
+
+// openLoopRun drives the open-loop engine through the pure exec hook — no
+// pacing, no HTTP — so the sharded accounting path can be checked for exact
+// determinism. Latencies are dyadic rationals: every float sum is exact, so
+// the result cannot depend on which shard or goroutine summed what.
+func openLoopRun(t *testing.T, shards, inFlight int) Result {
+	t.Helper()
+	o := validOptions()
+	o.Seed = 42
+	o.Rate = 50 // 50·2·100 = 10000 slots
+	o.Shards = shards
+	o.MaxInFlight = inFlight
+	d, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.exec = func(k int, class tpcw.Class) (float64, bool) {
+		if k%7 == 0 {
+			return 0, false
+		}
+		return 0.25 + float64(k%16)*0.25, true
+	}
+	res, err := d.Run(context.Background(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOpenLoopShardInvariance(t *testing.T) {
+	base := openLoopRun(t, 1, 1)
+	if base.Offered != 10000 {
+		t.Fatalf("offered %d, want 10000", base.Offered)
+	}
+	if base.Completed == 0 || base.Errors == 0 {
+		t.Fatalf("degenerate baseline %+v", base)
+	}
+	for _, tc := range []struct{ shards, inFlight int }{
+		{1, 8}, {2, 6}, {4, 64}, {8, 64}, {16, 16},
+	} {
+		got := openLoopRun(t, tc.shards, tc.inFlight)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("shards=%d inflight=%d: %+v != baseline %+v",
+				tc.shards, tc.inFlight, got, base)
+		}
+	}
+}
+
+// TestOpenLoopAccountingRace hammers the sharded accounting concurrently; its
+// value is under `go test -race`, where any unsynchronized counter or
+// histogram write in the hot path fails the run.
+func TestOpenLoopAccountingRace(t *testing.T) {
+	t.Parallel()
+	for i := 0; i < 3; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			res := openLoopRun(t, 8, 64)
+			if res.Completed+res.Errors != res.Offered {
+				t.Fatalf("run %d lost slots: %+v", i, res)
+			}
+		})
+	}
+}
+
+func TestOpenLoopBackpressureSheds(t *testing.T) {
+	// A backend slower than the offered rate under a tight in-flight bound:
+	// the engine must shed late arrivals and account for every slot, rather
+	// than issue them late (coordinated omission) or lose them.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(20 * time.Millisecond)
+	}))
+	defer srv.Close()
+
+	o := validOptions()
+	o.BaseURL = srv.URL
+	o.Seed = 7
+	o.Rate = 4 // 4·0.5·100 = 200 arrivals in 0.5 s wall = 400 req/s offered
+	o.Shards = 2
+	o.MaxInFlight = 4 // capacity ≈ 4/20ms = 200 req/s — half the offered load
+	d, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("no arrivals shed against a saturated backend: %+v", res)
+	}
+	if res.Completed+res.Errors+res.Shed != res.Offered {
+		t.Fatalf("slots unaccounted for: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+}
+
+func TestOpenLoopAgainstLiveStack(t *testing.T) {
+	srv, base := startStack(t)
+	o := validOptions()
+	o.BaseURL = base
+	o.Seed = 21
+	o.Rate = 2 // 2·0.5·100 = 100 arrivals over 0.5 s wall
+	d, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered != 100 {
+		t.Fatalf("offered %d, want 100", res.Offered)
+	}
+	if res.Completed == 0 || res.MeanRT <= 0 || res.Throughput <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if srv.Stats().Served == 0 {
+		t.Fatal("server saw no traffic")
+	}
+}
+
+func TestOpenLoopCancellation(t *testing.T) {
+	_, base := startStack(t)
+	o := validOptions()
+	o.BaseURL = base
+	o.Rate = 1
+	d, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.Run(ctx, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v", err)
+	}
+}
+
+// The acceptance benchmark pair: sustained completed-request throughput of
+// the seed closed-loop browser driver versus the open-loop engine against the
+// same live stack. Compare the req/s metrics:
+//
+//	go test ./internal/loadgen -bench Sustained -benchtime 3x
+func benchSustained(b *testing.B, opts Options) {
+	srv, base := startStack(b)
+	opts.BaseURL = base
+	d, err := New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const interval = 250 * time.Millisecond
+	var completed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Run(context.Background(), interval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed += res.Completed
+	}
+	b.StopTimer()
+	elapsed := float64(b.N) * interval.Seconds()
+	b.ReportMetric(float64(completed)/elapsed, "req/s")
+	b.ReportMetric(float64(srv.Stats().Served), "served")
+}
+
+func BenchmarkClosedLoopSustained(b *testing.B) {
+	benchSustained(b, Options{
+		Workload: tpcw.Workload{Mix: tpcw.Shopping, Clients: 20},
+		Seed:     3,
+	})
+}
+
+func BenchmarkOpenLoopSustained(b *testing.B) {
+	benchSustained(b, Options{
+		Workload:    tpcw.Workload{Mix: tpcw.Shopping, Clients: 20},
+		Seed:        3,
+		Rate:        40, // paper req/s → 40·TimeScale = 4000 wall req/s offered
+		Shards:      8,
+		MaxInFlight: 128,
+	})
+}

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -87,7 +88,10 @@ func (a *Analytic) Space() *config.Space { return a.space }
 func (a *Analytic) Config() config.Config { return a.cfg.Clone() }
 
 // Apply stores the configuration after validation.
-func (a *Analytic) Apply(cfg config.Config) error {
+func (a *Analytic) Apply(ctx context.Context, cfg config.Config) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if cfg == nil {
 		return errNilConfig
 	}
@@ -99,7 +103,10 @@ func (a *Analytic) Apply(cfg config.Config) error {
 }
 
 // Measure solves the queueing network for the current configuration.
-func (a *Analytic) Measure() (Metrics, error) {
+func (a *Analytic) Measure(ctx context.Context) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
 	params, err := webtier.ParamsFromConfig(a.space, a.cfg)
 	if err != nil {
 		return Metrics{}, err

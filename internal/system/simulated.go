@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/rac-project/rac/internal/config"
@@ -99,8 +100,12 @@ func (s *Simulated) Space() *config.Space { return s.space }
 // Config returns the applied configuration.
 func (s *Simulated) Config() config.Config { return s.cfg.Clone() }
 
-// Apply reconfigures the simulated website.
-func (s *Simulated) Apply(cfg config.Config) error {
+// Apply reconfigures the simulated website. The reconfiguration itself is
+// instantaneous, so the context is only checked on entry.
+func (s *Simulated) Apply(ctx context.Context, cfg config.Config) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if cfg == nil {
 		return errNilConfig
 	}
@@ -118,9 +123,17 @@ func (s *Simulated) Apply(cfg config.Config) error {
 	return nil
 }
 
-// Measure settles the system briefly, then records one interval.
-func (s *Simulated) Measure() (Metrics, error) {
+// Measure settles the system briefly, then records one interval. Virtual
+// time costs real CPU, so cancellation is checked between the settle and
+// recorded phases as well as on entry.
+func (s *Simulated) Measure(ctx context.Context) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
 	s.model.Warmup(s.settleSeconds)
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
 	st, err := s.model.Run(s.measureSeconds)
 	if err != nil {
 		return Metrics{}, fmt.Errorf("simulated measure: %w", err)

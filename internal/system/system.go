@@ -12,6 +12,7 @@
 package system
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -36,6 +37,16 @@ type Metrics struct {
 	// Errors is the number of requests that failed or timed out in the
 	// interval (live systems only; simulators complete every request).
 	Errors int `json:"errors,omitempty"`
+	// Offered is the number of requests the load harness intended to issue
+	// in the interval. Only open-loop drivers report it (closed-loop load has
+	// no offered schedule independent of completions), so it is omitted from
+	// JSON — and therefore from every existing serialized metric — when zero.
+	Offered int `json:"offered,omitempty"`
+	// Shed is the number of offered requests dropped by the harness's
+	// admission control instead of being issued late. Counting them — rather
+	// than silently stretching the schedule — is what keeps open-loop
+	// latencies free of coordinated omission.
+	Shed int `json:"shed,omitempty"`
 	// IntervalSeconds is the measurement duration in (virtual) seconds.
 	IntervalSeconds float64 `json:"interval_seconds"`
 	// Invalid marks a measurement that must not be learned from (degraded
@@ -55,6 +66,9 @@ func (m Metrics) String() string {
 	if m.Errors > 0 {
 		s += fmt.Sprintf(" errors=%d", m.Errors)
 	}
+	if m.Shed > 0 {
+		s += fmt.Sprintf(" shed=%d/%d", m.Shed, m.Offered)
+	}
 	if m.IntervalSeconds > 0 {
 		s += fmt.Sprintf(" over %.0fs", m.IntervalSeconds)
 	}
@@ -69,17 +83,22 @@ func (m Metrics) String() string {
 }
 
 // System is what an agent tunes: it can reconfigure the web system and
-// measure its application-level performance over one interval.
+// measure its application-level performance over one interval. Both mutating
+// calls take a context so a draining daemon can cancel an in-flight
+// reconfiguration or measurement interval instead of waiting it out; a
+// canceled call returns ctx.Err() (possibly wrapped) and the interval's
+// partial data is discarded.
 type System interface {
 	// Space returns the configuration space of the system.
 	Space() *config.Space
 	// Config returns the currently applied configuration.
 	Config() config.Config
 	// Apply reconfigures the system. Implementations must validate against
-	// Space.
-	Apply(cfg config.Config) error
-	// Measure runs one measurement interval and returns its metrics.
-	Measure() (Metrics, error)
+	// Space and honor ctx cancellation.
+	Apply(ctx context.Context, cfg config.Config) error
+	// Measure runs one measurement interval and returns its metrics. A
+	// canceled ctx aborts the interval early with ctx.Err().
+	Measure(ctx context.Context) (Metrics, error)
 }
 
 // Snapshottable is implemented by systems whose runtime state can be captured

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestSimulatedApplyMeasure(t *testing.T) {
 	if err := sys.Space().Validate(cfg); err != nil {
 		t.Fatal(err)
 	}
-	m, err := sys.Measure()
+	m, err := sys.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestSimulatedApplyMeasure(t *testing.T) {
 	}
 
 	next := cfg.With(sys.Space(), config.MaxClients, 300)
-	if err := sys.Apply(next); err != nil {
+	if err := sys.Apply(context.Background(), next); err != nil {
 		t.Fatal(err)
 	}
 	if got, _ := sys.Config().Get(sys.Space(), config.MaxClients); got != 300 {
@@ -113,12 +114,12 @@ func TestSimulatedApplyMeasure(t *testing.T) {
 
 func TestSimulatedApplyValidates(t *testing.T) {
 	sys := newSim(t, smallContext(tpcw.Shopping, vmenv.Level1), 1)
-	if err := sys.Apply(nil); err == nil {
+	if err := sys.Apply(context.Background(), nil); err == nil {
 		t.Fatal("nil config accepted")
 	}
 	bad := sys.Config()
 	bad[0] = 47
-	if err := sys.Apply(bad); err == nil {
+	if err := sys.Apply(context.Background(), bad); err == nil {
 		t.Fatal("off-lattice config accepted")
 	}
 }
@@ -142,7 +143,7 @@ func TestSimulatedContextControls(t *testing.T) {
 	if sys.Workload().Mix != tpcw.Ordering || sys.AppLevel() != vmenv.Level3 {
 		t.Fatalf("context not applied: %v %v", sys.Workload(), sys.AppLevel())
 	}
-	m, err := sys.Measure()
+	m, err := sys.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestSimulatedContextControls(t *testing.T) {
 func TestSimulatedDeterminism(t *testing.T) {
 	run := func() Metrics {
 		sys := newSim(t, smallContext(tpcw.Ordering, vmenv.Level2), 42)
-		m, err := sys.Measure()
+		m, err := sys.Measure(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,11 +173,11 @@ func TestAnalyticSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := sys.Measure()
+	m1, err := sys.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, _ := sys.Measure()
+	m2, _ := sys.Measure(context.Background())
 	if m1.MeanRT != m2.MeanRT {
 		t.Fatal("noise-free analytic system not deterministic")
 	}
@@ -186,10 +187,10 @@ func TestAnalyticSystem(t *testing.T) {
 
 	// Config changes move the measurement.
 	cfg := sys.Config().With(sys.Space(), config.SessionTimeout, 3)
-	if err := sys.Apply(cfg); err != nil {
+	if err := sys.Apply(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
-	m3, _ := sys.Measure()
+	m3, _ := sys.Measure(context.Background())
 	if m3.MeanRT == m1.MeanRT {
 		t.Fatal("reconfiguration had no analytic effect")
 	}
@@ -204,8 +205,8 @@ func TestAnalyticNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, _ := sys.Measure()
-	m2, _ := sys.Measure()
+	m1, _ := sys.Measure(context.Background())
+	m2, _ := sys.Measure(context.Background())
 	if m1.MeanRT == m2.MeanRT {
 		t.Fatal("noisy measurements identical")
 	}
@@ -216,7 +217,7 @@ func TestAnalyticValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Apply(nil); err == nil {
+	if err := sys.Apply(context.Background(), nil); err == nil {
 		t.Fatal("nil config accepted")
 	}
 	if err := sys.SetWorkload(tpcw.Workload{}); err == nil {
@@ -237,7 +238,7 @@ func TestAnalyticAgreesWithContextOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := sys.Measure()
+		m, err := sys.Measure(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

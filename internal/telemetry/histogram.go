@@ -32,6 +32,14 @@ type Histogram struct {
 	shards []histShard
 }
 
+// NewHistogram builds a standalone histogram outside any Registry — for
+// hot-path accounting that is merged into results at interval close rather
+// than exposed on /metrics (the load generator's per-shard latency counts).
+// Nil buckets use DefBuckets.
+func NewHistogram(buckets []float64) *Histogram {
+	return newHistogram(desc{}, buckets)
+}
+
 func newHistogram(d desc, buckets []float64) *Histogram {
 	if buckets == nil {
 		buckets = DefBuckets
@@ -130,6 +138,49 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets[i] += s.Buckets[i-1]
 	}
 	return s
+}
+
+// Merge folds another snapshot with identical bucket bounds into s. It is
+// how per-shard histograms combine into one interval result; mismatched
+// bounds are a programming error and panic.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if len(o.UpperBounds) != len(s.UpperBounds) {
+		panic("telemetry: merging histograms with different buckets")
+	}
+	for i, b := range o.Buckets {
+		s.Buckets[i] += b
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket containing it, the standard Prometheus-style estimate.
+// Observations above the last bound clamp to that bound; an empty histogram
+// yields 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	prev := int64(0)
+	lower := 0.0
+	for i, cum := range s.Buckets {
+		if float64(cum) >= rank {
+			inBucket := float64(cum - prev)
+			if inBucket <= 0 {
+				return s.UpperBounds[i]
+			}
+			return lower + (s.UpperBounds[i]-lower)*(rank-float64(prev))/inBucket
+		}
+		prev = cum
+		lower = s.UpperBounds[i]
+	}
+	// Rank falls in the +Inf overflow bucket: clamp to the largest bound.
+	if n := len(s.UpperBounds); n > 0 {
+		return s.UpperBounds[n-1]
+	}
+	return 0
 }
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }

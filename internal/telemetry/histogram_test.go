@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHistogramStandalone(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(0.1)
+	h.Observe(1.1)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if len(s.UpperBounds) != len(DefBuckets) {
+		t.Fatalf("default buckets not used: %v", s.UpperBounds)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 4})
+	b := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{0.25, 0.75, 2} {
+		b.Observe(v)
+	}
+	sa := a.Snapshot()
+	sa.Merge(b.Snapshot())
+	if sa.Count != 7 {
+		t.Fatalf("merged count %d", sa.Count)
+	}
+	if want := 0.5 + 1.5 + 3 + 8 + 0.25 + 0.75 + 2; sa.Sum != want {
+		t.Fatalf("merged sum %v, want %v", sa.Sum, want)
+	}
+	// Cumulative convention: counts ≤ each bound across both inputs.
+	for i, want := range []int64{3, 5, 6} {
+		if sa.Buckets[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, sa.Buckets[i], want)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-bounds merge did not panic")
+		}
+	}()
+	mismatched := NewHistogram([]float64{1, 2}).Snapshot()
+	sa.Merge(mismatched)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 100 observations uniform over (0, 4]: quantiles interpolate linearly.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); math.Abs(q-2) > 0.1 {
+		t.Fatalf("p50 %v, want ≈2", q)
+	}
+	if q := s.Quantile(0.25); math.Abs(q-1) > 0.1 {
+		t.Fatalf("p25 %v, want ≈1", q)
+	}
+	if q := s.Quantile(1); q != 4 {
+		t.Fatalf("p100 %v, want 4", q)
+	}
+
+	// Overflow observations clamp to the largest bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Snapshot().Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile %v, want clamp to 2", q)
+	}
+
+	// Degenerate inputs.
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.9); q != 0 {
+		t.Fatalf("empty quantile %v", q)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("q=0 quantile %v", q)
+	}
+}

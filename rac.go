@@ -21,7 +21,7 @@
 //	policy, _ := rac.LearnPolicy("ctx", sys.Space(), sampler, rac.InitOptions{})
 //	agent, _ := rac.NewAgent(sys, rac.AgentOptions{Policy: policy})
 //	for i := 0; i < 25; i++ {
-//	    step, _ := agent.Step()
+//	    step, _ := agent.Step(context.Background())
 //	    fmt.Printf("iter %d: rt=%.3fs\n", step.Iteration, step.MeanRT)
 //	}
 //
@@ -30,6 +30,7 @@
 package rac
 
 import (
+	"context"
 	"io"
 
 	"github.com/rac-project/rac/internal/bench"
@@ -231,13 +232,14 @@ func ConfigFeatures(space *Space) (mdp.Features, int) {
 }
 
 // SystemSampler adapts a System into a policy-initialization Sampler
-// (apply + measure per probed configuration).
+// (apply + measure per probed configuration). Offline sampling has no caller
+// to cancel it, so each probe runs under context.Background().
 func SystemSampler(sys System) Sampler {
 	return func(cfg Config) (float64, error) {
-		if err := sys.Apply(cfg); err != nil {
+		if err := sys.Apply(context.Background(), cfg); err != nil {
 			return 0, err
 		}
-		m, err := sys.Measure()
+		m, err := sys.Measure(context.Background())
 		if err != nil {
 			return 0, err
 		}
@@ -279,8 +281,30 @@ type (
 	LiveSystem = httpd.Live
 	// LoadDriver generates TPC-W-style HTTP load.
 	LoadDriver = loadgen.Driver
+	// LoadOptions configure a LoadDriver: closed-loop emulated browsers by
+	// default, the open-loop paced engine when Rate is set.
+	LoadOptions = loadgen.Options
+	// LoadArrival selects the open-loop arrival process.
+	LoadArrival = loadgen.Arrival
 	// ServerParams are the web-system knobs in natural units.
 	ServerParams = webtier.Params
+)
+
+// The open-loop arrival processes.
+const (
+	ArrivalPoisson = loadgen.ArrivalPoisson
+	ArrivalUniform = loadgen.ArrivalUniform
+)
+
+// Load-generator validation sentinels; constructor errors wrap exactly one.
+var (
+	ErrBadLoadURL      = loadgen.ErrBadURL
+	ErrBadLoadWorkload = loadgen.ErrBadWorkload
+	ErrBadLoadRate     = loadgen.ErrBadRate
+	ErrBadLoadArrival  = loadgen.ErrBadArrival
+	ErrBadLoadShards   = loadgen.ErrBadShards
+	ErrBadLoadInFlight = loadgen.ErrBadInFlight
+	ErrBadLoadTimeout  = loadgen.ErrBadTimeout
 )
 
 // DefaultServerParams returns the Table 1 defaults in natural units.
@@ -291,9 +315,17 @@ func NewLiveServer(params ServerParams, level Level) (*LiveServer, error) {
 	return httpd.NewServer(params, level)
 }
 
-// NewLoadDriver builds an HTTP load generator against a base URL.
+// NewLoadDriver builds a closed-loop HTTP load generator against a base URL
+// — the historical constructor, kept source-compatible as a thin wrapper
+// over NewLoadDriverOptions.
 func NewLoadDriver(base string, w Workload, seed uint64) (*LoadDriver, error) {
-	return loadgen.New(base, w, seed)
+	return loadgen.New(loadgen.Options{BaseURL: base, Workload: w, Seed: seed})
+}
+
+// NewLoadDriverOptions builds a load generator from full options (open-loop
+// rate, arrival process, shards, admission bound).
+func NewLoadDriverOptions(opts LoadOptions) (*LoadDriver, error) {
+	return loadgen.New(opts)
 }
 
 // NewLiveSystem adapts a started live server and a load driver to the System

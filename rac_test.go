@@ -2,6 +2,7 @@ package rac_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/rac-project/rac"
@@ -56,7 +57,7 @@ func TestEndToEndThroughPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		step, err := agent.Step()
+		step, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestEndToEndThroughPublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := tuner.Step(); err != nil {
+		if _, err := tuner.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -123,7 +124,7 @@ func TestApproxAgentThroughPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		res, err := agent.Step()
+		res, err := agent.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
