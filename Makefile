@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load faults-smoke fleet-smoke loadgen-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load faults-smoke fleet-smoke loadgen-smoke workload-smoke
 
-check: fmt vet vet-faults build race fleet-smoke loadgen-smoke
+check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -69,6 +69,14 @@ loadgen-smoke:
 # resilient agent — a crash or hang here means the recovery loop regressed.
 faults-smoke:
 	$(GO) run ./cmd/racagent -faults examples/faults_basic.json -quick
+
+# End-to-end smoke of the workload engine: every shipped scenario file must
+# parse and compile, and the two-phase ramp scenario replays end to end on the
+# simulated backend. Short measurement windows keep it cheap enough for
+# `make check`.
+workload-smoke:
+	$(GO) run ./cmd/racsim -validate-scenarios examples/scenarios
+	$(GO) run ./cmd/racsim -scenario examples/scenarios/ramp.json -warmup 30 -interval 60
 
 # End-to-end smoke of the multi-tenant control plane: racd boots two
 # simulated tenants, exercises the admin API, drains with final checkpoints,

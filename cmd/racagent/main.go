@@ -58,6 +58,7 @@ func run(args []string) error {
 		snapshot   = fs.String("snapshot", "", "save the final agent state (policy + Q-table) to this file at exit (-agent rac only)")
 		openLoop   = fs.Bool("open", false, "open-loop load: offer a fixed arrival schedule instead of emulated browsers (defaults -rate to 30)")
 		rate       = fs.Float64("rate", 0, "open-loop offered load in paper-scale req/s (>0 implies -open; 0 keeps the closed loop)")
+		scenario   = fs.String("scenario", "", "drive a time-varying workload scenario: a library name (diurnal|flashcrowd|mixdrift|ramp|steady) or a JSON file (see examples/scenarios/)")
 		arrival    = fs.String("arrival", "", "open-loop arrival process: poisson (default) or uniform")
 		shards     = fs.Int("shards", 0, "open-loop accounting shards (0 = default; results identical for any value)")
 		inflight   = fs.Int("inflight", 0, "open-loop bound on concurrently outstanding requests (0 = default)")
@@ -65,7 +66,24 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *openLoop && *rate == 0 {
+	// A scenario replaces the fixed -rate: in the open loop the compiled
+	// schedule paces the arrivals itself, in the closed loop a sequencer
+	// re-applies each interval's workload before the agent steps.
+	var sched *rac.WorkloadSchedule
+	if *scenario != "" {
+		sc, err := rac.ResolveWorkloadScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		if *rate > 0 {
+			return fmt.Errorf("-scenario drives the offered load; drop -rate")
+		}
+		sched, err = rac.CompileWorkload(sc)
+		if err != nil {
+			return err
+		}
+	}
+	if *openLoop && *rate == 0 && sched == nil {
 		*rate = 30
 	}
 	if *snapshot != "" && *agentKind != "rac" {
@@ -99,19 +117,32 @@ func run(args []string) error {
 		return err
 	}
 	trace := rac.NewTrace(*traceCap)
+	workload := rac.Workload{Mix: mix, Clients: *clients}
+	load := rac.LoadOptions{
+		Rate:           *rate,
+		ArrivalProcess: rac.LoadArrival(*arrival),
+		Shards:         *shards,
+		MaxInFlight:    *inflight,
+	}
+	// Each wall-clock interval covers interval×TimeScale scenario seconds;
+	// the sequencer walks the schedule at that pace, mirroring the open-loop
+	// driver's own window cursor.
+	var seq *rac.WorkloadSequencer
+	if sched != nil {
+		seq = rac.NewWorkloadSequencer(sched, interval.Seconds()*rac.TimeScale)
+		workload = seq.At(0).Workload
+		if *openLoop {
+			load.Schedule = sched
+		}
+	}
 	built, err := rac.BuildSystem(rac.SystemSpec{
-		Backend:  "live",
-		Space:    space,
-		Initial:  start,
-		Context:  rac.Context{Name: "racagent", Workload: rac.Workload{Mix: mix, Clients: *clients}, Level: level},
-		Seed:     *seed,
-		Interval: *interval,
-		Load: rac.LoadOptions{
-			Rate:           *rate,
-			ArrivalProcess: rac.LoadArrival(*arrival),
-			Shards:         *shards,
-			MaxInFlight:    *inflight,
-		},
+		Backend:    "live",
+		Space:      space,
+		Initial:    start,
+		Context:    rac.Context{Name: "racagent", Workload: workload, Level: level},
+		Seed:       *seed,
+		Interval:   *interval,
+		Load:       load,
 		Trace:      trace,
 		FaultsPath: *faultsPath,
 	})
@@ -124,10 +155,19 @@ func run(args []string) error {
 		defer cancel()
 		_ = server.Shutdown(ctx)
 	}()
-	if *rate > 0 {
+	switch {
+	case sched != nil:
+		loop := "closed loop"
+		if *openLoop {
+			loop = "open loop"
+		}
+		seq.SetTelemetry(server.Telemetry())
+		fmt.Printf("bookstore on http://%s  (scenario %q, %s, %s)\n",
+			built.Addr, sched.Scenario().Name, loop, level)
+	case *rate > 0:
 		fmt.Printf("bookstore on http://%s  (%s, open loop %.0f req/s %s, %s)\n",
 			built.Addr, mix, *rate, built.Driver.Options().ArrivalProcess, level)
-	} else {
+	default:
 		fmt.Printf("bookstore on http://%s  (%s, %d browsers, %s)\n", built.Addr, mix, *clients, level)
 	}
 	fmt.Printf("observability: http://%s/metrics  http://%s/admin/trace\n", built.Addr, built.Addr)
@@ -179,7 +219,11 @@ func run(args []string) error {
 	defer signal.Stop(sig)
 
 	var retries, invalids, degradeds, rollbacks int
-	fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
+	if sched != nil {
+		fmt.Println("\niter   rt(paper-s)  X(req/s)  offered  phase     action")
+	} else {
+		fmt.Println("\niter   rt(paper-s)  X(req/s)  action")
+	}
 steps:
 	for i := 0; i < *iters; i++ {
 		select {
@@ -187,6 +231,27 @@ steps:
 			fmt.Printf("racagent: %s — stopping after the finished interval\n", s)
 			break steps
 		default:
+		}
+		// With a scenario active the offered load is recomputed per interval
+		// (the fixed -rate no longer describes it) and recorded in the
+		// decision trace before the step, so rollbacks and switches can be
+		// correlated with the load that provoked them. The closed loop also
+		// re-applies the interval's workload; the open loop paces itself from
+		// the schedule.
+		var iv rac.WorkloadInterval
+		if sched != nil {
+			iv = seq.Observe(i)
+			if !*openLoop {
+				if err := built.Live.SetWorkload(iv.Workload); err != nil {
+					return fmt.Errorf("interval %d workload: %w", i, err)
+				}
+			}
+			trace.Add(rac.TraceEvent{
+				Kind:        rac.TraceKindWorkload,
+				Iteration:   i + 1,
+				OfferedRate: iv.OfferedRate,
+				Detail:      iv.PhaseName,
+			})
 		}
 		step, err := tuner.Step(context.Background())
 		if err != nil {
@@ -208,8 +273,14 @@ steps:
 			marks += "  [rolled back]"
 			rollbacks++
 		}
-		fmt.Printf("%4d  %11.3f  %8.1f  %s%s\n",
-			step.Iteration, step.MeanRT, step.Throughput, step.Action.Describe(space), marks)
+		if sched != nil {
+			fmt.Printf("%4d  %11.3f  %8.1f  %7.1f  %-8s  %s%s\n",
+				step.Iteration, step.MeanRT, step.Throughput, iv.OfferedRate, iv.PhaseName,
+				step.Action.Describe(space), marks)
+		} else {
+			fmt.Printf("%4d  %11.3f  %8.1f  %s%s\n",
+				step.Iteration, step.MeanRT, step.Throughput, step.Action.Describe(space), marks)
+		}
 	}
 	st := server.Stats()
 	fmt.Printf("\nserver stats: served=%d rejected=%d sessions=%d\n",

@@ -11,6 +11,10 @@
 //	                              # recovery-under-faults figure
 //	racbench -fig load -quick     # open-loop data-plane throughput figure
 //	                              # (real HTTP over wall clock; not in -all)
+//	racbench -fig diurnal -quick  # adaptation under the built-in 24 h
+//	                              # diurnal workload scenario (not in -all)
+//	racbench -scenario examples/scenarios/flashcrowd.json -quick
+//	                              # same figure for any scenario file
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"github.com/rac-project/rac/internal/bench"
 	"github.com/rac-project/rac/internal/faults"
 	"github.com/rac-project/rac/internal/parallel"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 func main() {
@@ -43,12 +48,13 @@ func run(args []string) error {
 		csvDir = fs.String("csv", "", "also write each figure as CSV into this directory")
 		procs  = fs.Int("procs", 0, "worker goroutines for sweeps and figure generation (0 = all CPUs, 1 = sequential; output is identical either way)")
 		scen   = fs.String("faults", "", "render the recovery-under-faults figure for this JSON scenario instead of a paper figure")
+		wlScen = fs.String("scenario", "", "render the workload-adaptation figure for this workload scenario: a library name (diurnal|flashcrowd|mixdrift|ramp|steady) or a JSON file (see examples/scenarios/); -fig diurnal is shorthand for -scenario diurnal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *figID == "" && *scen == "" {
-		return fmt.Errorf("pass -fig <id>, -all or -faults <scenario> (ids: %v)", bench.FigureIDs())
+	if !*all && *figID == "" && *scen == "" && *wlScen == "" {
+		return fmt.Errorf("pass -fig <id>, -all, -faults <scenario> or -scenario <workload> (ids: %v)", bench.FigureIDs())
 	}
 
 	h := bench.New(bench.Options{
@@ -65,6 +71,25 @@ func run(args []string) error {
 		}
 		start := time.Now()
 		fig, err := h.FigFaults(sc)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("  (%s in %.1fs)\n", fig.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			return writeCSV(*csvDir, fig)
+		}
+		return nil
+	}
+	if *wlScen != "" {
+		sc, err := workload.Resolve(*wlScen)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		fig, err := h.FigWorkload(sc)
 		if err != nil {
 			return err
 		}

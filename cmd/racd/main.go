@@ -99,6 +99,7 @@ func run(args []string, out io.Writer) error {
 		listen    = fs.String("listen", "", "admin API address (overrides the config)")
 		rounds    = fs.Int("rounds", 0, "stop after this many scheduling rounds (0 = run until SIGINT/SIGTERM)")
 		traceCap  = fs.Int("trace", 512, "decision/lifecycle trace ring capacity")
+		scenario  = fs.String("scenario", "", "default workload scenario (library name or JSON file) for tenants whose spec does not set one")
 		selfcheck = fs.Bool("selfcheck", false, "run the built-in checkpoint/restart smoke and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +117,16 @@ func run(args []string, out io.Writer) error {
 	}
 	if *listen != "" {
 		cfg.Listen = *listen
+	}
+	if *scenario != "" {
+		if _, err := rac.ResolveWorkloadScenario(*scenario); err != nil {
+			return err
+		}
+		for i := range cfg.Tenants {
+			if cfg.Tenants[i].Scenario == "" {
+				cfg.Tenants[i].Scenario = *scenario
+			}
+		}
 	}
 
 	d, err := newDaemon(cfg, *traceCap)
@@ -188,6 +199,27 @@ func (d *daemon) buildLive(spec rac.TenantSpec, ctx rac.Context, seed uint64) (r
 	if spec.MeasureSeconds > 0 {
 		interval = time.Duration(spec.MeasureSeconds * float64(time.Second))
 	}
+	load := rac.LoadOptions{
+		Rate:           spec.Rate,
+		ArrivalProcess: rac.LoadArrival(spec.Arrival),
+		Shards:         spec.LoadShards,
+		MaxInFlight:    spec.LoadInFlight,
+	}
+	// A scenario tenant's data plane follows the compiled arrival schedule:
+	// the open-loop engine offers the scenario's time-varying load while the
+	// fleet advances the same scenario one interval per step on the control
+	// side.
+	if spec.Scenario != "" {
+		sc, err := rac.ResolveWorkloadScenario(spec.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := rac.CompileWorkload(sc)
+		if err != nil {
+			return nil, err
+		}
+		load.Schedule = sched
+	}
 	// Fault wrapping stays with the fleet (it layers spec.Faults over
 	// whatever this hook returns), so the spec's faults are not passed here.
 	built, err := rac.BuildSystem(rac.SystemSpec{
@@ -196,12 +228,7 @@ func (d *daemon) buildLive(spec rac.TenantSpec, ctx rac.Context, seed uint64) (r
 		Context:  ctx,
 		Seed:     seed,
 		Interval: interval,
-		Load: rac.LoadOptions{
-			Rate:           spec.Rate,
-			ArrivalProcess: rac.LoadArrival(spec.Arrival),
-			Shards:         spec.LoadShards,
-			MaxInFlight:    spec.LoadInFlight,
-		},
+		Load:     load,
 	})
 	if err != nil {
 		return nil, err
@@ -349,6 +376,8 @@ func runSelfcheck(out io.Writer) error {
 		Tenants: []rac.TenantSpec{
 			{Name: "shop-a", Backend: "sim", Context: "context-1", SettleSeconds: 5, MeasureSeconds: 10},
 			{Name: "shop-b", Backend: "sim", Context: "context-2", SettleSeconds: 5, MeasureSeconds: 10},
+			{Name: "shop-c", Backend: "sim", Context: "context-1", SettleSeconds: 5, MeasureSeconds: 10,
+				Scenario: "ramp"},
 		},
 	}
 
@@ -374,7 +403,7 @@ func runSelfcheck(out io.Writer) error {
 	if err := getJSON(base+"/admin/fleet", &view); err != nil {
 		return err
 	}
-	if len(view.Tenants) != 2 || view.Active != 2 {
+	if len(view.Tenants) != 3 || view.Active != 3 {
 		return fmt.Errorf("selfcheck: admin list reported %d tenants, %d active", len(view.Tenants), view.Active)
 	}
 	resp, err := http.Post(base+"/admin/fleet/shop-a/checkpoint", "", nil)
@@ -398,7 +427,7 @@ func runSelfcheck(out io.Writer) error {
 	if err := d2.admitAll(out); err != nil {
 		return err
 	}
-	for _, name := range []string{"shop-a", "shop-b"} {
+	for _, name := range []string{"shop-a", "shop-b", "shop-c"} {
 		st := d2.fleet.Tenant(name).Status()
 		if !st.Restored || st.Interval == 0 {
 			return fmt.Errorf("selfcheck: tenant %s did not warm-restart (restored=%v interval=%d)",
@@ -416,7 +445,7 @@ func runSelfcheck(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"rac_fleet_restores_total 2", "rac_fleet_checkpoints_total"} {
+	for _, want := range []string{"rac_fleet_restores_total 3", "rac_fleet_checkpoints_total"} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("selfcheck: /metrics missing %q", want)
 		}
@@ -424,7 +453,13 @@ func runSelfcheck(out io.Writer) error {
 	if err := d2.shutdown(out); err != nil {
 		return fmt.Errorf("selfcheck second drain: %w", err)
 	}
-	fmt.Fprintln(out, "fleet selfcheck ok: 2 tenants checkpointed, restarted and warm-restored")
+	// The scenario tenant must have resumed mid-scenario: its workload events
+	// continue from the checkpointed interval instead of restarting at 1.
+	st := d2.fleet.Tenant("shop-c").Status()
+	if st.Interval < 8 {
+		return fmt.Errorf("selfcheck: scenario tenant resumed at interval %d, want ≥ 8", st.Interval)
+	}
+	fmt.Fprintln(out, "fleet selfcheck ok: 3 tenants checkpointed, restarted and warm-restored")
 	return nil
 }
 

@@ -8,6 +8,8 @@
 //	racsim -mix ordering -clients 400 -level Level-1
 //	racsim -sweep MaxClients -mix ordering -level Level-3
 //	racsim -faults examples/faults_basic.json -intervals 30
+//	racsim -scenario ramp               # replay a workload scenario
+//	racsim -validate-scenarios examples/scenarios
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	"github.com/rac-project/rac"
@@ -26,6 +29,7 @@ import (
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 func main() {
@@ -50,6 +54,8 @@ func run(args []string) error {
 		procs    = fs.Int("procs", 0, "worker goroutines for -sweep (0 = all CPUs, 1 = sequential; every point is an independent seeded run, so results are identical either way)")
 		scenPath = fs.String("faults", "", "replay this JSON fault scenario against the fixed configuration, printing each interval as measured through the fault layer")
 		nIvals   = fs.Int("intervals", 30, "measurement intervals to run with -faults")
+		wlScen   = fs.String("scenario", "", "replay this workload scenario (library name or JSON file) against the fixed configuration, measuring every scenario interval on the simulator")
+		valDir   = fs.String("validate-scenarios", "", "parse and compile every *.json workload scenario in this directory, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +85,10 @@ func run(args []string) error {
 	tel := newSimTelemetry()
 	var runErr error
 	switch {
+	case *valDir != "":
+		runErr = validateScenarios(*valDir)
+	case *wlScen != "":
+		runErr = runScenario(space, cfg, lvl, *wlScen, *seed, *warmup, *interval, tel)
 	case *scenPath != "":
 		runErr = runFaults(space, cfg, workload, lvl, *scenPath, *nIvals, *seed, *warmup, *interval, tel)
 	case *sweep != "":
@@ -226,6 +236,74 @@ func runFaults(space *config.Space, cfg config.Config, w tpcw.Workload, lvl vmen
 		return err
 	}
 	fmt.Printf("\n%d faults injected over %d intervals\n", len(sys.Injected()), intervals)
+	return nil
+}
+
+// runScenario replays a workload scenario against the simulated system at a
+// fixed configuration — no agent, no tuning — measuring one steady-state
+// interval per scenario window so a scenario's raw load shape can be
+// inspected before it is handed to racagent or racbench. Each window is an
+// independent seeded run, so the table is reproducible row by row.
+func runScenario(space *config.Space, cfg config.Config, lvl vmenv.Level,
+	arg string, seed uint64, warmup, interval float64, tel *simTelemetry) error {
+
+	sc, err := workload.Resolve(arg)
+	if err != nil {
+		return err
+	}
+	sched, err := workload.Compile(sc)
+	if err != nil {
+		return err
+	}
+	seq := workload.NewSequencer(sched, sc.Interval())
+	seq.SetTelemetry(tel.reg)
+
+	fmt.Printf("scenario: %q (%d phases, %.0fs, %d intervals of %.0fs) on %s, config %s\n\n",
+		sc.Name, len(sc.Phases), sched.Duration(), seq.Len(), seq.IntervalSeconds(),
+		lvl, cfg.Format(space))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "interval\tphase\tmix\tclients\toffered\tmeanRT(s)\tp95(s)\tX(req/s)")
+	for i := 0; i < seq.Len(); i++ {
+		iv := seq.Observe(i)
+		st, err := measure(space, cfg, iv.Workload, lvl, seed+uint64(i), warmup, interval, tel)
+		if err != nil {
+			return fmt.Errorf("interval %d: %w", i+1, err)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%.1f\t%.3f\t%.3f\t%.1f\n",
+			i+1, iv.PhaseName, iv.Workload.Mix, iv.Workload.Clients,
+			iv.OfferedRate, st.MeanRT, st.P95RT, st.Throughput)
+	}
+	return tw.Flush()
+}
+
+// validateScenarios loads and compiles every *.json scenario in dir — the
+// workload-smoke gate that keeps the shipped scenario files honest.
+func validateScenarios(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no *.json scenarios in %s", dir)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "file\tscenario\tphases\tduration(s)\tintervals")
+	for _, p := range paths {
+		sc, err := workload.LoadFile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		sched, err := workload.Compile(sc)
+		if err != nil {
+			return fmt.Errorf("%s: compile: %w", p, err)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%d\n", filepath.Base(p), sc.Name,
+			len(sc.Phases), sched.Duration(), workload.NewSequencer(sched, sc.Interval()).Len())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%d scenarios ok\n", len(paths))
 	return nil
 }
 

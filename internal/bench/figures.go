@@ -549,6 +549,10 @@ func (h *Harness) Figures() map[string]func() (*Figure, error) {
 		// FigureIDs (and so not part of -all), because it drives real HTTP
 		// load over wall clock instead of the simulator.
 		"load": h.FigLoad,
+		// Beyond the paper: adaptation across the library's 24 h diurnal
+		// workload scenario. Not in FigureIDs for the same reason — the
+		// paper has no time-varying-workload figure to reproduce.
+		"diurnal": h.FigDiurnal,
 	}
 }
 

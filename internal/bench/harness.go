@@ -206,25 +206,64 @@ func (h *Harness) analyticRT(ctx system.Context, cfg config.Config) (float64, er
 // so a future per-call override can never alias a cached policy trained at a
 // different fidelity. Built with strconv: Policy sits on the figure hot path
 // and fmt.Sprintf's reflection is measurable across thousands of lookups.
-func (h *Harness) policyKey(ctx system.Context) string {
-	key := make([]byte, 0, len(ctx.Name)+32)
+// sampling selects a policy-training backend: the analytic queueing surface,
+// or the simulator measured over explicit settle/measure windows.
+type sampling struct {
+	sim             bool
+	settle, measure float64
+}
+
+// analyticSampling is the default backend (Options.SimSampling false).
+var analyticSampling = sampling{}
+
+// simSampling returns the simulator backend at the harness's windows.
+func (h *Harness) simSampling() sampling {
+	settle, measure := h.measureWindows()
+	return sampling{sim: true, settle: settle, measure: measure}
+}
+
+// optsSampling returns the backend selected by Options.SimSampling.
+func (h *Harness) optsSampling() sampling {
+	if h.opts.SimSampling {
+		return h.simSampling()
+	}
+	return analyticSampling
+}
+
+func (h *Harness) policyKey(ctx system.Context, smp sampling) string {
+	key := make([]byte, 0, len(ctx.Name)+48)
 	key = append(key, ctx.Name...)
 	key = append(key, "|c"...)
 	key = strconv.AppendInt(key, int64(h.coarseLevels()), 10)
 	key = append(key, "|q"...)
 	key = strconv.AppendBool(key, h.opts.Quick)
 	key = append(key, "|s"...)
-	key = strconv.AppendBool(key, h.opts.SimSampling)
+	key = strconv.AppendBool(key, smp.sim)
+	if smp.sim {
+		// Sim-sampled policies depend on the measurement windows too (the
+		// scenario benches train at their own fixed windows).
+		key = append(key, '/')
+		key = strconv.AppendFloat(key, smp.settle, 'g', -1, 64)
+		key = append(key, '/')
+		key = strconv.AppendFloat(key, smp.measure, 'g', -1, 64)
+	}
 	key = append(key, '|')
 	key = strconv.AppendUint(key, h.opts.Seed, 10)
 	return string(key)
 }
 
 // Policy returns (training and caching on first use) the initial policy for
-// a context. Concurrent callers requesting the same context share one
-// training run.
+// a context, sampling the backend selected by Options.SimSampling.
 func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
-	key := h.policyKey(ctx)
+	return h.policySampled(ctx, h.optsSampling())
+}
+
+// policySampled is Policy with an explicit sampling backend: the workload-
+// scenario benches always sim-sample their warm start (the schedule replays
+// on the simulator, so Algorithm 2 must coarsely sample that same system —
+// the analytic surface ranks configurations differently near the knee).
+func (h *Harness) policySampled(ctx system.Context, smp sampling) (*core.Policy, error) {
+	key := h.policyKey(ctx, smp)
 	h.mu.Lock()
 	e, ok := h.policies[key]
 	if !ok {
@@ -237,7 +276,7 @@ func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
 	}
 	e.once.Do(func() {
 		h.policyTrains.Inc()
-		e.p, e.err = h.trainPolicy(ctx)
+		e.p, e.err = h.trainPolicy(ctx, smp)
 	})
 	return e.p, e.err
 }
@@ -247,17 +286,16 @@ func (h *Harness) Policy(ctx system.Context) (*core.Policy, error) {
 // and the simulator backend builds a fresh system per sample whose seed comes
 // from the sample's own pre-split RNG stream, keeping the sweep independent
 // of worker count and sampling order.
-func (h *Harness) trainPolicy(ctx system.Context) (*core.Policy, error) {
+func (h *Harness) trainPolicy(ctx system.Context, smp sampling) (*core.Policy, error) {
 	var sampler core.StreamSampler
-	if h.opts.SimSampling {
-		settle, measure := h.measureWindows()
+	if smp.sim {
 		sampler = func(cfg config.Config, rng *sim.RNG) (float64, error) {
 			sys, err := system.NewSimulated(system.SimulatedOptions{
 				Space:          h.space,
 				Context:        ctx,
 				Seed:           rng.Uint64(),
-				SettleSeconds:  settle,
-				MeasureSeconds: measure,
+				SettleSeconds:  smp.settle,
+				MeasureSeconds: smp.measure,
 			})
 			if err != nil {
 				return 0, err
@@ -294,8 +332,14 @@ func (h *Harness) trainPolicy(ctx system.Context) (*core.Policy, error) {
 // concurrently on the harness pool. Policies are published in argument
 // order, so Match tie-breaking is reproducible.
 func (h *Harness) Store(contexts ...system.Context) (*core.PolicyStore, error) {
+	return h.storeSampled(h.optsSampling(), contexts...)
+}
+
+// storeSampled is Store with an explicit sampling backend (see
+// policySampled).
+func (h *Harness) storeSampled(smp sampling, contexts ...system.Context) (*core.PolicyStore, error) {
 	policies, err := parallel.Map(h.Parallel(), len(contexts), func(i int) (*core.Policy, error) {
-		return h.Policy(contexts[i])
+		return h.policySampled(contexts[i], smp)
 	})
 	if err != nil {
 		return nil, err

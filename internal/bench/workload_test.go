@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rac-project/rac/internal/telemetry"
+	"github.com/rac-project/rac/internal/workload"
+)
+
+// TestDiurnalAcceptance is the workload engine's acceptance experiment: over
+// the compressed 24 h diurnal scenario the resilient adaptive agent must
+// violate the SLA in at most half the intervals the static-default baseline
+// does — and the scenario must actually stress the baseline, or the
+// comparison is vacuous.
+func TestDiurnalAcceptance(t *testing.T) {
+	h := New(Options{Seed: 7, Quick: true})
+	cmp, err := h.RunWorkloadScenario(workload.Diurnal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(cmp.Intervals), 34; got != want {
+		t.Fatalf("quick diurnal intervals = %d, want %d", got, want)
+	}
+	if cmp.Static.Violations < 8 {
+		t.Fatalf("static baseline violated only %d intervals: the plateau no longer stresses it",
+			cmp.Static.Violations)
+	}
+	if 2*cmp.Adaptive.Violations > cmp.Static.Violations {
+		t.Errorf("adaptive agent violated %d intervals vs static %d — more than half",
+			cmp.Adaptive.Violations, cmp.Static.Violations)
+	}
+	// The workload events are interleaved into the decision trace, one per
+	// interval, so load drift can be correlated with agent decisions.
+	var events int
+	for _, ev := range cmp.Adaptive.Trace.Snapshot() {
+		if ev.Kind == telemetry.KindWorkload {
+			events++
+			if ev.OfferedRate <= 0 {
+				t.Errorf("workload event %d has no offered rate", ev.Iteration)
+			}
+		}
+	}
+	if events != len(cmp.Intervals) {
+		t.Errorf("trace has %d workload events, want %d", events, len(cmp.Intervals))
+	}
+	// The sequencer telemetry saw every phase transition (5 phases → 4).
+	if got := h.Telemetry().Counter("rac_workload_phase_transitions_total",
+		"Scenario phase boundaries crossed by the workload sequencer.", nil).Value(); got < 4 {
+		t.Errorf("phase transition counter = %d, want ≥ 4", got)
+	}
+}
+
+// TestFigDiurnalDeterministicAcrossProcs renders the diurnal figure at both
+// worker counts: scenario compilation, the interval walk, and both agent runs
+// must reduce identically regardless of harness parallelism.
+func TestFigDiurnalDeterministicAcrossProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	render := func(procs int) []byte {
+		h := New(Options{Seed: 13, Quick: true, Procs: procs})
+		fig, err := h.FigDiurnal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("fig-diurnal differs between Procs=1 and Procs=8:\n--- procs=1\n%s\n--- procs=8\n%s", seq, par)
+	}
+}

@@ -240,6 +240,36 @@ func (p *Policy) Seeder() mdp.Seeder {
 	}
 }
 
+// Recommend returns the configuration the offline policy considers best: the
+// group-lattice point minimizing the fitted response-time surface, expanded
+// to a full configuration. This is policy initialization put to operational
+// use — an agent deployed with an offline-trained policy applies its
+// recommendation up front and lets online learning refine from there,
+// instead of walking out of the vendor default one reconfiguration per
+// measurement interval. Ties and the argmin are resolved in lattice
+// enumeration order, so the recommendation is deterministic for a given
+// trained policy.
+func (p *Policy) Recommend() (config.Config, error) {
+	best, bestRT := -1, 0.0
+	vals := make([]int, len(p.defs))
+	vec := make([]float64, len(p.defs))
+	for idx := range p.lat.keys {
+		for gi := range p.defs {
+			vals[gi] = p.lat.value(idx, gi)
+			vec[gi] = float64(vals[gi])
+		}
+		rt := math.Exp(p.quad.Eval(vec))
+		if best < 0 || rt < bestRT {
+			best, bestRT = idx, rt
+		}
+	}
+	assign := make(map[config.Group]int, len(p.defs))
+	for gi, d := range p.defs {
+		assign[d.group] = p.lat.value(best, gi)
+	}
+	return config.GroupedConfig(p.space, assign)
+}
+
 // GroupQTable exposes the offline-trained group Q-table (diagnostics).
 func (p *Policy) GroupQTable() *mdp.QTable { return p.q }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/webtier"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 // SystemBuilder constructs the managed system for one tenant. A builder may
@@ -273,6 +274,27 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
 	}
 
+	// A scenario tenant carries its own sequencer: one scenario interval per
+	// agent step, applied to the backend before each measurement. Resolving
+	// and compiling here makes a bad scenario an admission error, not a
+	// mid-run failure.
+	var seq *workload.Sequencer
+	if spec.Scenario != "" {
+		sc, err := workload.Resolve(spec.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
+		}
+		sched, err := workload.Compile(sc)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s: scenario %s: %w", spec.Name, sc.Name, err)
+		}
+		if _, ok := sys.(system.Adjustable); !ok {
+			return nil, fmt.Errorf("fleet: tenant %s: backend %q cannot adjust its workload for scenario %s",
+				spec.Name, spec.Backend, sc.Name)
+		}
+		seq = workload.NewSequencer(sched, sc.Interval())
+	}
+
 	// Pull the tenant's newest valid snapshot first: it decides whether the
 	// registry policy is a warm start or just name resolution for restore.
 	var ck *Checkpoint
@@ -316,6 +338,8 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		state:       StateStarting,
 		sys:         sys,
 		agent:       agent,
+		seq:         seq,
+		trace:       f.trace,
 		stepLogCap:  f.opts.StepLog,
 		warmStarted: pol != nil && warm,
 	}

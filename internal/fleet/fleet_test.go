@@ -442,3 +442,57 @@ func TestFleetForcePolicyResetsLearning(t *testing.T) {
 		t.Fatal("unknown context key accepted")
 	}
 }
+
+// TestFleetScenarioTenant drives one tenant with the two-phase ramp scenario:
+// every step must see that interval's workload applied to the backend, emit a
+// workload trace event, and cross into the climb phase on schedule.
+func TestFleetScenarioTenant(t *testing.T) {
+	trace := telemetry.NewTrace(64)
+	f, err := New(Options{Seed: 9, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := analyticSpec("shop-a")
+	spec.Scenario = "ramp"
+	tn, err := f.Admit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ramp: 4 idle intervals at 400 browsing clients, then the climb.
+	if _, err := f.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if tn.Interval() != 6 {
+		t.Fatalf("interval = %d after 6 rounds, want 6", tn.Interval())
+	}
+	var events []telemetry.Event
+	for _, ev := range trace.Snapshot() {
+		if ev.Kind == telemetry.KindWorkload {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != 6 {
+		t.Fatalf("trace has %d workload events, want 6", len(events))
+	}
+	for i, ev := range events {
+		if ev.Iteration != i+1 || ev.OfferedRate <= 0 {
+			t.Fatalf("workload event %d = %+v", i, ev)
+		}
+	}
+	if events[0].Detail != "idle" || events[5].Detail != "climb" {
+		t.Fatalf("phases %q … %q, want idle … climb", events[0].Detail, events[5].Detail)
+	}
+	// Offered load climbs past the idle plateau once the ramp starts.
+	if events[5].OfferedRate <= events[0].OfferedRate {
+		t.Fatalf("offered rate did not climb: %.1f → %.1f",
+			events[0].OfferedRate, events[5].OfferedRate)
+	}
+
+	// A scenario no backend can follow — or that does not exist — is an
+	// admission error, not a runtime surprise.
+	bad := analyticSpec("shop-x")
+	bad.Scenario = "no-such-scenario"
+	if _, err := f.Admit(bad); err == nil {
+		t.Fatal("unknown scenario admitted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 // State is a tenant's lifecycle FSM state. Legal transitions:
@@ -67,6 +68,16 @@ type TenantSpec struct {
 	// CheckpointEvery overrides the fleet checkpoint cadence (intervals
 	// between snapshots) for this tenant when positive.
 	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	// Scenario drives a time-varying workload: a library scenario name
+	// ("diurnal", "flashcrowd", "mixdrift", "ramp", "steady") or a JSON
+	// scenario file path. The scenario advances one scenario interval per
+	// completed agent step; each interval's workload is applied to the
+	// backend before the step measures it, so the agent tunes against the
+	// moving load. For "live" tenants racd additionally compiles the
+	// scenario into the open-loop arrival schedule — size MeasureSeconds so
+	// one wall interval covers one scenario interval (wall seconds × the
+	// 100× time compression = Scenario.IntervalSeconds).
+	Scenario string `json:"scenario,omitempty"`
 	// Rate switches a "live" tenant's load generator to the open-loop engine:
 	// offered load in paper-scale requests per second. Zero keeps the
 	// closed-loop emulated browsers.
@@ -145,6 +156,8 @@ type Tenant struct {
 	state      State
 	sys        system.System
 	agent      *core.Agent
+	seq        *workload.Sequencer // non-nil when spec.Scenario drives the load
+	trace      *telemetry.Trace    // fleet trace; receives per-interval workload events
 
 	interval    int // completed measurement intervals
 	checkpoints int // snapshots written for this tenant
@@ -236,6 +249,13 @@ func (t *Tenant) StepLog() []StepRecord {
 // aborted interval is simply discarded (no interval count, no state change)
 // so the final checkpoint captures a consistent agent.
 func (t *Tenant) step(ctx context.Context) {
+	if err := t.applyScenario(); err != nil {
+		t.mu.Lock()
+		t.lastErr = err
+		t.state = StateFailed
+		t.mu.Unlock()
+		return
+	}
 	start := time.Now()
 	res, err := t.agent.Step(ctx)
 	elapsed := time.Since(start).Seconds()
@@ -274,6 +294,38 @@ func (t *Tenant) step(ctx context.Context) {
 			t.stepLog = append(t.stepLog, rec)
 		}
 	}
+}
+
+// applyScenario moves the backend's workload to the tenant's current
+// scenario interval before the step measures it — the fleet's driver-side
+// context change. A restored tenant resumes mid-scenario because the
+// interval counter is part of the checkpoint. No-op without a scenario.
+func (t *Tenant) applyScenario() error {
+	t.mu.Lock()
+	seq, i := t.seq, t.interval
+	t.mu.Unlock()
+	if seq == nil {
+		return nil
+	}
+	iv := seq.Observe(i)
+	adj, ok := t.sys.(system.Adjustable)
+	if !ok {
+		return fmt.Errorf("fleet: tenant %s: backend %q cannot adjust its workload for scenario %q",
+			t.spec.Name, t.spec.Backend, t.spec.Scenario)
+	}
+	if err := adj.SetWorkload(iv.Workload); err != nil {
+		return fmt.Errorf("fleet: tenant %s: scenario workload: %w", t.spec.Name, err)
+	}
+	if t.trace != nil {
+		t.trace.Add(telemetry.Event{
+			Kind:        telemetry.KindWorkload,
+			Tenant:      t.spec.Name,
+			Iteration:   i + 1,
+			OfferedRate: iv.OfferedRate,
+			Detail:      iv.PhaseName,
+		})
+	}
+	return nil
 }
 
 // checkpointDue reports whether the tenant owes a periodic snapshot given the

@@ -36,6 +36,10 @@ type MeasureResult struct {
 	Errors     int
 	Offered    int
 	Shed       int
+	// OfferedRate is the interval's offered load in paper-scale requests per
+	// second. Under a workload schedule it varies interval to interval, which
+	// is how the agent's context detection sees the drift.
+	OfferedRate float64
 }
 
 // Live adapts the real HTTP stack plus a load generator to the
@@ -195,6 +199,7 @@ func (l *Live) Measure(ctx context.Context) (system.Metrics, error) {
 		Errors:          res.Errors,
 		Offered:         res.Offered,
 		Shed:            res.Shed,
+		OfferedRate:     res.OfferedRate,
 		IntervalSeconds: l.Interval.Seconds() * TimeScale,
 	}, nil
 }

@@ -25,9 +25,9 @@ type arrival struct {
 // worker count, GOMAXPROCS — only decides who executes each slot, never what
 // the slots are, which is what makes an open-loop run byte-identical at any
 // shard count.
-func buildSchedule(o Options, mix tpcw.Mix, duration time.Duration) []arrival {
+func buildSchedule(o Options, rate float64, mix tpcw.Mix, duration time.Duration) []arrival {
 	wallSeconds := duration.Seconds()
-	n := int(o.Rate*wallSeconds*httpd.TimeScale + 0.5)
+	n := int(rate*wallSeconds*httpd.TimeScale + 0.5)
 	if n <= 0 {
 		return nil
 	}
@@ -75,13 +75,36 @@ type shardAcct struct {
 	shed atomic.Int64
 }
 
+// takeWindow builds one interval's schedule. Static rates lay the interval
+// out from the per-interval salted stream (every interval offers the same
+// load); a workload Schedule consumes its next window from the driver's one
+// sequential stream, advancing the cursor, so consecutive intervals trace the
+// scenario. Runs under mu: the cursor and stream are driver state a
+// concurrent SetWorkload/SetRate must not tear.
+func (d *Driver) takeWindow(rate float64, mix tpcw.Mix, duration time.Duration) []arrival {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sched == nil {
+		return buildSchedule(d.opts, rate, mix, duration)
+	}
+	t0 := d.pos
+	t1 := t0 + duration.Seconds()*httpd.TimeScale
+	d.pos = t1
+	win := d.sched.Window(d.schedRNG, t0, t1)
+	sched := make([]arrival, len(win))
+	for i, a := range win {
+		sched[i] = arrival{at: (a.T - t0) / httpd.TimeScale, class: a.Class}
+	}
+	return sched
+}
+
 // runOpen drives the open-loop engine for one interval: pre-built schedule,
 // S shards × W pacing workers (bounded in-flight = S·W, each worker owns at
 // most one outstanding request), pooled keep-alive connections, per-shard
 // accounting merged at interval close.
-func (d *Driver) runOpen(ctx context.Context, duration time.Duration) (Result, error) {
+func (d *Driver) runOpen(ctx context.Context, duration time.Duration, mix tpcw.Mix, rate float64) (Result, error) {
 	o := d.opts
-	sched := buildSchedule(o, d.workload.Mix, duration)
+	sched := d.takeWindow(rate, mix, duration)
 	if d.offered != nil {
 		d.offered.Add(int64(len(sched)))
 	}
@@ -143,6 +166,9 @@ func (d *Driver) runOpen(ctx context.Context, duration time.Duration) (Result, e
 	}
 	if paperSeconds := duration.Seconds() * httpd.TimeScale; paperSeconds > 0 {
 		res.Throughput = float64(merged.Count) / paperSeconds
+		// The interval's actually-offered rate, so schedule-driven drift is
+		// visible per interval, not just the static Rate option.
+		res.OfferedRate = float64(len(sched)) / paperSeconds
 	}
 	return res, nil
 }

@@ -13,6 +13,7 @@ package loadgen
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/cookiejar"
@@ -24,6 +25,7 @@ import (
 	"github.com/rac-project/rac/internal/stats"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 // classPath maps interaction classes to server routes.
@@ -53,10 +55,20 @@ type Result = httpd.MeasureResult
 // Driver generates load against a base URL, in closed- or open-loop mode
 // depending on its Options.
 type Driver struct {
-	opts     Options
-	base     string
+	opts Options
+	base string
+	seed uint64
+
+	// mu guards the mutable load shape — workload, rate, and the schedule
+	// cursor — against swaps racing an in-flight Run. Run snapshots under mu
+	// once per interval; an in-flight interval keeps the shape it started
+	// with and the next Run sees the swap.
+	mu       sync.Mutex
 	workload tpcw.Workload
-	seed     uint64
+	rate     float64
+	sched    workload.Source
+	schedRNG *sim.RNG
+	pos      float64 // scenario seconds already consumed from the schedule
 
 	// exec, when non-nil, replaces the HTTP request + pacing of the
 	// open-loop engine with a pure function of the arrival (tests use it to
@@ -76,7 +88,15 @@ func New(opts Options) (*Driver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Driver{opts: o, base: o.BaseURL, workload: o.Workload, seed: o.Seed}, nil
+	d := &Driver{opts: o, base: o.BaseURL, workload: o.Workload, seed: o.Seed,
+		rate: o.Rate, sched: o.Schedule}
+	if d.sched != nil {
+		// One sequential arrival stream for the whole run: every interval's
+		// window draws from it front to back, so a replay at any shard count
+		// — or from a trace recorded with the same seed — is byte-identical.
+		d.schedRNG = workload.ScheduleRNG(o.Seed)
+	}
+	return d, nil
 }
 
 // Options returns the driver's resolved options (defaults filled in).
@@ -96,28 +116,53 @@ func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
 		"Offered requests shed by open-loop admission control instead of issued late.", nil)
 }
 
-// SetWorkload changes the emulated population for subsequent runs.
+// SetWorkload changes the emulated population for subsequent runs. An
+// in-flight Run keeps the workload it snapshotted at interval start.
 func (d *Driver) SetWorkload(w tpcw.Workload) error {
 	if err := w.Validate(); err != nil {
 		return err
 	}
+	d.mu.Lock()
 	d.workload = w
+	d.mu.Unlock()
 	return nil
 }
 
 // Workload returns the current workload.
-func (d *Driver) Workload() tpcw.Workload { return d.workload }
+func (d *Driver) Workload() tpcw.Workload {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.workload
+}
+
+// SetRate changes the open-loop offered rate for subsequent runs (ignored
+// while a Schedule drives the rate). A negative rate is rejected; zero drops
+// back to the closed loop.
+func (d *Driver) SetRate(rate float64) error {
+	if rate < 0 {
+		return fmt.Errorf("%w: %g req/s", ErrBadRate, rate)
+	}
+	d.mu.Lock()
+	d.rate = rate
+	d.mu.Unlock()
+	return nil
+}
 
 // Run generates load for the given wall-clock duration and returns interval
 // statistics. It is synchronous; every worker goroutine exits before Run
-// returns. With Options.Rate set it runs the open-loop engine; otherwise the
-// closed-loop emulated browsers.
+// returns. With a positive rate or a Schedule it runs the open-loop engine;
+// otherwise the closed-loop emulated browsers.
 func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error) {
 	if duration <= 0 {
 		return Result{}, errors.New("loadgen: non-positive duration")
 	}
-	if d.opts.Rate > 0 {
-		return d.runOpen(ctx, duration)
+	d.mu.Lock()
+	w := d.workload
+	rate := d.rate
+	open := rate > 0 || d.sched != nil
+	d.mu.Unlock()
+	if open {
+		return d.runOpen(ctx, duration, w.Mix, rate)
 	}
 	runCtx, cancel := context.WithTimeout(ctx, duration)
 	defer cancel()
@@ -139,12 +184,12 @@ func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error
 
 	root := sim.NewRNG(d.seed)
 	var wg sync.WaitGroup
-	for i := 0; i < d.workload.Clients; i++ {
+	for i := 0; i < w.Clients; i++ {
 		rng := root.Split()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			d.browser(runCtx, rng, record)
+			d.browser(runCtx, w.Mix, rng, record)
 		}()
 	}
 	wg.Wait()
@@ -165,8 +210,8 @@ func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error
 }
 
 // browser runs one emulated browser until the context ends.
-func (d *Driver) browser(ctx context.Context, rng *sim.RNG, record func(float64, bool)) {
-	gen, err := tpcw.NewGenerator(d.workload.Mix, rng)
+func (d *Driver) browser(ctx context.Context, mix tpcw.Mix, rng *sim.RNG, record func(float64, bool)) {
+	gen, err := tpcw.NewGenerator(mix, rng)
 	if err != nil {
 		return
 	}

@@ -96,7 +96,7 @@ func TestBuildSchedule(t *testing.T) {
 			o.ArrivalProcess = arr
 			o.Seed = 99
 			dur := 2 * time.Second
-			sched := buildSchedule(o, tpcw.Shopping, dur)
+			sched := buildSchedule(o, o.Rate, tpcw.Shopping, dur)
 			if len(sched) != 1000 {
 				t.Fatalf("schedule length %d, want 1000", len(sched))
 			}
@@ -107,7 +107,7 @@ func TestBuildSchedule(t *testing.T) {
 				}
 				prev = a.at
 			}
-			again := buildSchedule(o, tpcw.Shopping, dur)
+			again := buildSchedule(o, o.Rate, tpcw.Shopping, dur)
 			if !reflect.DeepEqual(sched, again) {
 				t.Fatal("schedule not deterministic")
 			}

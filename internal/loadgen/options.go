@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 // Validation sentinels. Callers branch on these with errors.Is instead of
@@ -71,6 +72,13 @@ type Options struct {
 	// reported Throughput uses), independent of how fast the system answers.
 	// Zero keeps the closed loop.
 	Rate float64
+	// Schedule also selects the open-loop engine, driving it from a compiled
+	// workload scenario or a replayed trace instead of the static Rate: each
+	// Run consumes the next interval-sized window of the schedule, so offered
+	// load varies across intervals exactly as the scenario scripts. Mutually
+	// exclusive with Rate; the schedule's own per-window mix and arrival
+	// process override Workload.Mix and ArrivalProcess.
+	Schedule workload.Source
 	// ArrivalProcess spaces the open-loop arrivals; empty means Poisson.
 	ArrivalProcess Arrival
 	// Shards is the number of independent accounting shards (own latency
@@ -105,6 +113,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Rate < 0 {
 		return o, fmt.Errorf("%w: %g req/s", ErrBadRate, o.Rate)
+	}
+	if o.Schedule != nil && o.Rate > 0 {
+		return o, fmt.Errorf("%w: a schedule and a static rate are mutually exclusive", ErrBadRate)
 	}
 	arr, err := ParseArrival(string(o.ArrivalProcess))
 	if err != nil {

@@ -47,6 +47,12 @@ type Metrics struct {
 	// than silently stretching the schedule — is what keeps open-loop
 	// latencies free of coordinated omission.
 	Shed int `json:"shed,omitempty"`
+	// OfferedRate is the interval's offered load in requests per second.
+	// Time-varying workload schedules change it interval to interval — the
+	// per-interval load context agents correlate drift and rollbacks with.
+	// Zero (and omitted) for closed-loop and simulated intervals, whose
+	// drivers carry the load context themselves.
+	OfferedRate float64 `json:"offered_rate,omitempty"`
 	// IntervalSeconds is the measurement duration in (virtual) seconds.
 	IntervalSeconds float64 `json:"interval_seconds"`
 	// Invalid marks a measurement that must not be learned from (degraded

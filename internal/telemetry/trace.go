@@ -33,6 +33,12 @@ const (
 	KindCheckpoint EventKind = "checkpoint"
 )
 
+// Workload event kind: one "workload" event per measurement interval of a
+// scenario-driven run, recording the interval's offered load (and phase in
+// Detail) so rollbacks and policy switches in the same trace can be
+// correlated with the load that provoked them.
+const KindWorkload EventKind = "workload"
+
 // Event is one structured decision-trace record. Fields are a union over the
 // kinds; unused fields stay at their zero value and are omitted from JSON.
 type Event struct {
@@ -67,6 +73,9 @@ type Event struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Fault names the injected fault kind on "fault" events.
 	Fault string `json:"fault,omitempty"`
+	// OfferedRate is the interval's offered load on "workload" events
+	// (req/s, or mean population for population-only scenarios).
+	OfferedRate float64 `json:"offered_rate,omitempty"`
 	// Converged reports whether a retrain hit its θ threshold.
 	Converged bool `json:"converged,omitempty"`
 	// Tenant names the fleet tenant an event belongs to (fleet-managed runs

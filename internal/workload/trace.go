@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/tpcw"
+)
+
+// TraceVersion is the trace format version this package writes.
+const TraceVersion = 2
+
+// TraceHeader is the first line of a trace file: capture-wide metadata the
+// replayer needs to reconstruct closed-loop workloads.
+type TraceHeader struct {
+	// Version is the format version (TraceVersion).
+	Version int `json:"version"`
+	// Name labels the capture (usually the source scenario's name).
+	Name string `json:"name,omitempty"`
+	// DurationSeconds is the captured span in scenario seconds.
+	DurationSeconds float64 `json:"durationSeconds"`
+	// IntervalSeconds is the window length the recorder walked; replaying
+	// with the same windows reproduces the capture byte for byte.
+	IntervalSeconds float64 `json:"intervalSeconds,omitempty"`
+	// BaseClients and BaseRate anchor the closed-loop view: a replay window
+	// offering r req/s maps to round(BaseClients·r/BaseRate) browsers.
+	BaseClients int     `json:"baseClients,omitempty"`
+	BaseRate    float64 `json:"baseRate,omitempty"`
+}
+
+// TraceRecord is one timestamped arrival: scenario time and interaction
+// class. Records stream one JSON object per line after the header.
+type TraceRecord struct {
+	T     float64 `json:"t"`
+	Class string  `json:"class"`
+}
+
+// Trace is a captured (or synthesized) arrival stream. It implements Source:
+// replaying a trace drives any backend exactly like the run that recorded
+// it — Window slices the records and consumes no randomness.
+type Trace struct {
+	Header   TraceHeader
+	arrivals []Arrival
+}
+
+// NewTrace builds a trace from already-sorted arrivals.
+func NewTrace(header TraceHeader, arrivals []Arrival) *Trace {
+	if header.Version == 0 {
+		header.Version = TraceVersion
+	}
+	return &Trace{Header: header, arrivals: arrivals}
+}
+
+// Arrivals returns the trace's records.
+func (t *Trace) Arrivals() []Arrival { return t.arrivals }
+
+// RecordTrace captures the arrivals a run over src would generate: it walks
+// intervals windows of intervalSeconds each, consuming one ScheduleRNG(seed)
+// stream front to back — the same derivation the open-loop driver uses, so a
+// driver run with the same seed and interval offers these exact arrivals.
+func RecordTrace(src Source, seed uint64, intervalSeconds float64, intervals int) (*Trace, error) {
+	if intervalSeconds <= 0 {
+		return nil, fmt.Errorf("workload: record needs intervalSeconds > 0, got %g", intervalSeconds)
+	}
+	if intervals <= 0 {
+		return nil, fmt.Errorf("workload: record needs intervals > 0, got %d", intervals)
+	}
+	rng := ScheduleRNG(seed)
+	var arrivals []Arrival
+	for i := 0; i < intervals; i++ {
+		t0 := float64(i) * intervalSeconds
+		arrivals = append(arrivals, src.Window(rng, t0, t0+intervalSeconds)...)
+	}
+	dur := float64(intervals) * intervalSeconds
+	h := TraceHeader{
+		Version:         TraceVersion,
+		DurationSeconds: dur,
+		IntervalSeconds: intervalSeconds,
+		BaseRate:        float64(len(arrivals)) / dur,
+	}
+	if s, ok := src.(*Schedule); ok {
+		h.Name = s.sc.Name
+	}
+	w := src.WorkloadAt(0, dur)
+	h.BaseClients = w.Clients
+	return &Trace{Header: h, arrivals: arrivals}, nil
+}
+
+// Duration returns the captured span.
+func (t *Trace) Duration() float64 { return t.Header.DurationSeconds }
+
+// window returns the index range [lo, hi) of arrivals in [t0, t1).
+func (t *Trace) window(t0, t1 float64) (int, int) {
+	lo := sort.Search(len(t.arrivals), func(i int) bool { return t.arrivals[i].T >= t0 })
+	hi := sort.Search(len(t.arrivals), func(i int) bool { return t.arrivals[i].T >= t1 })
+	return lo, hi
+}
+
+// Window returns the recorded arrivals in [t0, t1). The rng is unused — a
+// replay consumes no randomness, which is what makes it a replay.
+func (t *Trace) Window(_ *sim.RNG, t0, t1 float64) []Arrival {
+	lo, hi := t.window(t0, t1)
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Arrival, hi-lo)
+	copy(out, t.arrivals[lo:hi])
+	return out
+}
+
+// OfferedRate returns the recorded arrival rate over [t0, t1).
+func (t *Trace) OfferedRate(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	lo, hi := t.window(t0, t1)
+	return float64(hi-lo) / (t1 - t0)
+}
+
+// WorkloadAt reconstructs the closed-loop view of [t0, t1): the population
+// scales with the window's recorded rate against the capture baseline, and
+// the mix is the standard mix nearest the window's empirical class
+// distribution.
+func (t *Trace) WorkloadAt(t0, t1 float64) tpcw.Workload {
+	lo, hi := t.window(t0, t1)
+	counts := make([]float64, len(tpcw.Classes()))
+	for _, a := range t.arrivals[lo:hi] {
+		counts[int(a.Class)-1]++
+	}
+	mix := tpcw.Shopping
+	if hi > lo {
+		n := float64(hi - lo)
+		for i := range counts {
+			counts[i] /= n
+		}
+		mix = dominantMix(counts)
+	}
+	clients := t.Header.BaseClients
+	if clients <= 0 {
+		clients = 1
+	}
+	if t.Header.BaseRate > 0 && t1 > t0 {
+		scaled := float64(t.Header.BaseClients) * t.OfferedRate(t0, t1) / t.Header.BaseRate
+		clients = int(scaled + 0.5)
+		if clients < 1 {
+			clients = 1
+		}
+	}
+	return tpcw.Workload{Mix: mix, Clients: clients}
+}
+
+// Write streams the trace: the header line, then one record per line.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t.Header); err != nil {
+		return fmt.Errorf("workload: write trace header: %w", err)
+	}
+	for _, a := range t.arrivals {
+		if err := enc.Encode(TraceRecord{T: a.T, Class: a.Class.String()}); err != nil {
+			return fmt.Errorf("workload: write trace record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace stream written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h TraceHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("workload: read trace header: %w", err)
+	}
+	if h.Version != TraceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d (want %d)", h.Version, TraceVersion)
+	}
+	var arrivals []Arrival
+	for {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: read trace record %d: %w", len(arrivals), err)
+		}
+		class, err := tpcw.ParseClass(rec.Class)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", len(arrivals), err)
+		}
+		if n := len(arrivals); n > 0 && rec.T < arrivals[n-1].T {
+			return nil, fmt.Errorf("workload: trace record %d out of order (t=%g after %g)",
+				n, rec.T, arrivals[n-1].T)
+		}
+		arrivals = append(arrivals, Arrival{T: rec.T, Class: class})
+	}
+	return &Trace{Header: h, arrivals: arrivals}, nil
+}
+
+// LoadTraceFile reads a trace file.
+func LoadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+var _ Source = (*Trace)(nil)

@@ -47,6 +47,7 @@ import (
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
 	"github.com/rac-project/rac/internal/webtier"
+	"github.com/rac-project/rac/internal/workload"
 )
 
 // Configuration space (paper Table 1).
@@ -296,6 +297,11 @@ const (
 	ArrivalUniform = loadgen.ArrivalUniform
 )
 
+// TimeScale is the ×100 compression between paper time and wall time on the
+// live stack: one wall-clock second of measurement covers 100 paper seconds,
+// so a 1.5 s interval is the paper's "5-minute" measurement window.
+const TimeScale = httpd.TimeScale
+
 // Load-generator validation sentinels; constructor errors wrap exactly one.
 var (
 	ErrBadLoadURL      = loadgen.ErrBadURL
@@ -389,6 +395,62 @@ func FaultKinds() []FaultKind { return faults.Kinds() }
 // FigureIDs returns the reproducible figure identifiers in paper order.
 func FigureIDs() []string { return bench.FigureIDs() }
 
+// Workload engine (package internal/workload): composable, JSON-loadable
+// scenarios (phases with rate/population/mix, sinusoid/ramp/spike modulation,
+// mix drift) compiled into deterministic arrival schedules, plus a trace
+// format recording exact arrivals for bit-identical replay. A compiled
+// schedule or loaded trace plugs into LoadOptions.Schedule to drive the
+// open-loop engine, or into a WorkloadSequencer to drive per-interval
+// context changes on simulated systems.
+type (
+	// WorkloadScenario is the declarative scenario spec.
+	WorkloadScenario = workload.Scenario
+	// WorkloadPhase is one ordered segment of a scenario.
+	WorkloadPhase = workload.Phase
+	// WorkloadModulation is one load-shaping operator on a phase.
+	WorkloadModulation = workload.Modulation
+	// WorkloadSchedule is a compiled scenario: a time-varying arrival source.
+	WorkloadSchedule = workload.Schedule
+	// WorkloadSource is the common interface of schedules and traces.
+	WorkloadSource = workload.Source
+	// WorkloadTrace is a recorded arrival stream for exact replay.
+	WorkloadTrace = workload.Trace
+	// WorkloadSequencer walks a source one measurement interval at a time.
+	WorkloadSequencer = workload.Sequencer
+	// WorkloadInterval is one interval's offered load and workload.
+	WorkloadInterval = workload.Interval
+)
+
+// LoadWorkloadScenario reads and validates a JSON scenario from a file (see
+// examples/scenarios/).
+func LoadWorkloadScenario(path string) (WorkloadScenario, error) { return workload.LoadFile(path) }
+
+// CompileWorkload compiles a scenario into a deterministic schedule.
+func CompileWorkload(sc WorkloadScenario) (*WorkloadSchedule, error) { return workload.Compile(sc) }
+
+// WorkloadLibrary returns the built-in scenario library by name (diurnal,
+// flashcrowd, mixdrift, ramp, steady).
+func WorkloadLibrary() map[string]WorkloadScenario { return workload.Library() }
+
+// ResolveWorkloadScenario resolves a library scenario name or a JSON scenario
+// file path — the shared spelling of every -scenario flag and config field.
+func ResolveWorkloadScenario(arg string) (WorkloadScenario, error) { return workload.Resolve(arg) }
+
+// NewWorkloadSequencer walks a compiled schedule or trace one measurement
+// interval at a time (intervalSeconds 0 uses the scenario's interval).
+func NewWorkloadSequencer(src WorkloadSource, intervalSeconds float64) *WorkloadSequencer {
+	return workload.NewSequencer(src, intervalSeconds)
+}
+
+// RecordWorkloadTrace materializes the exact arrivals a seeded driver would
+// offer across the given number of intervals, for replay via LoadOptions.
+func RecordWorkloadTrace(src WorkloadSource, seed uint64, intervalSeconds float64, intervals int) (*WorkloadTrace, error) {
+	return workload.RecordTrace(src, seed, intervalSeconds, intervals)
+}
+
+// LoadWorkloadTrace reads a recorded trace (JSONL) from a file.
+func LoadWorkloadTrace(path string) (*WorkloadTrace, error) { return workload.LoadTraceFile(path) }
+
 // Observability (package internal/telemetry): a dependency-free metrics
 // registry plus a decision-trace ring. The live server exposes its registry
 // at /metrics (Prometheus text format) and an attached trace at
@@ -404,7 +466,14 @@ type (
 	// TraceEvent is one structured decision record (step, retrain, or
 	// policy switch).
 	TraceEvent = telemetry.Event
+	// TraceEventKind discriminates decision-trace entries.
+	TraceEventKind = telemetry.EventKind
 )
+
+// TraceKindWorkload marks the per-interval workload events scenario-driven
+// runs interleave into the decision trace, so load drift can be correlated
+// with the agent's switches and rollbacks.
+const TraceKindWorkload = telemetry.KindWorkload
 
 // NewTelemetry returns an empty metrics registry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
