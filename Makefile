@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load faults-smoke fleet-smoke loadgen-smoke workload-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke faults-smoke fleet-smoke loadgen-smoke workload-smoke
 
-check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke
+check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke bench-train-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -58,6 +58,28 @@ bench-load:
 	@cat BENCH_load.txt
 	$(GO) run ./cmd/benchjson BENCH_load.txt -o BENCH_load.json
 	@echo "wrote BENCH_load.json"
+
+# The policy-training acceptance benchmark: quick-mode Figure-5 policy
+# training (BenchmarkFig05Training — the store over the schedule contexts
+# plus the initial policy, nothing served from the policy cache), pinned in
+# the committed BENCH_train.json. Regenerate after intentional performance
+# changes; bench-train-smoke gates `make check` against the committed
+# numbers. Same two-step form as `make bench`.
+bench-train:
+	@$(GO) test -run xxx -bench Fig05Training -benchtime 3x . > BENCH_train.txt || \
+		{ cat BENCH_train.txt; rm -f BENCH_train.txt; exit 1; }
+	@cat BENCH_train.txt
+	$(GO) run ./cmd/benchjson BENCH_train.txt -o BENCH_train.json
+	@echo "wrote BENCH_train.json"
+
+# Regression gate on policy-training speed: one iteration of the training
+# benchmark must stay within 2x of the committed BENCH_train.json baseline
+# (benchjson -compare fails the target past that ratio).
+bench-train-smoke:
+	@$(GO) test -run xxx -bench Fig05Training -benchtime 1x . > BENCH_train_smoke.txt || \
+		{ cat BENCH_train_smoke.txt; rm -f BENCH_train_smoke.txt; exit 1; }
+	@$(GO) run ./cmd/benchjson BENCH_train_smoke.txt -compare BENCH_train.json -maxratio 2 && \
+		rm -f BENCH_train_smoke.txt || { rm -f BENCH_train_smoke.txt; exit 1; }
 
 # One-iteration smoke of both load-generator benchmarks: catches a data-plane
 # regression (engine deadlock, accounting panic) without the full bench-load

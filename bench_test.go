@@ -90,6 +90,35 @@ func BenchmarkFig10InitStrategies(b *testing.B) {
 	benchFigure(b, (*bench.Harness).Fig10)
 }
 
+// BenchmarkFig05Training isolates the policy-training share of Figure 5: the
+// store over the three schedule contexts plus the initial policy, on a fresh
+// harness each iteration so nothing is served from the policy cache. This is
+// the number `make bench-train` pins in BENCH_train.json and the
+// bench-train-smoke gate guards against regressions.
+func BenchmarkFig05Training(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := bench.New(bench.Options{Seed: uint64(i + 1), Quick: true})
+		var ctxs []system.Context
+		for _, name := range []string{"context-1", "context-2", "context-3"} {
+			ctx, err := system.ContextByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctxs = append(ctxs, ctx)
+		}
+		store, err := h.Store(ctxs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if store.Len() != len(ctxs) {
+			b.Fatalf("store has %d policies, want %d", store.Len(), len(ctxs))
+		}
+		if _, err := h.Policy(ctxs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro-benchmarks of the machinery.
 
 func BenchmarkQTableUpdate(b *testing.B) {

@@ -3,9 +3,16 @@
 // repo's perf tracking: ns/op, B/op and allocs/op. It reads stdin (or a file
 // passed as the first argument) and writes JSON to stdout (or -o).
 //
-// Example:
+// With -compare it instead checks the parsed results against a committed
+// baseline JSON: any benchmark whose ns/op exceeds baseline×maxratio fails
+// the run, which is how `make check`'s bench-train-smoke gate catches
+// performance regressions. GOMAXPROCS name suffixes are ignored when
+// matching, so a baseline recorded on one machine gates runs on another.
+//
+// Examples:
 //
 //	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH_quick.json
+//	benchjson BENCH_train.txt -compare BENCH_train.json -maxratio 2
 package main
 
 import (
@@ -37,7 +44,8 @@ func main() {
 
 func run(args []string) error {
 	in := io.Reader(os.Stdin)
-	outPath := ""
+	outPath, basePath := "", ""
+	maxRatio := 2.0
 	for i := 0; i < len(args); i++ {
 		switch {
 		case args[i] == "-o":
@@ -46,8 +54,24 @@ func run(args []string) error {
 			}
 			i++
 			outPath = args[i]
+		case args[i] == "-compare":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-compare needs a baseline path")
+			}
+			i++
+			basePath = args[i]
+		case args[i] == "-maxratio":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-maxratio needs a number")
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("bad -maxratio %q", args[i])
+			}
+			maxRatio = v
 		case strings.HasPrefix(args[i], "-"):
-			return fmt.Errorf("usage: benchjson [input-file] [-o output.json]")
+			return fmt.Errorf("usage: benchjson [input-file] [-o output.json] [-compare baseline.json [-maxratio N]]")
 		default:
 			f, err := os.Open(args[i])
 			if err != nil {
@@ -63,6 +87,14 @@ func run(args []string) error {
 		return err
 	}
 
+	if basePath != "" {
+		baseline, err := loadBaseline(basePath)
+		if err != nil {
+			return err
+		}
+		return Compare(os.Stdout, results, baseline, maxRatio)
+	}
+
 	out := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -75,6 +107,66 @@ func run(args []string) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+func loadBaseline(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var baseline []Result
+	if err := json.NewDecoder(f).Decode(&baseline); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return baseline, nil
+}
+
+// baseName strips the -GOMAXPROCS suffix ("BenchmarkX-8" → "BenchmarkX") so
+// baselines transfer across machines with different core counts.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare checks results against a baseline: every benchmark present in both
+// must stay within maxRatio× the baseline's ns/op. Benchmarks unique to one
+// side are reported and skipped; having no benchmark in common is an error
+// (an empty comparison must not pass the gate silently).
+func Compare(w io.Writer, results, baseline []Result, maxRatio float64) error {
+	base := make(map[string]Result, len(baseline))
+	for _, b := range baseline {
+		base[baseName(b.Name)] = b
+	}
+	matched := 0
+	var regressed []string
+	for _, res := range results {
+		b, ok := base[baseName(res.Name)]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %12.0f ns/op  (no baseline, skipped)\n", res.Name, res.NsPerOp)
+			continue
+		}
+		matched++
+		ratio := res.NsPerOp / b.NsPerOp
+		fmt.Fprintf(w, "%-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx (limit %.2fx)\n",
+			res.Name, res.NsPerOp, b.NsPerOp, ratio, maxRatio)
+		if ratio > maxRatio {
+			regressed = append(regressed, fmt.Sprintf("%s: %.2fx > %.2fx", baseName(res.Name), ratio, maxRatio))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in common with the baseline")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("performance regression: %s", strings.Join(regressed, "; "))
+	}
+	return nil
 }
 
 // Parse extracts benchmark result lines from go test output, ignoring

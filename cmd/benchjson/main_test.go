@@ -51,3 +51,47 @@ BenchmarkNoUnit	10
 		t.Fatalf("parsed %d results from noise, want 0", len(results))
 	}
 }
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFig05Training-8": "BenchmarkFig05Training",
+		"BenchmarkFig05Training":   "BenchmarkFig05Training",
+		"BenchmarkSolve-16":        "BenchmarkSolve",
+		"BenchmarkOpen-Loop":       "BenchmarkOpen-Loop", // non-numeric suffix kept
+		"BenchmarkRamp-2x-4":       "BenchmarkRamp-2x",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkTrain-4", NsPerOp: 1000},
+		{Name: "BenchmarkOther-4", NsPerOp: 500},
+	}
+	within := []Result{{Name: "BenchmarkTrain-8", NsPerOp: 1800}}
+	if err := Compare(&strings.Builder{}, within, baseline, 2); err != nil {
+		t.Fatalf("1.8x flagged at a 2x limit: %v", err)
+	}
+	over := []Result{{Name: "BenchmarkTrain", NsPerOp: 2500}}
+	err := Compare(&strings.Builder{}, over, baseline, 2)
+	if err == nil {
+		t.Fatal("2.5x regression passed a 2x limit")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkTrain") {
+		t.Fatalf("regression error names no benchmark: %v", err)
+	}
+	// Results with no baseline counterpart are skipped, but an entirely
+	// disjoint comparison must fail rather than silently pass.
+	var buf strings.Builder
+	disjoint := []Result{{Name: "BenchmarkNew", NsPerOp: 10}}
+	if err := Compare(&buf, disjoint, baseline, 2); err == nil {
+		t.Fatal("empty comparison passed")
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Fatalf("unmatched benchmark not reported: %q", buf.String())
+	}
+}

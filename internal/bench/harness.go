@@ -7,6 +7,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"io"
 	"strconv"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"github.com/rac-project/rac/internal/parallel"
 	"github.com/rac-project/rac/internal/queueing"
 	"github.com/rac-project/rac/internal/sim"
+	"github.com/rac-project/rac/internal/surface"
 	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
@@ -41,6 +43,11 @@ type Options struct {
 	// runs sequentially. Every unit of work draws from RNG streams split
 	// before dispatch, so results are bit-identical for any value.
 	Procs int
+	// NoCache disables the response-surface memo in front of the analytic
+	// and simulated measure paths. Figures are byte-identical either way
+	// (determinism tests pin it); the switch exists for A/B timing and for
+	// exercising the uncached paths.
+	NoCache bool
 	// Agent hyper-parameters; zero value uses core.DefaultOptions.
 	Agent core.Options
 }
@@ -63,6 +70,9 @@ type Harness struct {
 	mu       sync.Mutex
 	policies map[string]*policyEntry
 
+	// surf memoizes response-surface evaluations (nil when Options.NoCache).
+	surf *surface.Cache
+
 	tel           *telemetry.Registry
 	policyTrains  *telemetry.Counter
 	policyHits    *telemetry.Counter
@@ -75,11 +85,16 @@ func New(opts Options) *Harness {
 		opts.Agent = core.DefaultOptions()
 	}
 	tel := telemetry.NewRegistry()
+	var surf *surface.Cache
+	if !opts.NoCache {
+		surf = surface.New(tel)
+	}
 	return &Harness{
 		opts:     opts,
 		space:    config.Default(),
 		cal:      webtier.DefaultCalibration(),
 		policies: make(map[string]*policyEntry),
+		surf:     surf,
 		tel:      tel,
 		policyTrains: tel.Counter("bench_policy_trainings_total",
 			"Initial policies trained (offline Algorithm 2 passes).", nil),
@@ -163,19 +178,25 @@ func (h *Harness) measureConfig(ctx system.Context, cfg config.Config, seeds int
 	if seeds < 1 {
 		seeds = 1
 	}
+	settle, measure := h.measureWindows()
 	rts, err := parallel.Map(h.Parallel(), seeds, func(s int) (float64, error) {
-		sys, err := h.newSystem(ctx, uint64(s)*7919+uint64(len(cfg)))
-		if err != nil {
-			return 0, err
-		}
-		if err := sys.Apply(context.Background(), cfg); err != nil {
-			return 0, err
-		}
-		m, err := sys.Measure(context.Background())
-		if err != nil {
-			return 0, err
-		}
-		return m.MeanRT, nil
+		salt := uint64(s)*7919 + uint64(len(cfg))
+		// A fresh system's measurement is a pure function of (context,
+		// configuration, derived seed, windows) — exactly the memo key.
+		return h.surf.Do(surfaceKey('m', ctx, salt, settle, measure, cfg), func() (float64, error) {
+			sys, err := h.newSystem(ctx, salt)
+			if err != nil {
+				return 0, err
+			}
+			if err := sys.Apply(context.Background(), cfg); err != nil {
+				return 0, err
+			}
+			m, err := sys.Measure(context.Background())
+			if err != nil {
+				return 0, err
+			}
+			return m.MeanRT, nil
+		})
 	})
 	if err != nil {
 		return 0, err
@@ -187,18 +208,76 @@ func (h *Harness) measureConfig(ctx system.Context, cfg config.Config, seeds int
 	return sum / float64(seeds), nil
 }
 
+// surfaceKey renders the memo key of one surface evaluation. Every input the
+// evaluation depends on is folded in: the backend tag ('a' analytic, 'm'
+// simulated measurement, 'p' simulated policy sample), the full context
+// coordinates (the level name alone would alias contexts that differ only in
+// mix or client count), the measurement seed or salt, the sampling windows
+// and the configuration itself. Built with strconv like policyKey: surface
+// lookups sit on the sweep hot path.
+func surfaceKey(tag byte, ctx system.Context, seed uint64, settle, measure float64, cfg config.Config) string {
+	key := make([]byte, 0, len(ctx.Level.Name)+len(cfg)*4+48)
+	key = append(key, tag, '|')
+	key = strconv.AppendInt(key, int64(ctx.Workload.Mix), 10)
+	key = append(key, '/')
+	key = strconv.AppendInt(key, int64(ctx.Workload.Clients), 10)
+	key = append(key, '/')
+	key = append(key, ctx.Level.Name...)
+	key = append(key, '|')
+	key = strconv.AppendUint(key, seed, 10)
+	key = append(key, '|')
+	key = strconv.AppendFloat(key, settle, 'g', -1, 64)
+	key = append(key, '/')
+	key = strconv.AppendFloat(key, measure, 'g', -1, 64)
+	key = append(key, '|')
+	key = append(key, cfg.Key()...)
+	return string(key)
+}
+
 // analyticRT predicts a configuration's response time from the queueing
-// surface.
+// surface, memoized per (context, configuration).
 func (h *Harness) analyticRT(ctx system.Context, cfg config.Config) (float64, error) {
-	params, err := webtier.ParamsFromConfig(h.space, cfg)
-	if err != nil {
-		return 0, err
+	return h.surf.Do(surfaceKey('a', ctx, 0, 0, 0, cfg), func() (float64, error) {
+		params, err := webtier.ParamsFromConfig(h.space, cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := queueing.SolveWebsite(h.cal, params, ctx.Workload, ctx.Level)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanRT, nil
+	})
+}
+
+// analyticBatch is analyticRT over a chunk of configurations: one
+// WebsiteSolver's scratch buffers serve the whole chunk, so the sweep's inner
+// MVA loops stop allocating. Each point still goes through the surface memo
+// under the same key analyticRT uses — the solver is bit-identical to
+// SolveWebsite (pinned in queueing's tests), so chunk boundaries and cache
+// state never show in the output. The solver is owned by the calling
+// goroutine; the memo's singleflight runs each compute closure on the
+// goroutine that submitted it, so the scratch is never shared.
+func (h *Harness) analyticBatch(ctx system.Context, cfgs []config.Config, out []float64) error {
+	ws := queueing.NewWebsiteSolver()
+	for i, cfg := range cfgs {
+		rt, err := h.surf.Do(surfaceKey('a', ctx, 0, 0, 0, cfg), func() (float64, error) {
+			params, err := webtier.ParamsFromConfig(h.space, cfg)
+			if err != nil {
+				return 0, err
+			}
+			res, err := ws.Solve(h.cal, params, ctx.Workload, ctx.Level)
+			if err != nil {
+				return 0, err
+			}
+			return res.MeanRT, nil
+		})
+		if err != nil {
+			return fmt.Errorf("bench: analytic %s: %w", cfg.Key(), err)
+		}
+		out[i] = rt
 	}
-	res, err := queueing.SolveWebsite(h.cal, params, ctx.Workload, ctx.Level)
-	if err != nil {
-		return 0, err
-	}
-	return res.MeanRT, nil
+	return nil
 }
 
 // policyKey identifies one cached policy training. It must cover every
@@ -247,6 +326,14 @@ func (h *Harness) policyKey(ctx system.Context, smp sampling) string {
 		key = append(key, '/')
 		key = strconv.AppendFloat(key, smp.measure, 'g', -1, 64)
 	}
+	// Training rewards are SLA-relative, and the surface memo sits under the
+	// sampler: both are harness-level options today, but folding them in now
+	// means a future per-call override can never serve a policy trained
+	// against a different SLA or cache regime.
+	key = append(key, "|l"...)
+	key = strconv.AppendFloat(key, h.opts.Agent.SLASeconds, 'g', -1, 64)
+	key = append(key, "|n"...)
+	key = strconv.AppendBool(key, h.opts.NoCache)
 	key = append(key, '|')
 	key = strconv.AppendUint(key, h.opts.Seed, 10)
 	return string(key)
@@ -287,31 +374,46 @@ func (h *Harness) policySampled(ctx system.Context, smp sampling) (*core.Policy,
 // from the sample's own pre-split RNG stream, keeping the sweep independent
 // of worker count and sampling order.
 func (h *Harness) trainPolicy(ctx system.Context, smp sampling) (*core.Policy, error) {
-	var sampler core.StreamSampler
+	var (
+		sampler core.StreamSampler
+		batch   core.BatchSampler
+	)
 	if smp.sim {
 		sampler = func(cfg config.Config, rng *sim.RNG) (float64, error) {
-			sys, err := system.NewSimulated(system.SimulatedOptions{
-				Space:          h.space,
-				Context:        ctx,
-				Seed:           rng.Uint64(),
-				SettleSeconds:  smp.settle,
-				MeasureSeconds: smp.measure,
+			// Draw the system seed before consulting the memo and fold it
+			// into the key: a hit and a miss then consume the sample's RNG
+			// stream identically, which is what keeps cached and uncached
+			// sweeps byte-identical.
+			seed := rng.Uint64()
+			return h.surf.Do(surfaceKey('p', ctx, seed, smp.settle, smp.measure, cfg), func() (float64, error) {
+				sys, err := system.NewSimulated(system.SimulatedOptions{
+					Space:          h.space,
+					Context:        ctx,
+					Seed:           seed,
+					SettleSeconds:  smp.settle,
+					MeasureSeconds: smp.measure,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if err := sys.Apply(context.Background(), cfg); err != nil {
+					return 0, err
+				}
+				m, err := sys.Measure(context.Background())
+				if err != nil {
+					return 0, err
+				}
+				return m.MeanRT, nil
 			})
-			if err != nil {
-				return 0, err
-			}
-			if err := sys.Apply(context.Background(), cfg); err != nil {
-				return 0, err
-			}
-			m, err := sys.Measure(context.Background())
-			if err != nil {
-				return 0, err
-			}
-			return m.MeanRT, nil
 		}
 	} else {
 		sampler = func(cfg config.Config, _ *sim.RNG) (float64, error) {
 			return h.analyticRT(ctx, cfg)
+		}
+		// The analytic surface sweeps in batches so one solver's scratch
+		// serves each chunk; the stream sampler stays as the reference path.
+		batch = func(cfgs []config.Config, _ []*sim.RNG, out []float64) error {
+			return h.analyticBatch(ctx, cfgs, out)
 		}
 	}
 
@@ -320,6 +422,7 @@ func (h *Harness) trainPolicy(ctx system.Context, smp sampling) (*core.Policy, e
 		SLASeconds:   h.opts.Agent.SLASeconds,
 		Seed:         h.opts.Seed ^ 0xBEEF,
 		Procs:        h.opts.Procs,
+		BatchSampler: batch,
 		Telemetry:    h.tel,
 	})
 	if err != nil {
@@ -376,6 +479,12 @@ func (h *Harness) RunSchedule(mk TunerFactory, phases []Phase, salt uint64) ([]c
 	if err != nil {
 		return nil, err
 	}
+	// Agents with an experience queue apply their last retrain at Close; the
+	// deferred close covers error returns, the explicit one below surfaces a
+	// deferred learning error instead of dropping it (Close is idempotent).
+	if c, ok := tuner.(io.Closer); ok {
+		defer c.Close()
+	}
 	var results []core.StepResult
 	for pi, phase := range phases {
 		if pi > 0 {
@@ -390,6 +499,11 @@ func (h *Harness) RunSchedule(mk TunerFactory, phases []Phase, salt uint64) ([]c
 			}
 			h.scheduleSteps.Inc()
 			results = append(results, res)
+		}
+	}
+	if c, ok := tuner.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return nil, err
 		}
 	}
 	return results, nil
@@ -442,10 +556,17 @@ func (h *Harness) bestGroupedConfig(ctx system.Context) (config.Config, float64,
 	if err := walk(0); err != nil {
 		return nil, 0, err
 	}
-	rts, err := parallel.Map(h.Parallel(), len(cfgs), func(i int) (float64, error) {
-		return h.analyticRT(ctx, cfgs[i])
-	})
-	if err != nil {
+	const chunk = 16
+	rts := make([]float64, len(cfgs))
+	nChunks := (len(cfgs) + chunk - 1) / chunk
+	if err := parallel.ForEach(h.Parallel(), nChunks, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		return h.analyticBatch(ctx, cfgs[lo:hi], rts[lo:hi])
+	}); err != nil {
 		return nil, 0, err
 	}
 	best := 0

@@ -92,6 +92,10 @@ type Agent struct {
 	slaStreak int
 	sleep     func(time.Duration) // nil = never block (simulated time)
 
+	// queue, when non-nil, runs each interval's record+retrain on a
+	// background learner goroutine (AgentOptions.ExperienceQueue).
+	queue *experienceQueue
+
 	tel   *agentInstruments
 	trace *telemetry.Trace
 }
@@ -102,6 +106,7 @@ type agentInstruments struct {
 	steps      *telemetry.Counter
 	switches   *telemetry.Counter
 	retrains   *telemetry.Counter
+	queued     *telemetry.Counter
 	retries    *telemetry.Counter
 	rollbacks  *telemetry.Counter
 	invalids   *telemetry.Counter
@@ -121,6 +126,8 @@ func newAgentInstruments(reg *telemetry.Registry) *agentInstruments {
 			"Context changes detected: initial-policy switches after s_thr consecutive violations.", nil),
 		retrains: reg.Counter("rac_agent_retrains_total",
 			"Per-interval batch Q-table retraining passes.", nil),
+		queued: reg.Counter("rac_agent_queued_experiences_total",
+			"Measured intervals handed to the experience queue's background learner.", nil),
 		retries: reg.Counter("rac_agent_retries_total",
 			"Transient Apply/Measure failures retried by the resilience policy.", nil),
 		rollbacks: reg.Counter("rac_agent_rollbacks_total",
@@ -169,6 +176,14 @@ type AgentOptions struct {
 	// Resilience.RetryBackoff-driven pacing (live runs pass time.Sleep).
 	// Nil keeps retries instantaneous — right for simulated time.
 	Sleep func(time.Duration)
+	// ExperienceQueue, when positive, bounds a queue between measurement and
+	// learning: Step hands each measured interval to a background learner
+	// goroutine and returns, so the Q-table retraining overlaps the caller's
+	// between-step work (a live agent's wall-clock measurement wait). Updates
+	// apply in step order and every Q-table read waits for the queue to
+	// drain, so the learned state is byte-identical to a synchronous agent's
+	// (zero, the default). Queued agents should be Closed when done.
+	ExperienceQueue int
 }
 
 // NewAgent builds a RAC agent tuning the given system.
@@ -216,6 +231,9 @@ func NewAgent(sys system.System, opts AgentOptions) (*Agent, error) {
 		a.tel.epsilon.Set(o.Online.Epsilon)
 	}
 	a.resetQ()
+	if opts.ExperienceQueue > 0 {
+		a.queue = newExperienceQueue(opts.ExperienceQueue)
+	}
 	return a, nil
 }
 
@@ -239,8 +257,13 @@ func (a *Agent) Policy() *Policy { return a.policy }
 // Config returns the agent's current configuration.
 func (a *Agent) Config() config.Config { return a.cur.Clone() }
 
-// QTable exposes the online Q-table for diagnostics.
-func (a *Agent) QTable() *mdp.QTable { return a.q }
+// QTable exposes the online Q-table for diagnostics, draining the experience
+// queue first so the table reflects every completed step. A deferred learning
+// error stays queued and surfaces on the next Step or Close.
+func (a *Agent) QTable() *mdp.QTable {
+	_ = a.drainQueue()
+	return a.q
+}
 
 // Step performs one iteration of Algorithm 3: issue a reconfiguration action
 // from the current Q-table, measure, detect context changes (switching the
@@ -256,6 +279,12 @@ func (a *Agent) QTable() *mdp.QTable { return a.q }
 // consecutive bad intervals the agent re-applies the last configuration that
 // satisfied the SLA.
 func (a *Agent) Step(ctx context.Context) (StepResult, error) {
+	// Apply everything the experience queue still holds before reading the
+	// Q-table: action selection must see the previous interval's retrain, or
+	// queued and synchronous agents would diverge.
+	if err := a.drainQueue(); err != nil {
+		return StepResult{}, err
+	}
 	a.iteration++
 	r := a.opts.Resilience
 
@@ -370,52 +399,47 @@ func (a *Agent) Step(ctx context.Context) (StepResult, error) {
 		res.PolicyName = a.policy.Name()
 	}
 
-	// 5. Record the measurement and retrain the Q-table over the region
-	// (skipped when online learning is disabled).
-	var qDelta float64
-	if !a.frozen {
-		a.record(next.Key(), rt)
-		qBefore := a.q.MaxValue(next.Key())
-		batch, err := a.retrain()
-		if err != nil {
-			return StepResult{}, err
-		}
-		qDelta = a.q.MaxValue(next.Key()) - qBefore
-		if a.tel != nil {
-			a.tel.retrains.Inc()
-		}
-		if a.trace != nil {
-			a.trace.Add(telemetry.Event{
-				Kind:      telemetry.KindRetrain,
-				Iteration: a.iteration,
-				State:     next.Key(),
-				QDelta:    qDelta,
-				Sweeps:    batch.Sweeps,
-				Converged: batch.Converged,
-			})
-		}
-	}
-
+	// Step-level telemetry that does not depend on the retrain outcome is
+	// emitted here; the qDelta gauge and the trace events ride with the
+	// learning itself (learn), so the queued path reports real deltas rather
+	// than zeros.
 	if a.tel != nil {
 		a.tel.steps.Inc()
 		a.tel.epsilon.Set(a.learner.Params().Epsilon)
 		a.tel.violations.Set(float64(a.violations))
 		a.tel.reward.Set(reward)
-		a.tel.qDelta.Set(qDelta)
 	}
-	if a.trace != nil {
-		a.trace.Add(telemetry.Event{
-			Kind:       telemetry.KindStep,
-			Iteration:  a.iteration,
-			State:      next.Key(),
-			Action:     action.Describe(a.space),
-			MeanRT:     rt,
-			Reward:     reward,
-			Epsilon:    a.learner.Params().Epsilon,
-			QDelta:     qDelta,
-			Violations: a.violations,
-			Policy:     res.PolicyName,
-		})
+	stepEv := telemetry.Event{
+		Kind:       telemetry.KindStep,
+		Iteration:  a.iteration,
+		State:      next.Key(),
+		Action:     action.Describe(a.space),
+		MeanRT:     rt,
+		Reward:     reward,
+		Epsilon:    a.learner.Params().Epsilon,
+		Violations: a.violations,
+		Policy:     res.PolicyName,
+	}
+
+	// 5. Record the measurement and retrain the Q-table over the region —
+	// inline, or on the experience queue's learner goroutine so the retrain
+	// overlaps the caller's between-step work (skipped entirely when online
+	// learning is disabled).
+	switch {
+	case a.frozen:
+		if a.trace != nil {
+			a.trace.Add(stepEv)
+		}
+	case a.queue == nil:
+		if err := a.learn(next.Key(), rt, stepEv); err != nil {
+			return StepResult{}, err
+		}
+	default:
+		key := next.Key()
+		if a.tel != nil {
+			a.tel.queued.Inc()
+		}
+		a.queue.enqueue(func() error { return a.learn(key, rt, stepEv) })
 	}
 
 	a.cur = next
@@ -564,6 +588,41 @@ func (a *Agent) maybeRollback(ctx context.Context, res *StepResult) {
 			Detail:    "reverted to last configuration satisfying the SLA",
 		})
 	}
+}
+
+// learn folds one measured interval into the sample table, retrains the
+// Q-table over the region, and emits the learning-dependent telemetry: the
+// retrain counter and qDelta gauge, the retrain trace event, and the step
+// event itself (whose QDelta is only known here). It runs on the agent's
+// goroutine for synchronous agents and on the experience queue's learner
+// goroutine otherwise; the drain-before-any-Q-read discipline guarantees it
+// never runs concurrently with other access to the Q-table, the sample table
+// or the agent RNG.
+func (a *Agent) learn(key string, rt float64, stepEv telemetry.Event) error {
+	a.record(key, rt)
+	qBefore := a.q.MaxValue(key)
+	batch, err := a.retrain()
+	if err != nil {
+		return err
+	}
+	qDelta := a.q.MaxValue(key) - qBefore
+	if a.tel != nil {
+		a.tel.retrains.Inc()
+		a.tel.qDelta.Set(qDelta)
+	}
+	if a.trace != nil {
+		a.trace.Add(telemetry.Event{
+			Kind:      telemetry.KindRetrain,
+			Iteration: stepEv.Iteration,
+			State:     key,
+			QDelta:    qDelta,
+			Sweeps:    batch.Sweeps,
+			Converged: batch.Converged,
+		})
+		stepEv.QDelta = qDelta
+		a.trace.Add(stepEv)
+	}
+	return nil
 }
 
 // record folds a measurement into the per-state sample table.

@@ -30,6 +30,21 @@ type Sampler func(cfg config.Config) (float64, error)
 // state when Procs exceeds 1.
 type StreamSampler func(cfg config.Config, rng *sim.RNG) (float64, error)
 
+// BatchSampler measures a contiguous chunk of coarse configurations in one
+// call, writing out[i] for cfgs[i] (len(out) == len(cfgs) == len(streams)).
+// Batching exists so array-shaped backends — the analytic queueing surface
+// above all — can reuse solver scratch buffers across a whole chunk instead
+// of allocating per configuration. A batch sampler must return exactly the
+// values the equivalent StreamSampler would (bit for bit): chunk boundaries
+// are an implementation detail of the dispatch and must never show in the
+// output. streams[i] is cfgs[i]'s pre-split RNG stream, as in StreamSampler.
+type BatchSampler func(cfgs []config.Config, streams []*sim.RNG, out []float64) error
+
+// batchChunkSize is the number of coarse configurations handed to one
+// BatchSampler call. Small enough that even a quick-mode sweep (3^G points)
+// fans out across workers, large enough to amortize per-chunk solver setup.
+const batchChunkSize = 16
+
 // InitOptions configure LearnPolicy.
 type InitOptions struct {
 	// CoarseLevels is the number of coarse sample values per parameter
@@ -48,6 +63,12 @@ type InitOptions struct {
 	// Zero or negative uses every CPU; 1 samples sequentially. Results are
 	// identical for every value when the sampler honors its contract.
 	Procs int
+	// BatchSampler, when non-nil, replaces the per-configuration sampler for
+	// the coarse sweep: the sublattice is split into contiguous chunks
+	// dispatched on the worker pool, one BatchSampler call per chunk. It must
+	// be bit-identical to the StreamSampler (see the type's contract); the
+	// per-configuration sampler may then be nil.
+	BatchSampler BatchSampler
 	// Telemetry, when non-nil, receives the parallel pool's instruments
 	// (rac_parallel_*) for the sampling sweep.
 	Telemetry *telemetry.Registry
@@ -79,7 +100,7 @@ func LearnPolicyStream(name string, space *config.Space, sample StreamSampler, o
 	if space == nil {
 		return nil, errors.New("core: nil space")
 	}
-	if sample == nil {
+	if sample == nil && opts.BatchSampler == nil {
 		return nil, errors.New("core: nil sampler")
 	}
 	k := opts.CoarseLevels
@@ -146,14 +167,33 @@ func LearnPolicyStream(name string, space *config.Space, sample StreamSampler, o
 		return nil, err
 	}
 	streams := sim.NewRNG(opts.Seed ^ 0x5a3b9d2e8c71f604).SplitN(len(cfgs))
-	ys, err := parallel.Map(parallel.Options{Procs: opts.Procs, Telemetry: opts.Telemetry},
-		len(cfgs), func(i int) (float64, error) {
+	popts := parallel.Options{Procs: opts.Procs, Telemetry: opts.Telemetry}
+	var ys []float64
+	if opts.BatchSampler != nil {
+		// Chunked dispatch: workers write disjoint sub-slices of ys, so the
+		// result layout is enumeration order regardless of chunk scheduling.
+		ys = make([]float64, len(cfgs))
+		nChunks := (len(cfgs) + batchChunkSize - 1) / batchChunkSize
+		err = parallel.ForEach(popts, nChunks, func(c int) error {
+			lo := c * batchChunkSize
+			hi := lo + batchChunkSize
+			if hi > len(cfgs) {
+				hi = len(cfgs)
+			}
+			if err := opts.BatchSampler(cfgs[lo:hi], streams[lo:hi], ys[lo:hi]); err != nil {
+				return fmt.Errorf("core: sample chunk [%d,%d): %w", lo, hi, err)
+			}
+			return nil
+		})
+	} else {
+		ys, err = parallel.Map(popts, len(cfgs), func(i int) (float64, error) {
 			rt, err := sample(cfgs[i], streams[i])
 			if err != nil {
 				return 0, fmt.Errorf("core: sample %s: %w", cfgs[i].Key(), err)
 			}
 			return rt, nil
 		})
+	}
 	if err != nil {
 		return nil, err
 	}

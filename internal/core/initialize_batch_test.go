@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/sim"
+)
+
+// batchTestSample is a synthetic surface that consumes one draw from the
+// sample's RNG stream, so the test catches a dispatcher that mis-threads
+// streams through chunk boundaries.
+func batchTestSample(space *config.Space, cfg config.Config, rng *sim.RNG) float64 {
+	vec := config.GroupVector(space, cfg)
+	rt := 0.3
+	for i, v := range vec {
+		d := (v - 100*float64(i+1)) / 150
+		rt += d * d
+	}
+	// Deterministic per-stream jitter: same stream → same draw → same value.
+	return rt + float64(rng.Uint64()%97)/1e4
+}
+
+func learnedPolicyBytes(t *testing.T, space *config.Space, batch bool, procs int) []byte {
+	t.Helper()
+	opts := InitOptions{CoarseLevels: 3, Seed: 11, Procs: procs}
+	var sampler StreamSampler
+	if batch {
+		opts.BatchSampler = func(cfgs []config.Config, streams []*sim.RNG, out []float64) error {
+			for i, cfg := range cfgs {
+				out[i] = batchTestSample(space, cfg, streams[i])
+			}
+			return nil
+		}
+	} else {
+		sampler = func(cfg config.Config, rng *sim.RNG) (float64, error) {
+			return batchTestSample(space, cfg, rng), nil
+		}
+	}
+	p, err := LearnPolicyStream("batch-ctx", space, sampler, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLearnPolicyBatchMatchesStream pins the BatchSampler contract: chunked
+// dispatch must produce a policy byte-identical to per-configuration
+// sampling, at any worker count.
+func TestLearnPolicyBatchMatchesStream(t *testing.T) {
+	space := config.Default()
+	want := learnedPolicyBytes(t, space, false, 1)
+	for _, procs := range []int{1, 8} {
+		if got := learnedPolicyBytes(t, space, true, procs); !bytes.Equal(got, want) {
+			t.Errorf("batch-sampled policy (Procs=%d) differs from stream-sampled", procs)
+		}
+	}
+	// The stream path itself must also be procs-independent.
+	if got := learnedPolicyBytes(t, space, false, 8); !bytes.Equal(got, want) {
+		t.Error("stream-sampled policy differs across worker counts")
+	}
+}
+
+// TestLearnPolicyBatchErrors covers the batch dispatcher's error paths: a
+// failing chunk surfaces with its range, and a batch sampler alone (nil
+// per-configuration sampler) is accepted.
+func TestLearnPolicyBatchErrors(t *testing.T) {
+	space := config.Default()
+	boom := errors.New("boom")
+	_, err := LearnPolicyStream("x", space, nil, InitOptions{
+		CoarseLevels: 3, Seed: 1,
+		BatchSampler: func(cfgs []config.Config, _ []*sim.RNG, _ []float64) error {
+			return boom
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("chunk error not surfaced: %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "chunk") {
+		t.Fatalf("error %v does not identify the chunk", err)
+	}
+
+	if _, err := LearnPolicyStream("x", space, nil, InitOptions{CoarseLevels: 3}); err == nil {
+		t.Fatal("nil sampler and nil batch sampler accepted")
+	}
+}

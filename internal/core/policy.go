@@ -287,7 +287,7 @@ type groupModel struct {
 	next []int32
 }
 
-var _ mdp.Model = (*groupModel)(nil)
+var _ mdp.IndexedModel = (*groupModel)(nil)
 
 func newGroupModel(lat *groupLattice, predict func(vals []int) float64, sla float64) *groupModel {
 	defs := lat.defs
@@ -343,6 +343,13 @@ func (m *groupModel) Next(state string, action int) (string, bool) {
 	}
 	return m.lat.keys[t], true
 }
+
+// NextIndex and RewardIndex expose the precomputed transition and reward
+// arrays directly, making the model eligible for mdp.BatchTrain's dense SoA
+// fast path (no string keys in the offline training sweep).
+func (m *groupModel) NextIndex(s, action int) int { return int(m.next[s*m.actions+action]) }
+
+func (m *groupModel) RewardIndex(s int) float64 { return m.rewards[s] }
 
 func parseGroupKey(key string, want int) ([]int, error) {
 	parts := strings.Split(key, ",")

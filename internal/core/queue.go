@@ -1,0 +1,108 @@
+package core
+
+import "sync"
+
+// experienceQueue decouples measurement from learning: Step hands each
+// measured interval to a single background learner goroutine and returns, so
+// the per-interval batch retraining overlaps whatever the caller does between
+// steps — the live daemon's wall-clock wait for the next measurement interval
+// above all. Tasks run strictly FIFO on one goroutine, and every Q-table read
+// drains the queue first, so a queued agent's learned state is byte-identical
+// to a synchronous agent's at every observation point.
+type experienceQueue struct {
+	tasks   chan func() error
+	stopped chan struct{}
+	stop    sync.Once
+
+	// pending counts enqueued-but-unapplied tasks. Enqueue and drain are
+	// called from the agent's goroutine only, so Add never races with Wait.
+	pending sync.WaitGroup
+
+	mu  sync.Mutex
+	err error // first deferred learning error; sticky until reset
+}
+
+// newExperienceQueue starts the learner goroutine with room for depth queued
+// tasks; enqueue blocks once the buffer is full, trading latency for bounded
+// memory.
+func newExperienceQueue(depth int) *experienceQueue {
+	q := &experienceQueue{
+		tasks:   make(chan func() error, depth),
+		stopped: make(chan struct{}),
+	}
+	go q.loop()
+	return q
+}
+
+func (q *experienceQueue) loop() {
+	defer close(q.stopped)
+	for task := range q.tasks {
+		if err := task(); err != nil {
+			q.mu.Lock()
+			if q.err == nil {
+				q.err = err
+			}
+			q.mu.Unlock()
+		}
+		q.pending.Done()
+	}
+}
+
+// enqueue schedules one learning task behind everything already queued.
+func (q *experienceQueue) enqueue(task func() error) {
+	q.pending.Add(1)
+	q.tasks <- task
+}
+
+// drain blocks until every queued task has been applied, then reports the
+// first deferred learning error. The error is sticky: like the synchronous
+// path's returned error, a failed retrain poisons the run rather than being
+// silently skipped.
+func (q *experienceQueue) drain() error {
+	q.pending.Wait()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// reset drains and forgets any deferred error — for callers about to replace
+// the learned state wholesale (snapshot restore), where the failed state is
+// discarded anyway.
+func (q *experienceQueue) reset() {
+	q.pending.Wait()
+	q.mu.Lock()
+	q.err = nil
+	q.mu.Unlock()
+}
+
+// close drains, stops the learner goroutine, and reports the first deferred
+// error. Safe to call more than once.
+func (q *experienceQueue) close() error {
+	err := q.drain()
+	q.stop.Do(func() { close(q.tasks) })
+	<-q.stopped
+	return err
+}
+
+// drainQueue applies every queued experience before the caller reads or
+// replaces learned state (Q-table, sample table, agent RNG). Agents without
+// a queue return immediately.
+func (a *Agent) drainQueue() error {
+	if a.queue == nil {
+		return nil
+	}
+	return a.queue.drain()
+}
+
+// Close applies everything still queued and stops the background learner,
+// returning the first deferred learning error. Agents without an experience
+// queue return nil. After Close the agent learns synchronously again; Close
+// is idempotent.
+func (a *Agent) Close() error {
+	if a.queue == nil {
+		return nil
+	}
+	err := a.queue.close()
+	a.queue = nil
+	return err
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/rac-project/rac/internal/telemetry"
+)
+
+// queuedAgentRun drives an agent (queue depth 0 = synchronous) through a
+// schedule that includes a mid-run context change, returning every StepResult
+// and the final exported state.
+func queuedAgentRun(t *testing.T, depth int) ([]StepResult, []byte) {
+	t.Helper()
+	sys := newBowlSystem(bowlTargets)
+	pA := bowlPolicy(t, bowlTargets, "ctx-A")
+	otherTargets := []float64{100, 3, 15, 85}
+	pB := bowlPolicy(t, otherTargets, "ctx-B")
+	agent, err := NewAgent(sys, AgentOptions{
+		Policy:          pA,
+		Store:           NewPolicyStore(pA, pB),
+		Seed:            19,
+		ExperienceQueue: depth,
+		Trace:           telemetry.NewTrace(64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []StepResult
+	for i := 0; i < 24; i++ {
+		if i == 12 {
+			// Relocate the bowl mid-run so the queued path also covers
+			// policy switching (resetQ while a learner goroutine exists).
+			sys.targets = otherTargets
+			sys.shift = 3
+		}
+		res, err := agent.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	st, err := agent.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	return results, blob
+}
+
+// TestAgentExperienceQueueMatchesSync pins the experience queue's invariant:
+// deferring record+retrain to the background learner changes nothing
+// observable — every StepResult and the complete exported state (Q-table,
+// samples, both RNG streams) are byte-identical to the synchronous agent's.
+func TestAgentExperienceQueueMatchesSync(t *testing.T) {
+	syncResults, syncState := queuedAgentRun(t, 0)
+	for _, depth := range []int{1, 4} {
+		results, state := queuedAgentRun(t, depth)
+		if !reflect.DeepEqual(results, syncResults) {
+			t.Errorf("queue depth %d: step results diverge from synchronous agent", depth)
+		}
+		if !bytes.Equal(state, syncState) {
+			t.Errorf("queue depth %d: exported state diverges from synchronous agent", depth)
+		}
+	}
+}
+
+// TestAgentQueueDrainsOnReads asserts the drain discipline at the API
+// surface: QTable and ExportState must observe the enqueued retrain of the
+// step that just returned.
+func TestAgentQueueDrainsOnReads(t *testing.T) {
+	sys := newBowlSystem(bowlTargets)
+	reg := telemetry.NewRegistry()
+	agent, err := NewAgent(sys, AgentOptions{
+		Policy:          bowlPolicy(t, bowlTargets, "bowl"),
+		Seed:            7,
+		ExperienceQueue: 2,
+		Telemetry:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	res, err := agent.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QTable drains: the visited state's row must exist after one step.
+	if agent.QTable().MaxValue(res.Config.Key()) == 0 && agent.QTable().Len() == 0 {
+		t.Fatal("Q-table empty after a drained step")
+	}
+	if got := reg.Counter("rac_agent_queued_experiences_total", "", nil).Value(); got != 1 {
+		t.Fatalf("queued counter = %d, want 1", got)
+	}
+	if got := reg.Counter("rac_agent_retrains_total", "", nil).Value(); got != 1 {
+		t.Fatalf("retrain counter = %d after drain, want 1", got)
+	}
+}

@@ -17,33 +17,43 @@ import (
 // literal reading of Algorithm 1 would — is infeasible for either the paper's
 // testbed or this reproduction; the bounded region keeps retraining O(visited
 // states) while the Seeder generalizes the offline policy everywhere else.
+//
+// States are densely indexed in discovery order and the per-action transition
+// table is resolved once at construction, so the model implements
+// mdp.IndexedModel: the retraining sweeps run on the dense fast path instead
+// of rebuilding configuration key strings per step.
 type regionModel struct {
 	space   *config.Space
 	actions []config.Action
-	region  map[string]config.Config
 	states  []string
-	reward  map[string]float64
+	index   map[string]int // state key -> dense index
+	rewards []float64      // by dense index
+	// next[s*len(actions)+a] is the dense successor index, or -1 when the
+	// action is infeasible or leaves the region.
+	next []int32
 }
 
-var _ mdp.Model = (*regionModel)(nil)
+var _ mdp.IndexedModel = (*regionModel)(nil)
 
 // newRegionModel builds the region from the measured samples. predict may be
 // nil, in which case frontier states fall back to the SLA-neutral reward 0.
 func newRegionModel(space *config.Space, samples map[string]float64,
 	predict func(config.Config) float64, sla float64) *regionModel {
 
+	actions := config.Actions(space)
 	m := &regionModel{
 		space:   space,
-		actions: config.Actions(space),
-		region:  make(map[string]config.Config, len(samples)*len(config.Actions(space))),
-		reward:  make(map[string]float64),
+		actions: actions,
+		index:   make(map[string]int, len(samples)*len(actions)),
 	}
+	var cfgs []config.Config
 	add := func(key string, cfg config.Config) {
-		if _, ok := m.region[key]; ok {
+		if _, ok := m.index[key]; ok {
 			return
 		}
-		m.region[key] = cfg
+		m.index[key] = len(m.states)
 		m.states = append(m.states, key)
+		cfgs = append(cfgs, cfg)
 	}
 	// Iterate samples in sorted order: the sweep order drives the learner's
 	// RNG stream, and experiments must be reproducible from their seeds.
@@ -66,11 +76,25 @@ func newRegionModel(space *config.Space, samples map[string]float64,
 			add(next.Key(), next)
 		}
 	}
-	for key, cfg := range m.region {
+	m.rewards = make([]float64, len(m.states))
+	m.next = make([]int32, len(m.states)*len(actions))
+	for s, key := range m.states {
+		cfg := cfgs[s]
 		if rt, ok := samples[key]; ok {
-			m.reward[key] = sla - rt
+			m.rewards[s] = sla - rt
 		} else if predict != nil {
-			m.reward[key] = sla - predict(cfg)
+			m.rewards[s] = sla - predict(cfg)
+		}
+		base := s * len(actions)
+		for ai, a := range m.actions {
+			m.next[base+ai] = -1
+			next, ok := a.Apply(space, cfg)
+			if !ok {
+				continue
+			}
+			if t, in := m.index[next.Key()]; in {
+				m.next[base+ai] = int32(t)
+			}
 		}
 	}
 	return m
@@ -80,20 +104,26 @@ func (m *regionModel) States() []string { return m.states }
 
 func (m *regionModel) Actions() int { return len(m.actions) }
 
-func (m *regionModel) Reward(state string) float64 { return m.reward[state] }
+func (m *regionModel) Reward(state string) float64 {
+	s, ok := m.index[state]
+	if !ok {
+		return 0
+	}
+	return m.rewards[s]
+}
 
 func (m *regionModel) Next(state string, action int) (string, bool) {
-	cfg, ok := m.region[state]
-	if !ok {
+	s, ok := m.index[state]
+	if !ok || action < 0 || action >= len(m.actions) {
 		return state, false
 	}
-	next, ok := m.actions[action].Apply(m.space, cfg)
-	if !ok {
+	t := m.next[s*len(m.actions)+action]
+	if t < 0 {
 		return state, false
 	}
-	key := next.Key()
-	if _, in := m.region[key]; !in {
-		return state, false
-	}
-	return key, true
+	return m.states[t], true
 }
+
+func (m *regionModel) NextIndex(s, action int) int { return int(m.next[s*len(m.actions)+action]) }
+
+func (m *regionModel) RewardIndex(s int) float64 { return m.rewards[s] }

@@ -59,10 +59,31 @@ type BatchResult struct {
 	Converged bool
 }
 
+// IndexedModel is a Model whose states are densely indexed 0..len(States())-1
+// in States() order, with transitions and rewards addressable by index. Models
+// implementing it get BatchTrain's SoA fast path: the whole training state —
+// Q values, feasible-action lists, transitions, rewards — lives in flat arrays
+// indexed by (state, action), so the inner sweep loop performs no string
+// hashing and no map lookups. The fast path consumes the RNG stream in
+// exactly the same order and applies bit-identical floating-point updates, so
+// the resulting table is byte-for-byte the one the generic path produces.
+//
+// NextIndex must be closed over the index range: a returned index i must
+// satisfy 0 <= i < len(States()), or be negative for an infeasible action.
+type IndexedModel interface {
+	Model
+	// NextIndex returns the index of the state reached by taking action in
+	// state s, or a negative value when the action is infeasible there.
+	NextIndex(s, action int) int
+	// RewardIndex returns the immediate reward received on entering state s.
+	RewardIndex(s int) float64
+}
+
 // BatchTrain runs Algorithm 1 over the model: repeated sweeps over all
 // states, each starting an ε-greedy trajectory of StepsPerState SARSA
 // updates, until the largest TD error of a sweep drops below Theta or
-// MaxSweeps is exhausted. The table is updated in place.
+// MaxSweeps is exhausted. The table is updated in place. Models implementing
+// IndexedModel are trained on the dense SoA fast path with identical results.
 func BatchTrain(table *QTable, model Model, cfg BatchConfig, rng *sim.RNG) (BatchResult, error) {
 	if table == nil {
 		return BatchResult{}, errors.New("mdp: nil table")
@@ -88,6 +109,9 @@ func BatchTrain(table *QTable, model Model, cfg BatchConfig, rng *sim.RNG) (Batc
 	states := model.States()
 	if len(states) == 0 {
 		return BatchResult{}, errors.New("mdp: model has no states")
+	}
+	if im, ok := model.(IndexedModel); ok {
+		return batchTrainIndexed(table, im, cfg, rng, states)
 	}
 	// Precompute feasible action lists per state: the lattice does not change
 	// between sweeps.
@@ -139,6 +163,153 @@ func BatchTrain(table *QTable, model Model, cfg BatchConfig, rng *sim.RNG) (Batc
 			res.Converged = true
 			return res, nil
 		}
+	}
+	return res, nil
+}
+
+// batchTrainIndexed is BatchTrain's SoA fast path. All training state is held
+// in flat arrays: q is the Q-table in row-major (state, action) layout seeded
+// exactly as lazy row materialization would seed it; feasible-action lists are
+// flattened into one backing array addressed by per-state offsets. Every
+// random draw, comparison and floating-point update mirrors the generic
+// Learner path operation for operation, which is what makes the result
+// byte-identical — determinism tests across the repo pin that equivalence.
+func batchTrainIndexed(table *QTable, model IndexedModel, cfg BatchConfig, rng *sim.RNG, states []string) (BatchResult, error) {
+	n := len(states)
+	actions := model.Actions()
+
+	// Materialize the model into flat arrays once: transitions and rewards by
+	// (state, action) index, plus flattened feasible-action lists where
+	// feas[off[s]:off[s+1]] are the action indices feasible in state s, in
+	// ascending order like the generic path. The sweep loop then runs on pure
+	// array indexing, with no interface dispatch per step.
+	trans := make([]int32, n*actions)
+	rewards := make([]float64, n)
+	off := make([]int32, n+1)
+	feas := make([]int32, 0, n*actions)
+	for s := 0; s < n; s++ {
+		rewards[s] = model.RewardIndex(s)
+		off[s] = int32(len(feas))
+		for a := 0; a < actions; a++ {
+			next := model.NextIndex(s, a)
+			if next >= n {
+				return BatchResult{}, fmt.Errorf("mdp: state %q action %d leads to index %d outside the model's %d states",
+					states[s], a, next, n)
+			}
+			if next < 0 {
+				trans[s*actions+a] = -1
+				continue
+			}
+			trans[s*actions+a] = int32(next)
+			feas = append(feas, int32(a))
+		}
+		if int(off[s]) == len(feas) {
+			return BatchResult{}, fmt.Errorf("mdp: state %q has no feasible actions", states[s])
+		}
+	}
+	off[n] = int32(len(feas))
+
+	// Dense Q storage, seeded with the values lazy materialization would
+	// produce: the existing row where one is materialized, else the seeder,
+	// else the constant initial value.
+	q := make([]float64, n*actions)
+	for s, state := range states {
+		table.snapshotRow(state, q[s*actions:(s+1)*actions])
+	}
+
+	var (
+		alpha = cfg.Params.Alpha
+		gamma = cfg.Params.Gamma
+		eps   = cfg.Params.Epsilon
+	)
+	// Greedy-action cache: the argmax of each row with strict-greater ties
+	// toward the lowest action index — exactly what Learner.SelectAction's
+	// ascending scan produces. Each SARSA step changes one (state, action)
+	// cell, so the cache is maintained in O(1) per update, with a full row
+	// rescan only when the cached best entry itself decreases (a lower-index
+	// action tied at the new value would then win the scan). This turns the
+	// greedy select from an O(actions) scan into an array load.
+	best := make([]int32, n)
+	bestV := make([]float64, n)
+	rescan := func(s int) {
+		allowed := feas[off[s]:off[s+1]]
+		row := q[s*actions : (s+1)*actions]
+		b := allowed[0]
+		bv := row[b]
+		for _, a := range allowed[1:] {
+			if row[a] > bv {
+				b, bv = a, row[a]
+			}
+		}
+		best[s], bestV[s] = b, bv
+	}
+	for s := 0; s < n; s++ {
+		rescan(s)
+	}
+	// selectAction replicates Learner.SelectAction on the dense arrays: an
+	// ε draw, then either a uniform feasible pick or the cached row argmax.
+	selectAction := func(s int) int {
+		if rng.Float64() < eps {
+			allowed := feas[off[s]:off[s+1]]
+			return int(allowed[rng.Intn(len(allowed))])
+		}
+		return int(best[s])
+	}
+
+	var res BatchResult
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		var maxErr float64
+		for start := 0; start < n; start++ {
+			state := start
+			action := selectAction(state)
+			for step := 0; step < cfg.StepsPerState; step++ {
+				next := int(trans[state*actions+action])
+				if next < 0 {
+					// Defensive: selectAction only chooses feasible actions.
+					break
+				}
+				reward := rewards[next]
+				nextAction := selectAction(next)
+				// SARSA update, in Learner.UpdateSARSA's operation order.
+				cur := q[state*actions+action]
+				target := reward + gamma*q[next*actions+nextAction]
+				delta := target - cur
+				newV := cur + alpha*delta
+				q[state*actions+action] = newV
+				// Maintain the greedy cache for the dirtied row.
+				switch a32 := int32(action); {
+				case a32 == best[state]:
+					if newV >= bestV[state] {
+						bestV[state] = newV
+					} else {
+						rescan(state)
+					}
+				case newV > bestV[state]:
+					best[state], bestV[state] = a32, newV
+				case newV == bestV[state] && a32 < best[state]:
+					best[state] = a32
+				}
+				if delta < 0 {
+					delta = -delta
+				}
+				if delta > maxErr {
+					maxErr = delta
+				}
+				state, action = next, nextAction
+			}
+		}
+		res.Sweeps = sweep + 1
+		res.FinalErr = maxErr
+		if maxErr < cfg.Theta {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Scatter the trained rows back. The generic path materializes every row
+	// (each state starts a trajectory), so writing all rows matches it.
+	for s, state := range states {
+		table.setRow(state, q[s*actions:(s+1)*actions])
 	}
 	return res, nil
 }

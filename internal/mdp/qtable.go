@@ -82,6 +82,38 @@ func (q *QTable) freshRow(state string) []float64 {
 	return row
 }
 
+// snapshotRow copies the row the table would serve for state into dst without
+// materializing it: the existing row if present, else the seeder's values,
+// else the constant initial value. dst must have the table's action count.
+// It is the dense batch trainer's read side.
+func (q *QTable) snapshotRow(state string, dst []float64) {
+	if row, ok := q.rows[state]; ok {
+		copy(dst, row)
+		return
+	}
+	if q.seeder != nil {
+		if seeded := q.seeder(state); len(seeded) == q.actions {
+			copy(dst, seeded)
+			return
+		}
+	}
+	for i := range dst {
+		dst[i] = q.initial
+	}
+}
+
+// setRow materializes state's row directly from values, bypassing the seeder:
+// the dense batch trainer already folded seeded values into its training
+// array, so consulting the seeder again would be wasted work.
+func (q *QTable) setRow(state string, values []float64) {
+	row, ok := q.rows[state]
+	if !ok {
+		row = make([]float64, q.actions)
+		q.rows[state] = row
+	}
+	copy(row, values)
+}
+
 // Get returns Q(state, action) without materializing the row.
 func (q *QTable) Get(state string, action int) float64 {
 	if row, ok := q.rows[state]; ok {

@@ -1,11 +1,5 @@
 package queueing
 
-import (
-	"errors"
-	"fmt"
-	"math"
-)
-
 // SolveApprox solves the closed network with a Schweitzer-style approximate
 // MVA extended to load-dependent stations: each station's service rate is
 // evaluated at its current mean queue length, and the classic Schweitzer
@@ -20,92 +14,9 @@ import (
 // while the fixed point below is stable for any population and converges to
 // the same answers in the regimes where both work. The website surface uses
 // this solver.
+// It uses a private Solver, so the returned Result owns its slices; repeated
+// solves should hold a Solver and call its method to reuse scratch buffers.
 func SolveApprox(n int, z float64, stations []Station) (Result, error) {
-	if n < 1 {
-		return Result{}, fmt.Errorf("queueing: population %d < 1", n)
-	}
-	if z < 0 {
-		return Result{}, errors.New("queueing: negative think time")
-	}
-	if len(stations) == 0 {
-		return Result{}, errors.New("queueing: no stations")
-	}
-	for _, s := range stations {
-		if s.Demand < 0 {
-			return Result{}, fmt.Errorf("queueing: station %q has negative demand", s.Name)
-		}
-	}
-
-	k := len(stations)
-	q := make([]float64, k)
-	resid := make([]float64, k)
-	for i := range q {
-		q[i] = float64(n) / float64(k+1)
-	}
-
-	const (
-		maxIter = 2000
-		damping = 0.5
-		tol     = 1e-9
-	)
-	var x float64
-	scale := float64(n-1) / float64(n)
-	for iter := 0; iter < maxIter; iter++ {
-		var total float64
-		for i, s := range stations {
-			if s.Demand == 0 {
-				resid[i] = 0
-				continue
-			}
-			// Evaluate the service rate at the current mean occupancy.
-			at := int(math.Round(q[i])) + 1
-			if at < 1 {
-				at = 1
-			}
-			if at > n {
-				at = n
-			}
-			rate := s.rate(at)
-			resid[i] = s.Demand / rate * (1 + q[i]*scale)
-			total += resid[i]
-		}
-		x = float64(n) / (z + total)
-		var drift float64
-		for i := range stations {
-			want := x * resid[i]
-			delta := want - q[i]
-			if d := math.Abs(delta); d > drift {
-				drift = d
-			}
-			q[i] += damping * delta
-		}
-		if drift < tol {
-			break
-		}
-	}
-
-	res := Result{
-		N:                  n,
-		Throughput:         x,
-		StationResidence:   make([]float64, k),
-		StationUtilization: make([]float64, k),
-	}
-	for i, s := range stations {
-		res.StationResidence[i] = resid[i]
-		res.ResponseTime += resid[i]
-		if s.Demand > 0 {
-			at := int(math.Round(q[i])) + 1
-			if at < 1 {
-				at = 1
-			}
-			if at > n {
-				at = n
-			}
-			res.StationUtilization[i] = math.Min(1, x*s.Demand/s.rate(at))
-		}
-	}
-	if math.IsNaN(res.Throughput) || math.IsInf(res.Throughput, 0) {
-		return Result{}, errors.New("queueing: approximate MVA diverged")
-	}
-	return res, nil
+	var sv Solver
+	return sv.SolveApprox(n, z, stations)
 }

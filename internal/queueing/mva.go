@@ -17,12 +17,6 @@
 // function μ_i(j).
 package queueing
 
-import (
-	"errors"
-	"fmt"
-	"math"
-)
-
 // Station is one service center of a closed network.
 type Station struct {
 	// Name identifies the station in results.
@@ -75,86 +69,12 @@ type Result struct {
 }
 
 // Solve runs exact load-dependent MVA for a closed network with population n
-// and think time z seconds.
+// and think time z seconds. It uses a private Solver, so the returned Result
+// owns its slices; repeated solves should hold a Solver and call its method
+// to reuse scratch buffers.
 func Solve(n int, z float64, stations []Station) (Result, error) {
-	if n < 1 {
-		return Result{}, fmt.Errorf("queueing: population %d < 1", n)
-	}
-	if z < 0 {
-		return Result{}, errors.New("queueing: negative think time")
-	}
-	if len(stations) == 0 {
-		return Result{}, errors.New("queueing: no stations")
-	}
-	for _, s := range stations {
-		if s.Demand < 0 {
-			return Result{}, fmt.Errorf("queueing: station %q has negative demand", s.Name)
-		}
-	}
-
-	k := len(stations)
-	// p[i][j] = p_i(j | current population); updated in place per iteration.
-	p := make([][]float64, k)
-	for i := range p {
-		p[i] = make([]float64, n+1)
-		p[i][0] = 1
-	}
-	resid := make([]float64, k)
-
-	var x float64
-	for pop := 1; pop <= n; pop++ {
-		var total float64
-		for i, s := range stations {
-			if s.Demand == 0 {
-				resid[i] = 0
-				continue
-			}
-			var r float64
-			for j := 1; j <= pop; j++ {
-				r += float64(j) * s.Demand / s.rate(j) * p[i][j-1]
-			}
-			resid[i] = r
-			total += r
-		}
-		x = float64(pop) / (z + total)
-		// Update marginal probabilities from high to low so p[i][j-1] is
-		// still the (pop-1)-population value when computing p[i][j].
-		for i, s := range stations {
-			if s.Demand == 0 {
-				continue
-			}
-			var sum float64
-			for j := pop; j >= 1; j-- {
-				p[i][j] = x * s.Demand / s.rate(j) * p[i][j-1]
-				sum += p[i][j]
-			}
-			if sum > 1 {
-				// Numerical guard: renormalize rather than emit a negative
-				// idle probability.
-				for j := 1; j <= pop; j++ {
-					p[i][j] /= sum
-				}
-				sum = 1
-			}
-			p[i][0] = 1 - sum
-		}
-	}
-
-	res := Result{
-		N:                  n,
-		Throughput:         x,
-		StationResidence:   make([]float64, k),
-		StationUtilization: make([]float64, k),
-	}
-	for i := range stations {
-		res.StationResidence[i] = resid[i]
-		res.ResponseTime += resid[i]
-		res.StationUtilization[i] = 1 - p[i][0]
-	}
-	if math.IsNaN(res.Throughput) || math.IsInf(res.Throughput, 0) {
-		return Result{}, errors.New("queueing: MVA diverged")
-	}
-	return res, nil
+	var sv Solver
+	return sv.Solve(n, z, stations)
 }
 
 // rate returns the station's relative rate with j jobs, defaulting to 1.

@@ -1,0 +1,371 @@
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+// Solver carries reusable scratch buffers for repeated network solves. Policy
+// initialization sweeps the analytic surface over thousands of lattice
+// points; allocating the marginal-probability and queue-length buffers from a
+// solver instead of per call keeps that inner loop allocation-free.
+//
+// The slices inside a Result returned by a Solver method are owned by the
+// Solver and remain valid only until its next call; callers that retain a
+// Result across calls must copy them. The package-level Solve and SolveApprox
+// wrappers use a private Solver per call, so their results have no such
+// aliasing. A Solver is not safe for concurrent use; parallel sweeps give
+// each worker its own.
+type Solver struct {
+	flat     []float64   // backing storage for marg
+	marg     [][]float64 // per-station marginal queue-length probabilities
+	q        []float64   // approximate-MVA mean queue lengths
+	resid    []float64   // per-station residence scratch
+	residOut []float64   // Result.StationResidence backing
+	utilOut  []float64   // Result.StationUtilization backing
+}
+
+// NewSolver returns an empty solver; buffers grow on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// grow returns buf resized to length k, reallocating only when it has never
+// been that large. Contents are unspecified; callers overwrite every element.
+func grow(buf []float64, k int) []float64 {
+	if cap(buf) < k {
+		return make([]float64, k)
+	}
+	return buf[:k]
+}
+
+func validate(n int, z float64, stations []Station) error {
+	if n < 1 {
+		return fmt.Errorf("queueing: population %d < 1", n)
+	}
+	if z < 0 {
+		return errors.New("queueing: negative think time")
+	}
+	if len(stations) == 0 {
+		return errors.New("queueing: no stations")
+	}
+	for _, s := range stations {
+		if s.Demand < 0 {
+			return fmt.Errorf("queueing: station %q has negative demand", s.Name)
+		}
+	}
+	return nil
+}
+
+// Solve runs exact load-dependent MVA on the solver's scratch buffers. It
+// computes exactly what the package-level Solve computes; see the Solver type
+// for the result-aliasing contract.
+func (sv *Solver) Solve(n int, z float64, stations []Station) (Result, error) {
+	if err := validate(n, z, stations); err != nil {
+		return Result{}, err
+	}
+
+	k := len(stations)
+	// p[i][j] = p_i(j | current population); updated in place per iteration.
+	sv.flat = grow(sv.flat, k*(n+1))
+	for i := range sv.flat {
+		sv.flat[i] = 0
+	}
+	if cap(sv.marg) < k {
+		sv.marg = make([][]float64, k)
+	}
+	p := sv.marg[:k]
+	for i := range p {
+		p[i] = sv.flat[i*(n+1) : (i+1)*(n+1)]
+		p[i][0] = 1
+	}
+	sv.resid = grow(sv.resid, k)
+	resid := sv.resid
+
+	var x float64
+	for pop := 1; pop <= n; pop++ {
+		var total float64
+		for i, s := range stations {
+			if s.Demand == 0 {
+				resid[i] = 0
+				continue
+			}
+			var r float64
+			for j := 1; j <= pop; j++ {
+				r += float64(j) * s.Demand / s.rate(j) * p[i][j-1]
+			}
+			resid[i] = r
+			total += r
+		}
+		x = float64(pop) / (z + total)
+		// Update marginal probabilities from high to low so p[i][j-1] is
+		// still the (pop-1)-population value when computing p[i][j].
+		for i, s := range stations {
+			if s.Demand == 0 {
+				continue
+			}
+			var sum float64
+			for j := pop; j >= 1; j-- {
+				p[i][j] = x * s.Demand / s.rate(j) * p[i][j-1]
+				sum += p[i][j]
+			}
+			if sum > 1 {
+				// Numerical guard: renormalize rather than emit a negative
+				// idle probability.
+				for j := 1; j <= pop; j++ {
+					p[i][j] /= sum
+				}
+				sum = 1
+			}
+			p[i][0] = 1 - sum
+		}
+	}
+
+	sv.residOut = grow(sv.residOut, k)
+	sv.utilOut = grow(sv.utilOut, k)
+	res := Result{
+		N:                  n,
+		Throughput:         x,
+		StationResidence:   sv.residOut,
+		StationUtilization: sv.utilOut,
+	}
+	for i := range stations {
+		res.StationResidence[i] = resid[i]
+		res.ResponseTime += resid[i]
+		res.StationUtilization[i] = 1 - p[i][0]
+	}
+	if math.IsNaN(res.Throughput) || math.IsInf(res.Throughput, 0) {
+		return Result{}, errors.New("queueing: MVA diverged")
+	}
+	return res, nil
+}
+
+// SolveApprox runs Schweitzer-style approximate MVA on the solver's scratch
+// buffers. It computes exactly what the package-level SolveApprox computes;
+// see the Solver type for the result-aliasing contract.
+func (sv *Solver) SolveApprox(n int, z float64, stations []Station) (Result, error) {
+	if err := validate(n, z, stations); err != nil {
+		return Result{}, err
+	}
+
+	k := len(stations)
+	sv.q = grow(sv.q, k)
+	sv.resid = grow(sv.resid, k)
+	q, resid := sv.q, sv.resid
+	for i := range q {
+		q[i] = float64(n) / float64(k+1)
+	}
+
+	const (
+		maxIter = 2000
+		damping = 0.5
+		tol     = 1e-9
+	)
+	var x float64
+	scale := float64(n-1) / float64(n)
+	for iter := 0; iter < maxIter; iter++ {
+		var total float64
+		for i, s := range stations {
+			if s.Demand == 0 {
+				resid[i] = 0
+				continue
+			}
+			// Evaluate the service rate at the current mean occupancy.
+			at := int(math.Round(q[i])) + 1
+			if at < 1 {
+				at = 1
+			}
+			if at > n {
+				at = n
+			}
+			rate := s.rate(at)
+			resid[i] = s.Demand / rate * (1 + q[i]*scale)
+			total += resid[i]
+		}
+		x = float64(n) / (z + total)
+		var drift float64
+		for i := range stations {
+			want := x * resid[i]
+			delta := want - q[i]
+			if d := math.Abs(delta); d > drift {
+				drift = d
+			}
+			q[i] += damping * delta
+		}
+		if drift < tol {
+			break
+		}
+	}
+
+	sv.residOut = grow(sv.residOut, k)
+	sv.utilOut = grow(sv.utilOut, k)
+	res := Result{
+		N:                  n,
+		Throughput:         x,
+		StationResidence:   sv.residOut,
+		StationUtilization: sv.utilOut,
+	}
+	for i, s := range stations {
+		res.StationResidence[i] = resid[i]
+		res.ResponseTime += resid[i]
+		res.StationUtilization[i] = 0
+		if s.Demand > 0 {
+			at := int(math.Round(q[i])) + 1
+			if at < 1 {
+				at = 1
+			}
+			if at > n {
+				at = n
+			}
+			res.StationUtilization[i] = math.Min(1, x*s.Demand/s.rate(at))
+		}
+	}
+	if math.IsNaN(res.Throughput) || math.IsInf(res.Throughput, 0) {
+		return Result{}, errors.New("queueing: approximate MVA diverged")
+	}
+	return res, nil
+}
+
+// WebsiteSolver evaluates the analytic website surface with fully reused
+// machinery: the three stations and their rate closures are bound once to the
+// solver's per-call state, so a sweep over a configuration lattice performs
+// no per-call station or scratch allocation (only the two small slice copies
+// that let the returned WebsiteResult outlive the solver's next call).
+//
+// A WebsiteSolver is not safe for concurrent use; parallel sweeps give each
+// worker its own.
+type WebsiteSolver struct {
+	sv       Solver
+	stations [3]Station
+
+	// Per-call state read by the station rate closures.
+	cal        webtier.Calibration
+	level      vmenv.Level
+	maxClients int
+	maxThreads int
+	thrash     float64
+	ioFactor   float64
+}
+
+// NewWebsiteSolver returns a website solver with its stations bound.
+func NewWebsiteSolver() *WebsiteSolver {
+	ws := &WebsiteSolver{}
+	ws.stations[0] = Station{
+		Name: "web",
+		Rate: func(j int) float64 {
+			if j > ws.maxClients {
+				j = ws.maxClients
+			}
+			return float64(ws.cal.WebVCPUs) * efficiency(ws.cal, j, ws.cal.WebVCPUs) / ws.thrash * boundedBy(j, ws.cal.WebVCPUs)
+		},
+	}
+	ws.stations[1] = Station{
+		Name: "appdb",
+		Rate: func(j int) float64 {
+			if j > ws.maxThreads {
+				j = ws.maxThreads
+			}
+			return ws.level.CPUCapacity() * efficiency(ws.cal, j, ws.level.VCPUs) * boundedBy(j, ws.level.VCPUs)
+		},
+	}
+	ws.stations[2] = Station{
+		Name: "disk",
+		Rate: func(j int) float64 {
+			return math.Min(float64(j), ws.cal.DiskCapacity)
+		},
+	}
+	return ws
+}
+
+// Solve predicts the steady-state performance of one configuration. It
+// computes exactly what the package-level SolveWebsite computes (which
+// delegates here); the returned WebsiteResult owns its slices and may be
+// retained across calls.
+func (ws *WebsiteSolver) Solve(cal webtier.Calibration, p webtier.Params, w tpcw.Workload, level vmenv.Level) (WebsiteResult, error) {
+	if err := p.Validate(); err != nil {
+		return WebsiteResult{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return WebsiteResult{}, err
+	}
+
+	demand := tpcw.MeanDemand(w.Mix)
+
+	// Connection reuse: a think shorter than the keep-alive timeout reuses
+	// the connection. Long thinks and session ends always reconnect.
+	shortThink := 1 - cal.LongThinkProb
+	pReuse := shortThink * (1 - math.Exp(-p.KeepAliveTimeoutSec/tpcw.MeanThinkTimeSeconds)) *
+		(1 - 1/float64(tpcw.MeanSessionLength))
+	webDemand := demand.Web + (1-pReuse)*cal.ConnectCostSec
+
+	// Session creation: new sessions at session start plus timeout expiries
+	// during long thinks.
+	pExpire := cal.LongThinkProb * math.Exp(-p.SessionTimeoutMin*60/cal.LongThinkMeanSec)
+	pCreate := 1/float64(tpcw.MeanSessionLength) + pExpire
+	appDemand := demand.App + pCreate*cal.SessionCreateCostSec
+
+	// Effective think time per interaction, including the long-pause mixture
+	// and the end-of-session pause.
+	think := shortThink*tpcw.MeanThinkTimeSeconds + cal.LongThinkProb*cal.LongThinkMeanSec
+	z := (1-1/float64(tpcw.MeanSessionLength))*think + 1/float64(tpcw.MeanSessionLength)*cal.LongThinkMeanSec
+
+	ws.cal, ws.level = cal, level
+	ws.maxClients, ws.maxThreads = p.MaxClients, p.MaxThreads
+
+	// Fixed-point over occupancy-dependent factors.
+	var (
+		res Result
+		err error
+	)
+	ws.ioFactor = 1.0
+	inFlight := math.Min(float64(w.Clients)/4, float64(p.MaxClients))
+	for iter := 0; iter < 5; iter++ {
+		conns := estimateConns(p, w, z, res)
+		workers := math.Min(inFlight+float64(p.MinSpareServers+p.MaxSpareServers)/2, float64(p.MaxClients))
+		ws.thrash = webThrash(cal, workers, conns)
+
+		threads := math.Min(inFlight+float64(p.MinSpareThreads+p.MaxSpareThreads)/2, float64(p.MaxThreads))
+		sessions := estimateSessions(p, w, z, res)
+		ws.ioFactor = dbIOFactor(cal, level, threads, sessions)
+
+		ws.stations[0].Demand = webDemand
+		ws.stations[1].Demand = appDemand + demand.DB
+		ws.stations[2].Demand = demand.IO * ws.ioFactor
+		res, err = ws.sv.SolveApprox(w.Clients, z, ws.stations[:])
+		if err != nil {
+			return WebsiteResult{}, err
+		}
+		inFlight = res.Throughput * res.ResponseTime // Little's law
+	}
+
+	// Detach the network slices from the solver scratch: the WebsiteResult
+	// must survive the solver's next call.
+	res.StationResidence = append([]float64(nil), res.StationResidence...)
+	res.StationUtilization = append([]float64(nil), res.StationUtilization...)
+	return WebsiteResult{
+		MeanRT:     res.ResponseTime,
+		Throughput: res.Throughput,
+		Network:    res,
+		IOFactor:   ws.ioFactor,
+	}, nil
+}
+
+// SolveWebsiteBatch evaluates many configurations of one workload context
+// through a single shared solver, returning results in input order. It is
+// the array-shaped entry point for lattice sweeps: callers that fan a sweep
+// across workers chunk the lattice and give each worker its own solver.
+func SolveWebsiteBatch(cal webtier.Calibration, ps []webtier.Params, w tpcw.Workload, level vmenv.Level) ([]WebsiteResult, error) {
+	ws := NewWebsiteSolver()
+	out := make([]WebsiteResult, len(ps))
+	for i := range ps {
+		r, err := ws.Solve(cal, ps[i], w, level)
+		if err != nil {
+			return nil, fmt.Errorf("queueing: batch config %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

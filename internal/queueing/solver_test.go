@@ -1,0 +1,173 @@
+package queueing
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+	"github.com/rac-project/rac/internal/webtier"
+)
+
+func solverStations() []Station {
+	return []Station{
+		{Name: "cpu", Demand: 0.010, Rate: MultiServer(4)},
+		{Name: "disk", Demand: 0.006},
+		{Name: "net", Demand: 0.002, Rate: Capped(MultiServer(8), 32)},
+	}
+}
+
+// TestSolverMatchesPackageFunctions pins the scratch-reuse contract: a Solver
+// produces bit-identical results to the allocating package functions, even
+// when its buffers are warm from solves of other shapes and populations.
+func TestSolverMatchesPackageFunctions(t *testing.T) {
+	sv := NewSolver()
+	// Warm the scratch with a larger problem so reuse paths are exercised.
+	if _, err := sv.Solve(300, 5, solverStations()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.SolveApprox(900, 5, solverStations()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 7, 50, 200} {
+		want, err := Solve(n, 12, solverStations())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sv.Solve(n, 12, solverStations())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: Solver.Solve %+v != Solve %+v", n, got, want)
+		}
+		wantA, err := SolveApprox(n, 12, solverStations())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, err := sv.SolveApprox(n, 12, solverStations())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotA, wantA) {
+			t.Fatalf("n=%d: Solver.SolveApprox %+v != SolveApprox %+v", n, gotA, wantA)
+		}
+	}
+}
+
+// TestWebsiteSolverMatchesSolveWebsite pins the website fast path against the
+// package function across configurations, mixes and VM levels.
+func TestWebsiteSolverMatchesSolveWebsite(t *testing.T) {
+	cal := webtier.DefaultCalibration()
+	ws := NewWebsiteSolver()
+	small := webtier.DefaultParams()
+	small.MaxClients = 120
+	small.MaxThreads = 40
+	cases := []struct {
+		p       webtier.Params
+		mix     tpcw.Mix
+		clients int
+		level   vmenv.Level
+	}{
+		{webtier.DefaultParams(), tpcw.Shopping, 400, vmenv.Level1},
+		{small, tpcw.Browsing, 700, vmenv.Level3},
+		{webtier.DefaultParams(), tpcw.Ordering, 150, vmenv.Level2},
+	}
+	for i, tc := range cases {
+		w := tpcw.Workload{Mix: tc.mix, Clients: tc.clients}
+		want, err := SolveWebsite(cal, tc.p, w, tc.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ws.Solve(cal, tc.p, w, tc.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: WebsiteSolver.Solve %+v != SolveWebsite %+v", i, got, want)
+		}
+	}
+}
+
+// TestSolveWebsiteBatchMatchesSingles pins the batch entry point to the
+// per-call results, in input order.
+func TestSolveWebsiteBatchMatchesSingles(t *testing.T) {
+	cal := webtier.DefaultCalibration()
+	w := tpcw.Workload{Mix: tpcw.Shopping, Clients: 500}
+	ps := make([]webtier.Params, 4)
+	for i := range ps {
+		ps[i] = webtier.DefaultParams()
+		ps[i].MaxClients = 100 + 150*i
+	}
+	batch, err := SolveWebsiteBatch(cal, ps, w, vmenv.Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(ps) {
+		t.Fatalf("batch returned %d results, want %d", len(batch), len(ps))
+	}
+	for i, p := range ps {
+		want, err := SolveWebsite(cal, p, w, vmenv.Level2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("config %d: batch %+v != single %+v", i, batch[i], want)
+		}
+	}
+}
+
+// TestSolverHotPathAllocFree asserts the scratch buffers actually remove the
+// per-call allocations: warm solver methods must not allocate at all, and a
+// warm website solve performs only the two small copies that detach its
+// result from the scratch.
+func TestSolverHotPathAllocFree(t *testing.T) {
+	sv := NewSolver()
+	stations := solverStations()
+	if _, err := sv.Solve(200, 12, stations); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sv.Solve(200, 12, stations); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm Solver.Solve allocates %.1f per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sv.SolveApprox(800, 12, stations); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm Solver.SolveApprox allocates %.1f per run, want 0", allocs)
+	}
+
+	ws := NewWebsiteSolver()
+	cal := webtier.DefaultCalibration()
+	p := webtier.DefaultParams()
+	w := tpcw.Workload{Mix: tpcw.Shopping, Clients: 400}
+	if _, err := ws.Solve(cal, p, w, vmenv.Level1); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ws.Solve(cal, p, w, vmenv.Level1); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 2 {
+		t.Fatalf("warm WebsiteSolver.Solve allocates %.1f per run, want <= 2 (result detach copies)", allocs)
+	}
+}
+
+func BenchmarkWebsiteSolverSolve(b *testing.B) {
+	ws := NewWebsiteSolver()
+	cal := webtier.DefaultCalibration()
+	p := webtier.DefaultParams()
+	w := tpcw.Workload{Mix: tpcw.Shopping, Clients: 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.Solve(cal, p, w, vmenv.Level1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

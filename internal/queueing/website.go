@@ -33,86 +33,11 @@ type WebsiteResult struct {
 // (GC stalls, listen-backlog retransmits, pool spawn latency); it is the
 // smooth surface those transients fluctuate around, which is what the policy
 // initializer needs.
+// It uses a private WebsiteSolver per call; repeated evaluations (lattice
+// sweeps) should hold a WebsiteSolver and call its Solve method to reuse the
+// station closures and scratch buffers.
 func SolveWebsite(cal webtier.Calibration, p webtier.Params, w tpcw.Workload, level vmenv.Level) (WebsiteResult, error) {
-	if err := p.Validate(); err != nil {
-		return WebsiteResult{}, err
-	}
-	if err := w.Validate(); err != nil {
-		return WebsiteResult{}, err
-	}
-
-	demand := tpcw.MeanDemand(w.Mix)
-
-	// Connection reuse: a think shorter than the keep-alive timeout reuses
-	// the connection. Long thinks and session ends always reconnect.
-	shortThink := 1 - cal.LongThinkProb
-	pReuse := shortThink * (1 - math.Exp(-p.KeepAliveTimeoutSec/tpcw.MeanThinkTimeSeconds)) *
-		(1 - 1/float64(tpcw.MeanSessionLength))
-	webDemand := demand.Web + (1-pReuse)*cal.ConnectCostSec
-
-	// Session creation: new sessions at session start plus timeout expiries
-	// during long thinks.
-	pExpire := cal.LongThinkProb * math.Exp(-p.SessionTimeoutMin*60/cal.LongThinkMeanSec)
-	pCreate := 1/float64(tpcw.MeanSessionLength) + pExpire
-	appDemand := demand.App + pCreate*cal.SessionCreateCostSec
-
-	// Effective think time per interaction, including the long-pause mixture
-	// and the end-of-session pause.
-	think := shortThink*tpcw.MeanThinkTimeSeconds + cal.LongThinkProb*cal.LongThinkMeanSec
-	z := (1-1/float64(tpcw.MeanSessionLength))*think + 1/float64(tpcw.MeanSessionLength)*cal.LongThinkMeanSec
-
-	// Fixed-point over occupancy-dependent factors.
-	var (
-		res      Result
-		ioFactor = 1.0
-		inFlight = math.Min(float64(w.Clients)/4, float64(p.MaxClients))
-		err      error
-	)
-	for iter := 0; iter < 5; iter++ {
-		conns := estimateConns(p, w, z, res)
-		workers := math.Min(inFlight+float64(p.MinSpareServers+p.MaxSpareServers)/2, float64(p.MaxClients))
-		thrash := webThrash(cal, workers, conns)
-
-		threads := math.Min(inFlight+float64(p.MinSpareThreads+p.MaxSpareThreads)/2, float64(p.MaxThreads))
-		sessions := estimateSessions(p, w, z, res)
-		ioFactor = dbIOFactor(cal, level, threads, sessions)
-
-		stations := []Station{
-			{
-				Name:   "web",
-				Demand: webDemand,
-				Rate: Capped(func(j int) float64 {
-					return float64(cal.WebVCPUs) * efficiency(cal, j, cal.WebVCPUs) / thrash * boundedBy(j, cal.WebVCPUs)
-				}, p.MaxClients),
-			},
-			{
-				Name:   "appdb",
-				Demand: appDemand + demand.DB,
-				Rate: Capped(func(j int) float64 {
-					return level.CPUCapacity() * efficiency(cal, j, level.VCPUs) * boundedBy(j, level.VCPUs)
-				}, p.MaxThreads),
-			},
-			{
-				Name:   "disk",
-				Demand: demand.IO * ioFactor,
-				Rate: func(j int) float64 {
-					return math.Min(float64(j), cal.DiskCapacity)
-				},
-			},
-		}
-		res, err = SolveApprox(w.Clients, z, stations)
-		if err != nil {
-			return WebsiteResult{}, err
-		}
-		inFlight = res.Throughput * res.ResponseTime // Little's law
-	}
-
-	return WebsiteResult{
-		MeanRT:     res.ResponseTime,
-		Throughput: res.Throughput,
-		Network:    res,
-		IOFactor:   ioFactor,
-	}, nil
+	return NewWebsiteSolver().Solve(cal, p, w, level)
 }
 
 // boundedBy limits a station's rate with fewer jobs than cores: each job can

@@ -1,0 +1,118 @@
+package surface
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/rac-project/rac/internal/telemetry"
+)
+
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name, "", nil).Value()
+}
+
+func TestDoMemoizes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(reg)
+	var calls int32
+	compute := func() (float64, error) {
+		atomic.AddInt32(&calls, 1)
+		return 42, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", compute)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", c.Len())
+	}
+	if hits := counterValue(t, reg, "rac_surface_cache_hits_total"); hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if misses := counterValue(t, reg, "rac_surface_cache_misses_total"); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+}
+
+func TestDoMemoizesErrors(t *testing.T) {
+	c := New(nil)
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do("bad", func() (float64, error) {
+			calls++
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("Do error = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	var calls int
+	for i := 0; i < 2; i++ {
+		v, err := c.Do("k", func() (float64, error) {
+			calls++
+			return 7, nil
+		})
+		if err != nil || v != 7 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache memoized: %d calls, want 2", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("nil cache Len = %d", c.Len())
+	}
+}
+
+// TestDoConcurrentSingleflight hammers overlapping keys from many goroutines:
+// each key's compute must run exactly once, every caller must observe that
+// one result, and the race detector must stay quiet.
+func TestDoConcurrentSingleflight(t *testing.T) {
+	c := New(telemetry.NewRegistry())
+	const keys = 16
+	const workers = 8
+	var computes [keys]int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := (i + w) % keys
+				v, err := c.Do(fmt.Sprintf("key-%d", k), func() (float64, error) {
+					atomic.AddInt32(&computes[k], 1)
+					return float64(k) * 1.5, nil
+				})
+				if err != nil || v != float64(k)*1.5 {
+					t.Errorf("Do(key-%d) = %v, %v", k, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k, n := range computes {
+		if n != 1 {
+			t.Errorf("key-%d computed %d times, want 1", k, n)
+		}
+	}
+	if c.Len() != keys {
+		t.Errorf("cache has %d entries, want %d", c.Len(), keys)
+	}
+}
