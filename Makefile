@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke faults-smoke fleet-smoke loadgen-smoke workload-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke faults-smoke fleet-smoke loadgen-smoke workload-smoke admission-smoke
 
-check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke bench-train-smoke
+check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke bench-train-smoke admission-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -99,6 +99,13 @@ faults-smoke:
 workload-smoke:
 	$(GO) run ./cmd/racsim -validate-scenarios examples/scenarios
 	$(GO) run ./cmd/racsim -scenario examples/scenarios/ramp.json -warmup 30 -interval 60
+
+# End-to-end smoke of the SLO admission gate: the gated-vs-ungated overload
+# figure must generate cleanly and the gate must actually reject under the
+# flash crowd (the figure errors if a variant fails to run). Quick mode keeps
+# it under a second.
+admission-smoke:
+	$(GO) run ./cmd/racbench -fig overload -quick
 
 # End-to-end smoke of the multi-tenant control plane: racd boots two
 # simulated tenants, exercises the admin API, drains with final checkpoints,

@@ -30,6 +30,13 @@ type SystemSpec struct {
 	MeasureSeconds float64
 	// NoiseSigma adds lognormal measurement noise (analytic backend).
 	NoiseSigma float64
+	// AdmitConcurrency and AdmitQueue set the sim backend's SLO admission
+	// gate when the Space does not already carry the admission parameters
+	// (the lattice wins when it does). Zero both disables the gate.
+	// AdmitEpoch sets the gate's adaptive epoch in requests (0 = static).
+	AdmitConcurrency int
+	AdmitQueue       int
+	AdmitEpoch       int
 
 	// Addr is the live backend's listen address; empty means an ephemeral
 	// localhost port.
@@ -91,12 +98,15 @@ func BuildSystem(spec SystemSpec) (*BuiltSystem, error) {
 	switch spec.Backend {
 	case "", "sim":
 		sys, err := NewSimulatedSystem(SimulatedOptions{
-			Space:          space,
-			Initial:        initial,
-			Context:        spec.Context,
-			Seed:           spec.Seed,
-			SettleSeconds:  spec.SettleSeconds,
-			MeasureSeconds: spec.MeasureSeconds,
+			Space:            space,
+			Initial:          initial,
+			Context:          spec.Context,
+			Seed:             spec.Seed,
+			SettleSeconds:    spec.SettleSeconds,
+			MeasureSeconds:   spec.MeasureSeconds,
+			AdmitConcurrency: spec.AdmitConcurrency,
+			AdmitQueue:       spec.AdmitQueue,
+			AdmitEpoch:       spec.AdmitEpoch,
 		})
 		if err != nil {
 			return nil, err

@@ -64,6 +64,9 @@ func run(args []string) error {
 		shards     = fs.Int("shards", 0, "open-loop accounting shards (0 = default; results identical for any value)")
 		inflight   = fs.Int("inflight", 0, "open-loop bound on concurrently outstanding requests (0 = default)")
 		expQueue   = fs.Int("expqueue", 0, "experience-queue depth: 0 retrains inside each interval, n>0 overlaps Q-table retraining with the next interval's wait (-agent rac only; the learned state is identical either way)")
+		admission  = fs.Bool("admission", false, "tune the SLO admission gate too: extend the lattice with AdmitConcurrency and AdmitQueue so Q-learning sets the gate's caps alongside the web-tier knobs")
+		admitConc  = fs.Int("admitconc", 0, "starting AdmitConcurrency (requires -admission; 0 keeps the space default)")
+		admitQueue = fs.Int("admitqueue", 0, "starting AdmitQueue (requires -admission; 0 keeps the space default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,8 +115,20 @@ func run(args []string) error {
 		return err
 	}
 
+	if (*admitConc > 0 || *admitQueue > 0) && !*admission {
+		return fmt.Errorf("-admitconc/-admitqueue require -admission")
+	}
 	space := rac.DefaultSpace()
+	if *admission {
+		space = rac.AdmissionSpace()
+	}
 	start := space.DefaultConfig().With(space, rac.MaxClients, *maxClients)
+	if *admitConc > 0 {
+		start = start.With(space, rac.AdmitConcurrency, *admitConc)
+	}
+	if *admitQueue > 0 {
+		start = start.With(space, rac.AdmitQueue, *admitQueue)
+	}
 	start, err = space.Clamp(start)
 	if err != nil {
 		return err
@@ -296,6 +311,10 @@ steps:
 	st := server.Stats()
 	fmt.Printf("\nserver stats: served=%d rejected=%d sessions=%d\n",
 		st.Served, st.Rejected, st.Sessions)
+	if *admission {
+		fmt.Printf("admission gate: admitted=%d rejected=%d scale=%.2f regime=%s\n",
+			st.GateAdmitted, st.GateRejected, st.GateScale, st.GateRegime)
+	}
 	if faulty != nil {
 		byKind := map[rac.FaultKind]int{}
 		for _, inj := range faulty.Injected() {

@@ -1,0 +1,286 @@
+// Package admission implements the SLO gate in front of the web tier: a
+// concurrency cap plus a bounded wait queue with a fast-reject path, and an
+// epoch-adaptive loop that reads the gate's own rejection rate — a free,
+// real-time, self-calibrating signal — to steer between an exploit regime
+// (headroom: open the gate back up) and a spread regime (overload: tighten it
+// to protect latency) *between* the agent's full retrain intervals.
+//
+// The package splits along the repository's two data planes. Controller is
+// the pure, single-goroutine decision logic: every admit/reject outcome ticks
+// an epoch counter, and at each epoch boundary (a fixed request count, never
+// wall clock) the controller compares the epoch's rejection rate against its
+// thresholds and rescales the effective caps. Driving decisions off request
+// counts keeps the simulated system byte-identical at any -procs or shard
+// count. Gate wraps a Controller with a mutex and per-class occupancy
+// tracking for the live concurrent HTTP server, where many goroutines race
+// through Enter/release.
+package admission
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rac-project/rac/internal/tpcw"
+)
+
+// Params are the gate's configured caps. Both zero disables the gate
+// entirely: every request is admitted and nothing is counted.
+type Params struct {
+	// MaxConcurrent caps requests concurrently past the gate and in service.
+	MaxConcurrent int
+	// MaxQueue caps requests past the gate but still waiting for service
+	// (the web tier's admission queue). A request arriving with the queue
+	// full is fast-rejected with 503 before touching the web tier.
+	MaxQueue int
+	// ClassLimits, when non-nil, additionally caps the gate occupancy of
+	// individual interaction classes (0 or absent = no per-class cap). The
+	// global caps always apply on top.
+	ClassLimits map[tpcw.Class]int
+}
+
+// Enabled reports whether the gate does anything at all.
+func (p Params) Enabled() bool { return p.MaxConcurrent > 0 || p.MaxQueue > 0 }
+
+// Capacity returns the total gate occupancy bound: concurrency plus queue.
+func (p Params) Capacity() int { return p.MaxConcurrent + p.MaxQueue }
+
+// Validate checks the caps.
+func (p Params) Validate() error {
+	if p.MaxConcurrent < 0 {
+		return fmt.Errorf("admission: negative concurrency cap %d", p.MaxConcurrent)
+	}
+	if p.MaxQueue < 0 {
+		return fmt.Errorf("admission: negative queue cap %d", p.MaxQueue)
+	}
+	for class, limit := range p.ClassLimits {
+		if limit < 0 {
+			return fmt.Errorf("admission: negative cap %d for class %s", limit, class)
+		}
+	}
+	return nil
+}
+
+// EpochConfig tunes the epoch-adaptive loop. The zero value disables it: the
+// configured caps apply unscaled forever.
+type EpochConfig struct {
+	// Size is the epoch length in gate outcomes (admits + rejects). Every
+	// Size outcomes the controller reads its rejection rate and moves the
+	// cap scale one Step. Counts, not wall clock, so replays are exact.
+	Size int
+	// LowThreshold is the rejection rate below which the gate has headroom:
+	// the exploit regime scales the caps up toward MaxScale.
+	LowThreshold float64
+	// HighThreshold is the rejection rate above which the system is
+	// overloaded: the spread regime scales the caps down toward MinScale.
+	HighThreshold float64
+	// Step is the scale adjustment per epoch decision.
+	Step float64
+	// MinScale and MaxScale clamp the cap scale.
+	MinScale, MaxScale float64
+}
+
+// DefaultEpoch returns the epoch loop used by the experiments: ~1000-request
+// epochs, exploit below 2% rejections, spread above 10%.
+func DefaultEpoch() EpochConfig {
+	return EpochConfig{
+		Size:          1000,
+		LowThreshold:  0.02,
+		HighThreshold: 0.10,
+		Step:          0.1,
+		MinScale:      0.5,
+		MaxScale:      1.5,
+	}
+}
+
+// EpochWith returns DefaultEpoch with the given epoch size (0 keeps 1000).
+func EpochWith(size int) EpochConfig {
+	e := DefaultEpoch()
+	if size > 0 {
+		e.Size = size
+	}
+	return e
+}
+
+// Enabled reports whether the epoch loop adapts at all.
+func (e EpochConfig) Enabled() bool { return e.Size > 0 }
+
+// Validate checks the epoch configuration.
+func (e EpochConfig) Validate() error {
+	if e.Size < 0 {
+		return fmt.Errorf("admission: negative epoch size %d", e.Size)
+	}
+	if !e.Enabled() {
+		return nil
+	}
+	if e.LowThreshold < 0 || e.HighThreshold < e.LowThreshold {
+		return fmt.Errorf("admission: epoch thresholds low=%g high=%g out of order",
+			e.LowThreshold, e.HighThreshold)
+	}
+	if e.Step <= 0 {
+		return fmt.Errorf("admission: non-positive epoch step %g", e.Step)
+	}
+	if e.MinScale <= 0 || e.MaxScale < e.MinScale {
+		return fmt.Errorf("admission: epoch scale range [%g,%g] invalid", e.MinScale, e.MaxScale)
+	}
+	return nil
+}
+
+// Regime is the epoch loop's current stance.
+type Regime int
+
+// The regimes: Hold between the thresholds, Exploit below LowThreshold
+// (open the gate — rejections are wasted capacity), Spread above
+// HighThreshold (tighten the gate — protect the latency of admitted work).
+const (
+	RegimeHold Regime = iota
+	RegimeExploit
+	RegimeSpread
+)
+
+// String returns the regime name.
+func (r Regime) String() string {
+	switch r {
+	case RegimeExploit:
+		return "exploit"
+	case RegimeSpread:
+		return "spread"
+	default:
+		return "hold"
+	}
+}
+
+// Decision is one epoch boundary's outcome.
+type Decision struct {
+	// Epoch counts decisions from 1.
+	Epoch int
+	// RejectRate is the closed epoch's rejections / outcomes.
+	RejectRate float64
+	// Regime is the stance the rate selected.
+	Regime Regime
+	// Scale is the cap scale in force after the decision.
+	Scale float64
+}
+
+// Controller is the pure admission logic: configured caps, the epoch loop's
+// scale, and the running epoch counters. It is not safe for concurrent use —
+// the simulator drives it from its single goroutine; the live server wraps it
+// in a Gate.
+type Controller struct {
+	params Params
+	epoch  EpochConfig
+
+	scale    float64
+	count    int // outcomes in the running epoch
+	rejected int // rejections in the running epoch
+	epochs   int // closed epochs
+	regime   Regime
+}
+
+// NewController builds a controller. A nil-equivalent Params disables gating;
+// a zero EpochConfig disables adaptation.
+func NewController(params Params, epoch EpochConfig) (*Controller, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := epoch.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{params: params, epoch: epoch, scale: 1}, nil
+}
+
+// Params returns the configured (unscaled) caps.
+func (c *Controller) Params() Params { return c.params }
+
+// Scale returns the epoch loop's current cap scale.
+func (c *Controller) Scale() float64 { return c.scale }
+
+// Regime returns the stance of the most recent epoch decision.
+func (c *Controller) Regime() Regime { return c.regime }
+
+// Epochs returns how many epoch decisions have been made.
+func (c *Controller) Epochs() int { return c.epochs }
+
+// SetParams swaps the configured caps (a reconfiguration from the learning
+// agent), preserving the epoch loop's scale and counters: the adaptation
+// rides on top of whatever caps the lattice currently prescribes.
+func (c *Controller) SetParams(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	c.params = params
+	return nil
+}
+
+// Limits returns the effective caps with the epoch scale applied. A scaled
+// cap never drops below 1 — the gate throttles, it does not black-hole.
+func (c *Controller) Limits() (concurrent, queue int) {
+	if !c.params.Enabled() {
+		return 0, 0
+	}
+	return scaled(c.params.MaxConcurrent, c.scale), scaled(c.params.MaxQueue, c.scale)
+}
+
+// Capacity returns the effective total occupancy bound (0 when disabled).
+func (c *Controller) Capacity() int {
+	conc, queue := c.Limits()
+	return conc + queue
+}
+
+// Admit decides one arrival given the caller's current gate occupancy (and
+// the arrival's class occupancy, when per-class caps are configured). It does
+// not count the outcome — callers report it through Observe so shed or
+// abandoned arrivals can be excluded.
+func (c *Controller) Admit(occupancy, classOccupancy int, class tpcw.Class) bool {
+	if !c.params.Enabled() {
+		return true
+	}
+	if occupancy >= c.Capacity() {
+		return false
+	}
+	if limit, ok := c.params.ClassLimits[class]; ok && limit > 0 && classOccupancy >= scaled(limit, c.scale) {
+		return false
+	}
+	return true
+}
+
+// Observe counts one gate outcome and, at an epoch boundary, applies the
+// epoch decision to the cap scale. The boolean reports whether a decision
+// was made this call.
+func (c *Controller) Observe(rejected bool) (Decision, bool) {
+	if !c.params.Enabled() || !c.epoch.Enabled() {
+		return Decision{}, false
+	}
+	c.count++
+	if rejected {
+		c.rejected++
+	}
+	if c.count < c.epoch.Size {
+		return Decision{}, false
+	}
+	rate := float64(c.rejected) / float64(c.count)
+	c.count, c.rejected = 0, 0
+	c.epochs++
+	switch {
+	case rate > c.epoch.HighThreshold:
+		c.regime = RegimeSpread
+		c.scale = math.Max(c.epoch.MinScale, c.scale-c.epoch.Step)
+	case rate < c.epoch.LowThreshold:
+		c.regime = RegimeExploit
+		c.scale = math.Min(c.epoch.MaxScale, c.scale+c.epoch.Step)
+	default:
+		c.regime = RegimeHold
+	}
+	return Decision{Epoch: c.epochs, RejectRate: rate, Regime: c.regime, Scale: c.scale}, true
+}
+
+// scaled applies the epoch scale to a cap, flooring at 1.
+func scaled(cap int, scale float64) int {
+	if cap <= 0 {
+		return 0
+	}
+	v := int(math.Round(float64(cap) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -553,6 +553,10 @@ func (h *Harness) Figures() map[string]func() (*Figure, error) {
 		// workload scenario. Not in FigureIDs for the same reason — the
 		// paper has no time-varying-workload figure to reproduce.
 		"diurnal": h.FigDiurnal,
+		// Beyond the paper: the SLO admission gate under flash-crowd
+		// overload, gated vs ungated. Not in FigureIDs — the paper has no
+		// admission-control figure.
+		"overload": h.FigOverload,
 	}
 }
 

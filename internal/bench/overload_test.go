@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rac-project/rac/internal/webtier"
+	"github.com/rac-project/rac/internal/workload"
+)
+
+// overloadSpikeIntervals returns the indices of measurement intervals whose
+// offered load is visibly elevated — the flash-crowd windows past the
+// capacity knee — for the harness-scaled overload scenario.
+func overloadSpikeIntervals(t *testing.T, h *Harness) []int {
+	t.Helper()
+	sc := h.scenarioFor(workload.Overload())
+	sched, err := workload.Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := workload.NewSequencer(sched, sc.Interval())
+	base := seq.At(0).OfferedRate
+	var spikes []int
+	for i := 0; i < seq.Len(); i++ {
+		if seq.At(i).OfferedRate > 1.5*base {
+			spikes = append(spikes, i)
+		}
+	}
+	if len(spikes) == 0 {
+		t.Fatal("overload scenario has no elevated intervals")
+	}
+	return spikes
+}
+
+// TestFigOverloadGateHoldsGoodput is the figure's acceptance claim: past the
+// capacity knee the gated system's SLO-goodput is at least the ungated
+// system's, and its p99 stays bounded where the ungated p99 runs away to the
+// browser-timeout ceiling.
+func TestFigOverloadGateHoldsGoodput(t *testing.T) {
+	h := quickHarness(1)
+	sc := h.scenarioFor(workload.Overload())
+
+	ungatedParams := webtier.DefaultParams()
+	gatedParams := webtier.DefaultParams()
+	gatedParams.AdmitConcurrency = overloadAdmitConcurrency
+	gatedParams.AdmitQueue = overloadAdmitQueue
+
+	ungated, err := h.runOverloadVariant(sc, "ungated", ungatedParams, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := h.runOverloadVariant(sc, "gated", gatedParams, overloadAdmitEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rejected int
+	for _, r := range gated.Rejected {
+		rejected += r
+	}
+	if rejected == 0 {
+		t.Fatal("gated run rejected nothing under flash-crowd overload")
+	}
+	for _, i := range overloadSpikeIntervals(t, h) {
+		if gated.Goodput[i] < ungated.Goodput[i] {
+			t.Errorf("interval %d: gated goodput %.1f < ungated %.1f",
+				i, gated.Goodput[i], ungated.Goodput[i])
+		}
+		if gated.P99[i] >= ungated.P99[i]/2 {
+			t.Errorf("interval %d: gated p99 %.2fs not bounded vs ungated %.2fs",
+				i, gated.P99[i], ungated.P99[i])
+		}
+	}
+}
+
+// TestFigOverloadDeterminism pins byte-identity of the figure across repeated
+// runs and across -procs settings: the epoch loop ticks on request counts,
+// and the models are driven from a single goroutine, so the worker-pool bound
+// must be invisible in the output.
+func TestFigOverloadDeterminism(t *testing.T) {
+	run := func(procs int) *Figure {
+		h := New(Options{Seed: 1, Quick: true, Procs: procs})
+		fig, err := h.FigOverload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	base := run(1)
+	for _, procs := range []int{1, 8} {
+		if got := run(procs); !reflect.DeepEqual(got, base) {
+			t.Fatalf("procs=%d diverged:\n%+v\nvs\n%+v", procs, got, base)
+		}
+	}
+}

@@ -76,7 +76,9 @@ func Groups() []Group {
 // Param identifies one of the eight tunable parameters.
 type Param int
 
-// The eight parameters of paper Table 1.
+// The eight parameters of paper Table 1, plus the admission-gate extension
+// (AdmitConcurrency, AdmitQueue) appended after them so the Table 1 constants
+// keep their values.
 const (
 	MaxClients Param = iota + 1 // web: maximum simultaneous requests
 	KeepAliveTimeout
@@ -86,6 +88,8 @@ const (
 	SessionTimeout
 	MinSpareThreads
 	MaxSpareThreads
+	AdmitConcurrency // gate: concurrent requests admitted past the SLO gate
+	AdmitQueue       // gate: admitted-but-waiting queue depth
 )
 
 // Def describes one tunable parameter: its lattice (Min..Max in Step
@@ -203,8 +207,27 @@ func MustSpace(defs []Def) *Space {
 	return s
 }
 
+// AdmissionDefs returns the admission-gate lattice: the SLO gate's
+// concurrency and queue-depth caps as tunable parameters, so Q-learning can
+// move the gate alongside MaxClients/KeepAlive. The defaults are wide open —
+// AdmitConcurrency at its lattice max with a half-capacity queue behind it —
+// so a default configuration behaves like the ungated system until the agent
+// (or the epoch loop) tightens it.
+func AdmissionDefs() []Def {
+	return []Def{
+		{Param: AdmitConcurrency, Name: "AdmitConcurrency", Tier: TierWeb, Group: GroupCapacity,
+			Min: 50, Max: 600, Step: 50, Default: 600},
+		{Param: AdmitQueue, Name: "AdmitQueue", Tier: TierWeb, Group: GroupCapacity,
+			Min: 50, Max: 600, Step: 50, Default: 300},
+	}
+}
+
 // Default returns the full eight-parameter space of paper Table 1.
 func Default() *Space { return MustSpace(Table1()) }
+
+// WithAdmission returns the Table 1 space extended with the admission-gate
+// parameters: ten dimensions, searched by the same Q-learning machinery.
+func WithAdmission() *Space { return MustSpace(append(Table1(), AdmissionDefs()...)) }
 
 // Len returns the number of parameters.
 func (s *Space) Len() int { return len(s.defs) }

@@ -96,11 +96,17 @@ func (r Resilience) Invalidates(m system.Metrics, windowMean float64, windowed b
 		return "producer-flagged", true
 	}
 	if m.Errors > 0 {
-		if r.MinCompleted > 0 && m.Completed < r.MinCompleted {
+		// Rejections count as deliberately handled load, not as missing
+		// signal: an interval where the admission gate turned most arrivals
+		// away is the gate doing its job, and its MeanRT (over the admitted
+		// requests) is exactly the quantity the agent tunes for. Only errors
+		// — the system failing — poison a measurement.
+		handled := m.Completed + m.Rejected
+		if r.MinCompleted > 0 && handled < r.MinCompleted {
 			return "low-completion", true
 		}
 		if r.MaxErrorRatio > 0 {
-			if ratio := float64(m.Errors) / float64(m.Errors+m.Completed); ratio > r.MaxErrorRatio {
+			if ratio := float64(m.Errors) / float64(m.Errors+handled); ratio > r.MaxErrorRatio {
 				return "error-ratio", true
 			}
 		}

@@ -201,6 +201,51 @@ func TestErrorBurstIntervalNotLearned(t *testing.T) {
 	}
 }
 
+// TestRejectionHeavyIntervalStillLearned pins the rejected ≠ error
+// distinction inside the invalid-interval logic: an interval where the
+// admission gate turned most arrivals away (plus a few stray errors) is the
+// gate doing its job — valid learning signal, not a poisoned measurement —
+// so it must enter the sample table and the reference window like any clean
+// interval.
+func TestRejectionHeavyIntervalStillLearned(t *testing.T) {
+	sys := &flakySystem{bowlSystem: newBowlSystem(bowlTargets)}
+	a := resilientAgent(t, sys, Resilience{MaxAttempts: 3, MinCompleted: 10, MaxErrorRatio: 0.5},
+		AgentOptions{})
+	// 40 completions, 900 gate rejections, 5 genuine errors: under the old
+	// conflated accounting the 5 errors plus the low completion count would
+	// have invalidated the interval outright.
+	sys.nextMetrics = []system.Metrics{{
+		MeanRT: 0.3, Throughput: 0.13, Completed: 40, Rejected: 900, Errors: 5,
+		IntervalSeconds: 300,
+	}}
+	res, err := a.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invalid {
+		t.Fatalf("rejection-heavy interval misclassified invalid: %+v", res)
+	}
+	if len(a.samples) != 1 {
+		t.Fatalf("rejection-heavy interval produced no Q-update (samples=%d)", len(a.samples))
+	}
+	if a.window.Len() != 1 {
+		t.Fatal("rejection-heavy interval did not enter the reference window")
+	}
+	// The same interval with the rejections recast as errors is still thrown
+	// out — the distinction, not a loosened threshold, is what changed.
+	sys.nextMetrics = []system.Metrics{{
+		MeanRT: 0.3, Throughput: 0.13, Completed: 40, Errors: 905,
+		IntervalSeconds: 300,
+	}}
+	res, err = a.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invalid || res.InvalidReason != "error-ratio" {
+		t.Fatalf("error-heavy interval not rejected: %+v", res)
+	}
+}
+
 func TestOutlierMeasurementRejected(t *testing.T) {
 	sys := &flakySystem{bowlSystem: newBowlSystem(bowlTargets)}
 	a := resilientAgent(t, sys, Resilience{MaxAttempts: 3, OutlierFactor: 6}, AgentOptions{})

@@ -394,11 +394,14 @@ func (f *Fleet) buildSystem(spec TenantSpec, ctx system.Context, seed uint64) (s
 		switch spec.Backend {
 		case "", "sim":
 			sys, err = system.NewSimulated(system.SimulatedOptions{
-				Space:          f.space,
-				Context:        ctx,
-				Seed:           seed,
-				SettleSeconds:  spec.SettleSeconds,
-				MeasureSeconds: spec.MeasureSeconds,
+				Space:            f.space,
+				Context:          ctx,
+				Seed:             seed,
+				SettleSeconds:    spec.SettleSeconds,
+				MeasureSeconds:   spec.MeasureSeconds,
+				AdmitConcurrency: spec.AdmitConcurrency,
+				AdmitQueue:       spec.AdmitQueue,
+				AdmitEpoch:       spec.AdmitEpoch,
 			})
 		case "analytic":
 			sys, err = system.NewAnalytic(system.AnalyticOptions{

@@ -89,6 +89,15 @@ type TenantSpec struct {
 	// shards and admission bound (0 = engine defaults).
 	LoadShards   int `json:"loadShards,omitempty"`
 	LoadInFlight int `json:"loadInFlight,omitempty"`
+	// AdmitConcurrency and AdmitQueue set the SLO admission gate's caps on a
+	// "sim" tenant whose configuration space does not already include the
+	// admission parameters (the lattice wins when it does). Zero both leaves
+	// the gate disabled — byte-identical to a fleet without the gate.
+	AdmitConcurrency int `json:"admitConcurrency,omitempty"`
+	AdmitQueue       int `json:"admitQueue,omitempty"`
+	// AdmitEpoch sets the gate's adaptive epoch in requests (0 = no
+	// epoch-adaptive scaling).
+	AdmitEpoch int `json:"admitEpoch,omitempty"`
 	// TrainPolicy trains an initial policy for the tenant's context at
 	// admission (fast, on the analytic surface) and publishes it to the
 	// shared registry when the context has none yet.
@@ -109,6 +118,9 @@ func (sp TenantSpec) validate() error {
 	}
 	if sp.CheckpointEvery < 0 {
 		return fmt.Errorf("fleet: tenant %s: negative checkpoint interval %d", sp.Name, sp.CheckpointEvery)
+	}
+	if sp.AdmitConcurrency < 0 || sp.AdmitQueue < 0 || sp.AdmitEpoch < 0 {
+		return fmt.Errorf("fleet: tenant %s: negative admission gate parameter", sp.Name)
 	}
 	return nil
 }

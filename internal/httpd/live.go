@@ -36,6 +36,10 @@ type MeasureResult struct {
 	Errors     int
 	Offered    int
 	Shed       int
+	// Rejected counts arrivals the server's SLO admission gate answered with
+	// 503 — deliberate load-shedding by the system under test, kept apart
+	// from Errors (the system failing) and Shed (the harness holding back).
+	Rejected int
 	// OfferedRate is the interval's offered load in paper-scale requests per
 	// second. Under a workload schedule it varies interval to interval, which
 	// is how the agent's context detection sees the drift.
@@ -189,6 +193,9 @@ func (l *Live) Measure(ctx context.Context) (system.Metrics, error) {
 		if res.Errors > 0 {
 			return system.Metrics{}, system.Transient(fmt.Errorf("httpd: interval completed no requests (%d errored or timed out)", res.Errors))
 		}
+		if res.Rejected > 0 {
+			return system.Metrics{}, system.Transient(fmt.Errorf("httpd: interval completed no requests (%d rejected by the admission gate)", res.Rejected))
+		}
 		return system.Metrics{}, system.Transient(errors.New("httpd: interval completed no requests"))
 	}
 	return system.Metrics{
@@ -199,6 +206,7 @@ func (l *Live) Measure(ctx context.Context) (system.Metrics, error) {
 		Errors:          res.Errors,
 		Offered:         res.Offered,
 		Shed:            res.Shed,
+		Rejected:        res.Rejected,
 		OfferedRate:     res.OfferedRate,
 		IntervalSeconds: l.Interval.Seconds() * TimeScale,
 	}, nil

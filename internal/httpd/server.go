@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rac-project/rac/internal/admission"
 	"github.com/rac-project/rac/internal/telemetry"
 	"github.com/rac-project/rac/internal/tpcw"
 	"github.com/rac-project/rac/internal/vmenv"
@@ -46,6 +47,11 @@ type Server struct {
 	sessions   *sessionStore
 	db         *bookstore
 
+	// gate is the SLO admission controller: the fast-reject path answers 503
+	// before the request touches the web tier's semaphore wait. Always
+	// constructed; with zero caps it admits everything.
+	gate *admission.Gate
+
 	httpSrv  *http.Server
 	listener net.Listener
 	done     chan struct{}
@@ -62,12 +68,16 @@ type Server struct {
 
 	// Telemetry: per-class latency histograms and request counters on the
 	// request hot path, exposed in Prometheus text form at /metrics.
-	tel        *telemetry.Registry
-	reqLatency map[tpcw.Class]*telemetry.Histogram
-	reqServed  map[tpcw.Class]*telemetry.Counter
-	rejWeb     *telemetry.Counter
-	rejApp     *telemetry.Counter
-	sessGauge  *telemetry.Gauge
+	tel         *telemetry.Registry
+	reqLatency  map[tpcw.Class]*telemetry.Histogram
+	reqServed   map[tpcw.Class]*telemetry.Counter
+	rejWeb      *telemetry.Counter
+	rejApp      *telemetry.Counter
+	sessGauge   *telemetry.Gauge
+	admAdmitted *telemetry.Counter
+	admRejected *telemetry.Counter
+	admScale    *telemetry.Gauge
+	admRegime   *telemetry.Gauge
 
 	// trace, when set, is served as JSON at /admin/trace (the agent's
 	// decision ring; attached by the experiment driver, not the server).
@@ -113,7 +123,43 @@ func NewServer(params webtier.Params, level vmenv.Level) (*Server, error) {
 		"Requests rejected by tier admission control.", telemetry.Labels{"tier": "app"})
 	s.sessGauge = s.tel.Gauge("httpd_sessions",
 		"Live sessions in the TTL'd session store.", nil)
+	s.admAdmitted = s.tel.Counter("rac_admission_admitted_total",
+		"Arrivals admitted past the SLO gate.", nil)
+	s.admRejected = s.tel.Counter("rac_admission_rejected_total",
+		"Arrivals fast-rejected (503) by the SLO gate.", nil)
+	s.admScale = s.tel.Gauge("rac_admission_scale",
+		"Epoch-adaptive cap scale of the SLO gate.", nil)
+	s.admRegime = s.tel.Gauge("rac_admission_regime",
+		"Epoch regime of the SLO gate (0=hold, 1=exploit, 2=spread).", nil)
+	s.admScale.Set(1)
+	gate, err := admission.NewGate(admission.Params{
+		MaxConcurrent: params.AdmitConcurrency,
+		MaxQueue:      params.AdmitQueue,
+	}, admission.DefaultEpoch())
+	if err != nil {
+		return nil, err
+	}
+	gate.OnDecision(s.onAdmissionDecision)
+	s.gate = gate
 	return s, nil
+}
+
+// onAdmissionDecision publishes each epoch decision of the gate's adaptive
+// loop: gauges for the scrape path, a trace event for the decision ring.
+func (s *Server) onAdmissionDecision(d admission.Decision) {
+	s.admScale.Set(d.Scale)
+	s.admRegime.Set(float64(d.Regime))
+	s.traceMu.Lock()
+	tr := s.trace
+	s.traceMu.Unlock()
+	if tr != nil {
+		tr.Add(telemetry.Event{
+			Kind:       telemetry.KindAdmission,
+			Iteration:  d.Epoch,
+			RejectRate: d.RejectRate,
+			Detail:     d.Regime.String(),
+		})
+	}
 }
 
 // Telemetry returns the server's metrics registry so other layers (agent,
@@ -233,7 +279,10 @@ func (s *Server) Reconfigure(params webtier.Params) error {
 	s.sessions.setTTL(time.Duration(params.SessionTimeoutMin * float64(time.Minute) / TimeScale))
 	// The keep-alive change applies to connections that go idle from now on
 	// via the per-connection reaper timers.
-	return nil
+	return s.gate.SetParams(admission.Params{
+		MaxConcurrent: params.AdmitConcurrency,
+		MaxQueue:      params.AdmitQueue,
+	})
 }
 
 // trackConn reaps connections that stay idle beyond the configured
@@ -277,20 +326,34 @@ func (s *Server) SetLevel(level vmenv.Level) error {
 	return nil
 }
 
-// Stats is the server-side counter snapshot.
+// Stats is the server-side counter snapshot. Rejected aggregates every 503
+// (gate, web tier, app tier); GateRejected isolates the SLO gate's share, and
+// GateScale/GateRegime expose the epoch-adaptive loop's current stance.
 type Stats struct {
-	Served   int64 `json:"served"`
-	Rejected int64 `json:"rejected"`
-	Sessions int   `json:"sessions"`
+	Served       int64   `json:"served"`
+	Rejected     int64   `json:"rejected"`
+	Sessions     int     `json:"sessions"`
+	GateAdmitted int64   `json:"gate_admitted,omitempty"`
+	GateRejected int64   `json:"gate_rejected,omitempty"`
+	GateScale    float64 `json:"gate_scale,omitempty"`
+	GateRegime   string  `json:"gate_regime,omitempty"`
 }
 
 // Stats returns the counter snapshot.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Served:   s.served.Load(),
-		Rejected: s.rejected.Load(),
-		Sessions: s.sessions.len(),
+	snap := s.gate.Snapshot()
+	st := Stats{
+		Served:       s.served.Load(),
+		Rejected:     s.rejected.Load(),
+		Sessions:     s.sessions.len(),
+		GateAdmitted: snap.Admitted,
+		GateRejected: snap.Rejected,
 	}
+	if s.gate.Enabled() {
+		st.GateScale = snap.Scale
+		st.GateRegime = snap.Regime.String()
+	}
+	return st
 }
 
 // Handler returns the HTTP routes (also usable under httptest).
@@ -322,6 +385,19 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) page(class tpcw.Class) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+
+		// SLO admission gate: one mutex acquisition decides the arrival, so a
+		// rejection costs microseconds — before the web tier's semaphore wait
+		// can queue the request for up to its full 2 s timeout.
+		release, ok := s.gate.Enter(class)
+		if !ok {
+			s.rejected.Add(1)
+			s.admRejected.Inc()
+			http.Error(w, "admission gate", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+		s.admAdmitted.Inc()
 
 		// Web tier admission: MaxClients.
 		if !s.webSlots.tryAcquire(2 * time.Second) {

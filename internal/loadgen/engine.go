@@ -67,12 +67,13 @@ func buildSchedule(o Options, rate float64, mix tpcw.Mix, duration time.Duration
 }
 
 // shardAcct is one shard's accounting: a latency histogram for completed
-// requests plus error/shed counters. Workers touch only atomics here — the
-// per-request hot path neither locks nor allocates.
+// requests plus error/shed/rejected counters. Workers touch only atomics here
+// — the per-request hot path neither locks nor allocates.
 type shardAcct struct {
 	hist *telemetry.Histogram
 	errs atomic.Int64
 	shed atomic.Int64
+	rej  atomic.Int64
 }
 
 // takeWindow builds one interval's schedule. Static rates lay the interval
@@ -145,13 +146,15 @@ func (d *Driver) runOpen(ctx context.Context, duration time.Duration, mix tpcw.M
 	}
 
 	merged := shards[0].hist.Snapshot()
-	var nErr, nShed int64
+	var nErr, nShed, nRej int64
 	nErr = shards[0].errs.Load()
 	nShed = shards[0].shed.Load()
+	nRej = shards[0].rej.Load()
 	for _, sh := range shards[1:] {
 		merged.Merge(sh.hist.Snapshot())
 		nErr += sh.errs.Load()
 		nShed += sh.shed.Load()
+		nRej += sh.rej.Load()
 	}
 
 	res := Result{
@@ -159,6 +162,7 @@ func (d *Driver) runOpen(ctx context.Context, duration time.Duration, mix tpcw.M
 		Errors:    int(nErr),
 		Offered:   len(sched),
 		Shed:      int(nShed),
+		Rejected:  int(nRej),
 	}
 	if merged.Count > 0 {
 		res.MeanRT = merged.Sum / float64(merged.Count)
@@ -191,10 +195,14 @@ func (d *Driver) openWorker(ctx context.Context, client *http.Client, sched []ar
 		if d.exec != nil {
 			// Test hook: pure function of the arrival, no pacing, no HTTP —
 			// exercises exactly the sharded accounting path.
-			if rt, ok := d.exec(k, a.class); ok {
-				acct.hist.Observe(rt)
-			} else {
+			rt, status := d.exec(k, a.class)
+			switch status {
+			case reqError:
 				acct.errs.Add(1)
+			case reqRejected:
+				acct.rej.Add(1)
+			default:
+				acct.hist.Observe(rt)
 			}
 			continue
 		}
@@ -232,13 +240,19 @@ func (d *Driver) openWorker(ctx context.Context, client *http.Client, sched []ar
 			d.issued.Inc()
 		}
 		t0 := time.Now()
-		ok := d.request(ctx, client, a.class)
+		status := d.request(ctx, client, a.class)
 		if ctx.Err() != nil {
 			return // do not record requests cut off by cancellation
 		}
-		if ok {
+		switch status {
+		case reqOK:
 			acct.hist.Observe(time.Since(t0).Seconds() * httpd.TimeScale)
-		} else {
+		case reqRejected:
+			acct.rej.Add(1)
+			if d.rejected != nil {
+				d.rejected.Inc()
+			}
+		default:
 			acct.errs.Add(1)
 			if d.errored != nil {
 				d.errored.Inc()

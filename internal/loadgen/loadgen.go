@@ -73,14 +73,27 @@ type Driver struct {
 	// exec, when non-nil, replaces the HTTP request + pacing of the
 	// open-loop engine with a pure function of the arrival (tests use it to
 	// make the sharded accounting path fully deterministic).
-	exec func(k int, class tpcw.Class) (rt float64, ok bool)
+	exec func(k int, class tpcw.Class) (rt float64, status reqStatus)
 
 	// Optional instruments (see SetTelemetry); nil when unwired.
-	issued  *telemetry.Counter
-	errored *telemetry.Counter
-	offered *telemetry.Counter
-	shed    *telemetry.Counter
+	issued   *telemetry.Counter
+	errored  *telemetry.Counter
+	offered  *telemetry.Counter
+	shed     *telemetry.Counter
+	rejected *telemetry.Counter
 }
+
+// reqStatus classifies one request's outcome. The three-way split is the
+// accounting contract: an error is the system failing, a rejection is the
+// server's SLO admission gate deliberately answering 503, and neither is a
+// latency sample.
+type reqStatus int
+
+const (
+	reqOK reqStatus = iota
+	reqRejected
+	reqError
+)
 
 // New builds a driver from validated options.
 func New(opts Options) (*Driver, error) {
@@ -114,6 +127,8 @@ func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
 		"Requests the open-loop schedule offered.", nil)
 	d.shed = reg.Counter("loadgen_shed_total",
 		"Offered requests shed by open-loop admission control instead of issued late.", nil)
+	d.rejected = reg.Counter("loadgen_rejected_total",
+		"Issued requests the server's SLO admission gate answered with 503.", nil)
 }
 
 // SetWorkload changes the emulated population for subsequent runs. An
@@ -171,15 +186,19 @@ func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error
 		mu   sync.Mutex
 		rts  []float64
 		nErr int
+		nRej int
 	)
-	record := func(rt float64, failed bool) {
+	record := func(rt float64, status reqStatus) {
 		mu.Lock()
 		defer mu.Unlock()
-		if failed {
+		switch status {
+		case reqError:
 			nErr++
-			return
+		case reqRejected:
+			nRej++
+		default:
+			rts = append(rts, rt)
 		}
-		rts = append(rts, rt)
 	}
 
 	root := sim.NewRNG(d.seed)
@@ -196,7 +215,7 @@ func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error
 
 	mu.Lock()
 	defer mu.Unlock()
-	res := Result{Completed: len(rts), Errors: nErr}
+	res := Result{Completed: len(rts), Errors: nErr, Rejected: nRej}
 	if len(rts) > 0 {
 		sum := stats.Summarize(rts)
 		res.MeanRT = sum.Mean
@@ -210,7 +229,7 @@ func (d *Driver) Run(ctx context.Context, duration time.Duration) (Result, error
 }
 
 // browser runs one emulated browser until the context ends.
-func (d *Driver) browser(ctx context.Context, mix tpcw.Mix, rng *sim.RNG, record func(float64, bool)) {
+func (d *Driver) browser(ctx context.Context, mix tpcw.Mix, rng *sim.RNG, record func(float64, reqStatus)) {
 	gen, err := tpcw.NewGenerator(mix, rng)
 	if err != nil {
 		return
@@ -239,15 +258,22 @@ func (d *Driver) browser(ctx context.Context, mix tpcw.Mix, rng *sim.RNG, record
 			d.issued.Inc()
 		}
 		start := time.Now()
-		ok := d.request(ctx, client, class)
+		status := d.request(ctx, client, class)
 		if ctx.Err() != nil {
 			return // do not record requests cut off by the interval end
 		}
-		if !ok && d.errored != nil {
-			d.errored.Inc()
+		switch status {
+		case reqError:
+			if d.errored != nil {
+				d.errored.Inc()
+			}
+		case reqRejected:
+			if d.rejected != nil {
+				d.rejected.Inc()
+			}
 		}
 		elapsed := time.Since(start).Seconds() * httpd.TimeScale
-		record(elapsed, !ok)
+		record(elapsed, status)
 
 		if gen.SessionOver() {
 			// New user: drop cookies and the connection.
@@ -261,19 +287,28 @@ func (d *Driver) browser(ctx context.Context, mix tpcw.Mix, rng *sim.RNG, record
 	}
 }
 
-// request performs one interaction; it reports success.
-func (d *Driver) request(ctx context.Context, client *http.Client, class tpcw.Class) bool {
+// request performs one interaction and classifies its outcome. A 503 is the
+// server's admission gate deliberately rejecting the request; every other
+// non-200 outcome (including transport errors) is an error.
+func (d *Driver) request(ctx context.Context, client *http.Client, class tpcw.Class) reqStatus {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+classPath(class), nil)
 	if err != nil {
-		return false
+		return reqError
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return reqError
 	}
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return false
+		return reqError
 	}
-	return resp.StatusCode == http.StatusOK
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return reqOK
+	case http.StatusServiceUnavailable:
+		return reqRejected
+	default:
+		return reqError
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -130,11 +131,15 @@ func openLoopRun(t *testing.T, shards, inFlight int) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.exec = func(k int, class tpcw.Class) (float64, bool) {
-		if k%7 == 0 {
-			return 0, false
+	d.exec = func(k int, class tpcw.Class) (float64, reqStatus) {
+		switch {
+		case k%7 == 0:
+			return 0, reqError
+		case k%11 == 0:
+			return 0, reqRejected // admission-gate 503s
+		default:
+			return 0.25 + float64(k%16)*0.25, reqOK
 		}
-		return 0.25 + float64(k%16)*0.25, true
 	}
 	res, err := d.Run(context.Background(), 2*time.Second)
 	if err != nil {
@@ -148,8 +153,14 @@ func TestOpenLoopShardInvariance(t *testing.T) {
 	if base.Offered != 10000 {
 		t.Fatalf("offered %d, want 10000", base.Offered)
 	}
-	if base.Completed == 0 || base.Errors == 0 {
+	if base.Completed == 0 || base.Errors == 0 || base.Rejected == 0 {
 		t.Fatalf("degenerate baseline %+v", base)
+	}
+	// Exact accounting identity: every offered slot is completed, errored, or
+	// rejected (nothing sheds through the pure exec hook) — and 503s land in
+	// Rejected, never in Errors.
+	if base.Completed+base.Errors+base.Rejected != base.Offered {
+		t.Fatalf("accounting identity broken: %+v", base)
 	}
 	for _, tc := range []struct{ shards, inFlight int }{
 		{1, 8}, {2, 6}, {4, 64}, {8, 64}, {16, 16},
@@ -172,7 +183,7 @@ func TestOpenLoopAccountingRace(t *testing.T) {
 		t.Run("", func(t *testing.T) {
 			t.Parallel()
 			res := openLoopRun(t, 8, 64)
-			if res.Completed+res.Errors != res.Offered {
+			if res.Completed+res.Errors+res.Rejected != res.Offered {
 				t.Fatalf("run %d lost slots: %+v", i, res)
 			}
 		})
@@ -210,6 +221,42 @@ func TestOpenLoopBackpressureSheds(t *testing.T) {
 	}
 	if res.Completed == 0 {
 		t.Fatalf("nothing completed: %+v", res)
+	}
+}
+
+// TestOpenLoop503CountsRejected is the admission-gate accounting regression:
+// a server answering 503 must land those requests in Rejected — not Errors —
+// through the real HTTP path, and the offered = completed + errors + shed +
+// rejected identity must stay exact.
+func TestOpenLoop503CountsRejected(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			http.Error(w, "admission gate", http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	o := validOptions()
+	o.BaseURL = srv.URL
+	o.Seed = 11
+	o.Rate = 2 // 2·0.5·100 = 100 arrivals over 0.5 s wall
+	d, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatalf("503s not counted as rejected: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("503s leaked into Errors: %+v", res)
+	}
+	if res.Completed+res.Errors+res.Shed+res.Rejected != res.Offered {
+		t.Fatalf("slots unaccounted for: %+v", res)
 	}
 }
 

@@ -52,11 +52,15 @@ func scheduleRun(t testing.TB, src workload.Source, shards, inFlight int) []Resu
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.exec = func(k int, class tpcw.Class) (float64, bool) {
-		if k%7 == 0 {
-			return 0, false
+	d.exec = func(k int, class tpcw.Class) (float64, reqStatus) {
+		switch {
+		case k%7 == 0:
+			return 0, reqError
+		case k%11 == 0:
+			return 0, reqRejected
+		default:
+			return 0.25 + float64(k%16)*0.25 + float64(class)*0.125, reqOK
 		}
-		return 0.25 + float64(k%16)*0.25 + float64(class)*0.125, true
 	}
 	results := make([]Result, 4)
 	for i := range results {

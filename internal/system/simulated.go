@@ -22,6 +22,11 @@ type Simulated struct {
 	// 30 s settle and a 270 s recorded window of virtual time.
 	settleSeconds  float64
 	measureSeconds float64
+
+	// Fixed admission caps, used only when the space does not carry the gate
+	// parameters (see SimulatedOptions).
+	admitConcurrency int
+	admitQueue       int
 }
 
 // SimulatedOptions configure NewSimulated.
@@ -40,6 +45,15 @@ type SimulatedOptions struct {
 	// when positive.
 	SettleSeconds  float64
 	MeasureSeconds float64
+	// AdmitConcurrency and AdmitQueue enable the SLO admission gate when the
+	// configuration space does not carry the gate parameters itself (both
+	// zero = gate disabled). When the space includes config.AdmitConcurrency
+	// the lattice value wins and these are ignored.
+	AdmitConcurrency int
+	AdmitQueue       int
+	// AdmitEpoch enables the gate's epoch-adaptive loop with the given epoch
+	// size in requests (0 = no adaptation).
+	AdmitEpoch int
 }
 
 var (
@@ -68,22 +82,29 @@ func NewSimulated(opts SimulatedOptions) (*Simulated, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, inSpace := space.Lookup(config.AdmitConcurrency); !inSpace {
+		params.AdmitConcurrency = opts.AdmitConcurrency
+		params.AdmitQueue = opts.AdmitQueue
+	}
 	model, err := webtier.New(webtier.Options{
 		Calibration: opts.Calibration,
 		Params:      &params,
 		Workload:    ctx.Workload,
 		AppLevel:    ctx.Level,
 		Seed:        opts.Seed,
+		AdmitEpoch:  opts.AdmitEpoch,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Simulated{
-		space:          space,
-		model:          model,
-		cfg:            cfg.Clone(),
-		settleSeconds:  30,
-		measureSeconds: 270,
+		space:            space,
+		model:            model,
+		cfg:              cfg.Clone(),
+		settleSeconds:    30,
+		measureSeconds:   270,
+		admitConcurrency: opts.AdmitConcurrency,
+		admitQueue:       opts.AdmitQueue,
 	}
 	if opts.SettleSeconds > 0 {
 		s.settleSeconds = opts.SettleSeconds
@@ -116,6 +137,12 @@ func (s *Simulated) Apply(ctx context.Context, cfg config.Config) error {
 	if err != nil {
 		return err
 	}
+	// A space without the gate parameters keeps the fixed caps across
+	// reconfigurations; a space with them lets the lattice drive the gate.
+	if _, inSpace := s.space.Lookup(config.AdmitConcurrency); !inSpace {
+		params.AdmitConcurrency = s.admitConcurrency
+		params.AdmitQueue = s.admitQueue
+	}
 	if err := s.model.Configure(params); err != nil {
 		return err
 	}
@@ -143,6 +170,7 @@ func (s *Simulated) Measure(ctx context.Context) (Metrics, error) {
 		P95RT:           st.P95RT,
 		Throughput:      st.Throughput,
 		Completed:       st.Completed,
+		Rejected:        st.Rejected,
 		IntervalSeconds: st.Interval + s.settleSeconds,
 	}, nil
 }

@@ -47,6 +47,13 @@ type Metrics struct {
 	// than silently stretching the schedule — is what keeps open-loop
 	// latencies free of coordinated omission.
 	Shed int `json:"shed,omitempty"`
+	// Rejected is the number of arrivals the server's SLO admission gate
+	// fast-rejected (503) before they touched the web tier. Rejected ≠ error
+	// ≠ shed — three different truths about an arrival: an error is the
+	// system failing, a shed request never left the harness, a rejection is
+	// the gate deliberately trading one request away to protect the rest.
+	// Rejections are excluded from the response-time statistics.
+	Rejected int `json:"rejected,omitempty"`
 	// OfferedRate is the interval's offered load in requests per second.
 	// Time-varying workload schedules change it interval to interval — the
 	// per-interval load context agents correlate drift and rollbacks with.
@@ -74,6 +81,9 @@ func (m Metrics) String() string {
 	}
 	if m.Shed > 0 {
 		s += fmt.Sprintf(" shed=%d/%d", m.Shed, m.Offered)
+	}
+	if m.Rejected > 0 {
+		s += fmt.Sprintf(" rejected=%d", m.Rejected)
 	}
 	if m.IntervalSeconds > 0 {
 		s += fmt.Sprintf(" over %.0fs", m.IntervalSeconds)

@@ -39,6 +39,11 @@ const (
 // correlated with the load that provoked them.
 const KindWorkload EventKind = "workload"
 
+// Admission event kind: one "admission" event per epoch decision of the SLO
+// gate's adaptive loop, recording the epoch's rejection rate (RejectRate) and
+// the regime it selected (Detail: "exploit", "spread" or "hold").
+const KindAdmission EventKind = "admission"
+
 // Event is one structured decision-trace record. Fields are a union over the
 // kinds; unused fields stay at their zero value and are omitted from JSON.
 type Event struct {
@@ -76,6 +81,9 @@ type Event struct {
 	// OfferedRate is the interval's offered load on "workload" events
 	// (req/s, or mean population for population-only scenarios).
 	OfferedRate float64 `json:"offered_rate,omitempty"`
+	// RejectRate is the closed epoch's rejection fraction on "admission"
+	// events.
+	RejectRate float64 `json:"reject_rate,omitempty"`
 	// Converged reports whether a retrain hit its θ threshold.
 	Converged bool `json:"converged,omitempty"`
 	// Tenant names the fleet tenant an event belongs to (fleet-managed runs

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/rac-project/rac/internal/admission"
 	"github.com/rac-project/rac/internal/sim"
 	"github.com/rac-project/rac/internal/stats"
 	"github.com/rac-project/rac/internal/tpcw"
@@ -69,9 +70,10 @@ type Stats struct {
 	Interval float64
 	// Completed is the number of requests that finished in the interval.
 	Completed int
-	// MeanRT, P95RT are response-time statistics in seconds.
+	// MeanRT, P95RT, P99RT are response-time statistics in seconds.
 	MeanRT float64
 	P95RT  float64
+	P99RT  float64
 	// Throughput is completed requests per second.
 	Throughput float64
 	// MeanInFlight is the time-averaged number of admitted requests.
@@ -89,6 +91,14 @@ type Stats struct {
 	Retransmits int
 	// Timeouts counts requests abandoned at the browser timeout.
 	Timeouts int
+	// GoodCompleted counts completions within the SLO threshold given at
+	// construction (Options.SLOSeconds) — the numerator of SLO-goodput. When
+	// no threshold was set it equals Completed.
+	GoodCompleted int
+	// Rejected counts arrivals fast-rejected (503) by the admission gate.
+	// Rejections are not response-time samples: the gate's point is to keep
+	// excess arrivals off the latency books.
+	Rejected int
 	// PerClass breaks completed-request response times down by interaction
 	// class (TPC-W reports per-interaction WIRT compliance).
 	PerClass map[tpcw.Class]ClassStats
@@ -98,6 +108,7 @@ type Stats struct {
 type ClassStats struct {
 	Completed int
 	MeanRT    float64
+	Rejected  int
 }
 
 // Model is the simulated three-tier website. It is not safe for concurrent
@@ -111,6 +122,16 @@ type Model struct {
 
 	appVM *vmenv.VM
 	now   float64
+
+	// SLO admission gate in front of the web tier. gateHeld counts requests
+	// admitted past the gate and still resident (every modeInFlight client,
+	// queued or in service); the epoch loop inside the controller ticks on
+	// request counts, so replays stay byte-identical at any -procs setting.
+	gate     *admission.Controller
+	gateHeld int
+
+	// slo is the GoodCompleted threshold (Options.SLOSeconds; 0 = none).
+	slo float64
 
 	// Stall process of the app/db VM (GC / checkpoint pauses).
 	stallUntil float64
@@ -147,8 +168,10 @@ type Model struct {
 	recording  bool
 	retransmit int
 	timeouts   int
+	rejected   int
 	rts        []float64
 	classRT    map[tpcw.Class]*stats.Running
+	classRej   map[tpcw.Class]int
 	recStart   float64
 	gInFlight  float64
 	gWaiting   float64
@@ -172,6 +195,14 @@ type Options struct {
 	AppLevel vmenv.Level
 	// Seed drives all randomness.
 	Seed uint64
+	// AdmitEpoch enables the gate's epoch-adaptive loop with the given epoch
+	// size in requests (0 disables adaptation: the configured caps apply
+	// unscaled). Only meaningful when the Params enable the gate.
+	AdmitEpoch int
+	// SLOSeconds, when positive, makes Stats.GoodCompleted count only the
+	// completions at or under this response time. Pure accounting: it never
+	// changes the simulation itself.
+	SLOSeconds float64
 }
 
 // New builds a simulated website.
@@ -206,6 +237,17 @@ func New(opts Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch := admission.EpochConfig{}
+	if opts.AdmitEpoch > 0 {
+		epoch = admission.EpochWith(opts.AdmitEpoch)
+	}
+	gate, err := admission.NewController(admission.Params{
+		MaxConcurrent: params.AdmitConcurrency,
+		MaxQueue:      params.AdmitQueue,
+	}, epoch)
+	if err != nil {
+		return nil, err
+	}
 	m := &Model{
 		cal:      cal,
 		params:   params,
@@ -213,6 +255,8 @@ func New(opts Options) (*Model, error) {
 		gen:      gen,
 		rng:      rng,
 		appVM:    appVM,
+		gate:     gate,
+		slo:      opts.SLOSeconds,
 	}
 	m.resetPopulation()
 	return m, nil
@@ -235,6 +279,9 @@ func (m *Model) resetPopulation() {
 	m.deadSession.reset()
 	m.inFlight, m.webActive, m.appActive, m.dbCPU, m.dbIO = 0, 0, 0, 0, 0
 	m.threads, m.dbConns, m.conns, m.idleConns = 0, 0, 0, 0
+	// The abrupt restart drops every resident request; the gate's learned
+	// scale survives — it is the epoch loop's short-term memory.
+	m.gateHeld = 0
 	m.webSpawned = clampInt(m.params.MinSpareServers, 1, m.params.MaxClients)
 	m.appSpawned = clampInt(m.params.MinSpareThreads, 1, m.params.MaxThreads)
 	m.webSpawnCr, m.webReapCr, m.appSpawnCr, m.appReapCr = 0, 0, 0, 0
@@ -268,7 +315,12 @@ func (m *Model) Configure(p Params) error {
 	if m.appSpawned > p.MaxThreads {
 		m.appSpawned = maxInt(m.threads, p.MaxThreads)
 	}
-	return nil
+	// The gate picks up the new caps for subsequent arrivals; the epoch
+	// loop's scale and counters ride across the reconfiguration.
+	return m.gate.SetParams(admission.Params{
+		MaxConcurrent: p.AdmitConcurrency,
+		MaxQueue:      p.AdmitQueue,
+	})
 }
 
 // SetWorkload replaces the traffic: mix and/or population size. The browser
@@ -326,8 +378,10 @@ func (m *Model) startRecording() {
 	m.recording = true
 	m.retransmit = 0
 	m.timeouts = 0
+	m.rejected = 0
 	m.rts = m.rts[:0]
 	m.classRT = make(map[tpcw.Class]*stats.Running)
+	m.classRej = make(map[tpcw.Class]int)
 	m.recStart = m.now
 	m.gInFlight, m.gWaiting, m.gUtil = 0, 0, 0
 	m.gWorkers, m.gThreads, m.gIOFactor = 0, 0, 0
@@ -342,17 +396,33 @@ func (m *Model) stopRecording() Stats {
 		Completed:   len(m.rts),
 		Retransmits: m.retransmit,
 		Timeouts:    m.timeouts,
+		Rejected:    m.rejected,
 	}
-	if len(m.classRT) > 0 {
-		s.PerClass = make(map[tpcw.Class]ClassStats, len(m.classRT))
+	if len(m.classRT) > 0 || len(m.classRej) > 0 {
+		s.PerClass = make(map[tpcw.Class]ClassStats, len(m.classRT)+len(m.classRej))
 		for class, run := range m.classRT {
 			s.PerClass[class] = ClassStats{Completed: run.Count(), MeanRT: run.Mean()}
+		}
+		for class, n := range m.classRej {
+			cs := s.PerClass[class]
+			cs.Rejected = n
+			s.PerClass[class] = cs
+		}
+	}
+	s.GoodCompleted = s.Completed
+	if m.slo > 0 {
+		s.GoodCompleted = 0
+		for _, rt := range m.rts {
+			if rt <= m.slo {
+				s.GoodCompleted++
+			}
 		}
 	}
 	if len(m.rts) > 0 {
 		sum := stats.Summarize(m.rts)
 		s.MeanRT = sum.Mean
 		s.P95RT = sum.P95
+		s.P99RT = sum.P99
 	} else {
 		// No completions: the system is jammed. Report the age of the oldest
 		// in-flight request as a pessimistic response-time stand-in so the
@@ -368,6 +438,7 @@ func (m *Model) stopRecording() Stats {
 		}
 		s.MeanRT = math.Max(oldest, interval)
 		s.P95RT = s.MeanRT
+		s.P99RT = s.MeanRT
 	}
 	if interval > 0 {
 		s.Throughput = float64(len(m.rts)) / interval
@@ -498,6 +569,25 @@ func (m *Model) issueRequest(i int, t float64) {
 		}
 		return
 	}
+
+	// SLO admission gate: a fast 503 on the accepted connection, before the
+	// request touches the web tier's queue or workers. The rejected browser
+	// thinks again; its response time is deliberately not recorded — the
+	// gate's job is to keep excess arrivals off the latency books, and
+	// Stats.Rejected carries the separate truth.
+	if !m.gate.Admit(m.gateHeld, 0, c.class) {
+		m.gate.Observe(true)
+		if m.recording {
+			m.rejected++
+			m.classRej[c.class]++
+		}
+		c.retryPending = false
+		c.retries = 0
+		c.thinkUntil = t + m.rng.ExpFloat64(tpcw.MeanThinkTimeSeconds)
+		return
+	}
+	m.gate.Observe(false)
+	m.gateHeld++
 
 	c.retryPending = false
 	c.mode = modeInFlight
@@ -773,6 +863,7 @@ func (m *Model) completeRequest(i int, t float64) {
 	m.dbConns--
 	m.threads--
 	m.inFlight--
+	m.gateHeld--
 
 	// Session bookkeeping: the interaction refreshes the session.
 	timeout := m.params.SessionTimeoutMin * 60
@@ -838,6 +929,8 @@ func (m *Model) abandonRequest(i int, t float64) {
 		m.threads--
 		m.inFlight--
 	}
+	// Every in-flight request, queued or in service, passed the gate.
+	m.gateHeld--
 	if c.hasConn {
 		// The connection is torn down; a queued request's connection still
 		// counts as idle-held.
@@ -886,6 +979,7 @@ type Snapshot struct {
 	AppQueue   int
 	DBQueue    int
 	Sessions   int
+	GateHeld   int
 }
 
 // Snapshot returns the current occupancy counters.
@@ -906,14 +1000,22 @@ func (m *Model) Snapshot() Snapshot {
 		AppQueue:   m.appQueue.len(),
 		DBQueue:    m.dbQueue.len(),
 		Sessions:   m.liveSessions(),
+		GateHeld:   m.gateHeld,
 	}
+}
+
+// AdmissionState reports the gate's epoch-adaptive state: the current cap
+// scale, the stance of the latest epoch decision, and how many epoch
+// decisions have been made.
+func (m *Model) AdmissionState() (scale float64, regime admission.Regime, epochs int) {
+	return m.gate.Scale(), m.gate.Regime(), m.gate.Epochs()
 }
 
 // CheckInvariants recounts occupancy from client states and compares with the
 // incremental counters, returning an error on any mismatch. Tests call this
 // to guard the bookkeeping.
 func (m *Model) CheckInvariants() error {
-	var inFlight, webActive, appActive, dbCPU, dbIO, threads, dbConns, conns, idleConns int
+	var inFlight, webActive, appActive, dbCPU, dbIO, threads, dbConns, conns, idleConns, gateHeld int
 	for i := range m.clients {
 		c := &m.clients[i]
 		if c.hasConn {
@@ -925,6 +1027,7 @@ func (m *Model) CheckInvariants() error {
 		if c.mode != modeInFlight {
 			continue
 		}
+		gateHeld++
 		inFlight0 := c.phase != phaseWebWait
 		if inFlight0 {
 			inFlight++
@@ -963,6 +1066,7 @@ func (m *Model) CheckInvariants() error {
 		{"dbConns", m.dbConns, dbConns},
 		{"conns", m.conns, conns},
 		{"idleConns", m.idleConns, idleConns},
+		{"gateHeld", m.gateHeld, gateHeld},
 	}
 	for _, c := range checks {
 		if c.got != c.want {

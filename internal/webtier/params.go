@@ -34,6 +34,11 @@ type Params struct {
 	SessionTimeoutMin float64 // server-side session expiry, minutes
 	MinSpareThreads   int
 	MaxSpareThreads   int
+
+	// SLO admission gate in front of the web tier. Both zero (the default)
+	// disables the gate entirely — the pre-gate system, byte for byte.
+	AdmitConcurrency int // concurrent requests admitted past the gate
+	AdmitQueue       int // admitted-but-waiting queue depth
 }
 
 // ParamsFromConfig maps a configuration vector over the given space into
@@ -57,6 +62,8 @@ func ParamsFromConfig(s *config.Space, c config.Config) (Params, error) {
 	set(config.SessionTimeout, func(v int) { p.SessionTimeoutMin = float64(v) })
 	set(config.MinSpareThreads, func(v int) { p.MinSpareThreads = v })
 	set(config.MaxSpareThreads, func(v int) { p.MaxSpareThreads = v })
+	set(config.AdmitConcurrency, func(v int) { p.AdmitConcurrency = v })
+	set(config.AdmitQueue, func(v int) { p.AdmitQueue = v })
 	return p, p.Validate()
 }
 
@@ -93,6 +100,9 @@ func (p Params) Validate() error {
 	}
 	if p.MinSpareThreads < 0 || p.MaxSpareThreads < 0 {
 		return fmt.Errorf("webtier: negative spare-thread bound")
+	}
+	if p.AdmitConcurrency < 0 || p.AdmitQueue < 0 {
+		return fmt.Errorf("webtier: negative admission cap")
 	}
 	return nil
 }

@@ -170,6 +170,38 @@ func Steady() Scenario {
 	}
 }
 
+// Overload is the admission-gate stressor: a calm plateau, then a sustained
+// flash crowd that pushes the offered load well past the web tier's capacity
+// knee. racbench -fig overload runs it twice — gated and ungated — to show
+// the SLO admission gate holding goodput and tail latency where the ungated
+// system collapses.
+func Overload() Scenario {
+	return Scenario{
+		Name:            "overload",
+		Seed:            29,
+		IntervalSeconds: 300,
+		Phases: []Phase{
+			{
+				Name:            "calm",
+				DurationSeconds: 1200,
+				Rate:            30,
+				Clients:         900,
+				Mix:             "shopping",
+			},
+			{
+				Name:            "overload",
+				DurationSeconds: 1800,
+				Rate:            30,
+				Clients:         900,
+				Mix:             "shopping",
+				Modulate: []Modulation{
+					{Op: OpSpike, AtSeconds: 300, DurationSeconds: 900, Factor: 2.5},
+				},
+			},
+		},
+	}
+}
+
 // Resolve returns the scenario arg names: a library scenario ("diurnal",
 // "ramp", …) when arg matches one, otherwise the JSON scenario file at that
 // path. Every command-line and config surface that accepts a scenario goes
@@ -187,7 +219,7 @@ func Resolve(arg string) (Scenario, error) {
 
 // LibraryNames lists the built-in scenarios in stable order.
 func LibraryNames() []string {
-	return []string{"diurnal", "flashcrowd", "mixdrift", "ramp", "steady"}
+	return []string{"diurnal", "flashcrowd", "mixdrift", "overload", "ramp", "steady"}
 }
 
 // Library returns the built-in scenarios by name.
@@ -196,6 +228,7 @@ func Library() map[string]Scenario {
 		"diurnal":    Diurnal(),
 		"flashcrowd": FlashCrowd(),
 		"mixdrift":   MixDriftScenario(),
+		"overload":   Overload(),
 		"ramp":       Ramp(),
 		"steady":     Steady(),
 	}

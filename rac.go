@@ -64,7 +64,8 @@ type (
 	Action = config.Action
 )
 
-// The eight parameters of paper Table 1.
+// The eight parameters of paper Table 1, plus the two SLO admission-gate
+// parameters of the extended lattice.
 const (
 	MaxClients       = config.MaxClients
 	KeepAliveTimeout = config.KeepAliveTimeout
@@ -74,10 +75,17 @@ const (
 	SessionTimeout   = config.SessionTimeout
 	MinSpareThreads  = config.MinSpareThreads
 	MaxSpareThreads  = config.MaxSpareThreads
+	AdmitConcurrency = config.AdmitConcurrency
+	AdmitQueue       = config.AdmitQueue
 )
 
 // DefaultSpace returns the eight-parameter space of paper Table 1.
 func DefaultSpace() *Space { return config.Default() }
+
+// AdmissionSpace returns the ten-parameter space: Table 1 plus the SLO
+// admission gate's concurrency and queue caps, so Q-learning tunes the gate
+// alongside the web-tier knobs.
+func AdmissionSpace() *Space { return config.WithAdmission() }
 
 // Workload model (TPC-W).
 type (
