@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke faults-smoke fleet-smoke loadgen-smoke workload-smoke admission-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke faults-smoke fleet-smoke loadgen-smoke workload-smoke admission-smoke capacity-smoke
 
-check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke bench-train-smoke admission-smoke
+check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke bench-train-smoke admission-smoke capacity-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -106,6 +106,13 @@ workload-smoke:
 # it under a second.
 admission-smoke:
 	$(GO) run ./cmd/racbench -fig overload -quick
+
+# End-to-end smoke of the elastic capacity controller: the capacity-aware vs
+# static-peak flash-crowd figure must generate cleanly, which exercises the
+# saturation analyzer, the fast scale path and per-level warm starts. Quick
+# mode keeps it under a second.
+capacity-smoke:
+	$(GO) run ./cmd/racbench -fig flashcrowd-capacity -quick
 
 # End-to-end smoke of the multi-tenant control plane: racd boots two
 # simulated tenants, exercises the admin API, drains with final checkpoints,

@@ -53,13 +53,36 @@ type SystemSpec struct {
 	// and handed to the fault layer.
 	Trace *Trace
 
+	// Capacity wraps the backend in the elastic capacity decorator, making
+	// the VM level an actuator: lattice CapacityLevel moves (CapacitySpace)
+	// become scale requests, and with CapacityFastPath the saturation
+	// analyzer scales between the agent's retrains. The decorator sits under
+	// the fault layer, so injected faults disturb the capacity controller
+	// exactly as they disturb the agent.
+	Capacity bool
+	// CapacityInitial is the starting capacity ordinal (1 = Level-3 … 3 =
+	// Level-1); 0 starts at the backend's Context level.
+	CapacityInitial int
+	// CapacityDelay is the scale-up provisioning delay in measurement
+	// intervals (scale-downs always apply on the next interval).
+	CapacityDelay int
+	// CapacityFastPath enables analyzer-driven scaling between retrains.
+	CapacityFastPath bool
+	// CapacityAnalyzer calibrates saturation detection; the zero value uses
+	// DefaultCapacityConfig(2.0).
+	CapacityAnalyzer CapacityConfig
+	// CapacityOnScale observes applied scales (old, new ordinal) — callers
+	// use it for per-level policy warm starts.
+	CapacityOnScale func(oldOrdinal, newOrdinal int)
+
 	// FaultsPath wraps the system in the fault-injection layer with the JSON
 	// scenario at this path. Faults does the same with an already-loaded
 	// scenario and takes precedence.
 	FaultsPath string
 	Faults     *FaultScenario
-	// Telemetry receives the fault layer's instruments. The live backend
-	// defaults to the server's own registry so everything lands on /metrics.
+	// Telemetry receives the fault and capacity layers' instruments. The live
+	// backend defaults to the server's own registry so everything lands on
+	// /metrics.
 	Telemetry *Telemetry
 }
 
@@ -77,6 +100,8 @@ type BuiltSystem struct {
 	Driver *LoadDriver
 	// Addr is the live server's listen address ("host:port").
 	Addr string
+	// Capacity is the elastic capacity decorator when one was configured.
+	Capacity *CapacitySystem
 	// Faulty is the fault-injection layer when one was configured.
 	Faulty *FaultySystem
 }
@@ -130,6 +155,34 @@ func BuildSystem(spec SystemSpec) (*BuiltSystem, error) {
 		}
 	default:
 		return nil, fmt.Errorf("rac: unknown backend %q (want sim, analytic or live)", spec.Backend)
+	}
+
+	// The capacity decorator wraps the bare backend; the fault layer (below)
+	// wraps the decorator, so injected apply/measure faults hit the capacity
+	// controller the same way they hit the agent.
+	if spec.Capacity {
+		scalable, ok := built.System.(CapacityScalable)
+		if !ok {
+			return nil, fmt.Errorf("rac: backend %q cannot scale capacity", spec.Backend)
+		}
+		tel := spec.Telemetry
+		if tel == nil && built.Server != nil {
+			tel = built.Server.Telemetry()
+		}
+		capSys, err := WrapCapacity(scalable, CapacityOptions{
+			Initial:        spec.CapacityInitial,
+			ProvisionDelay: spec.CapacityDelay,
+			Analyzer:       spec.CapacityAnalyzer,
+			FastPath:       spec.CapacityFastPath,
+			OnScale:        spec.CapacityOnScale,
+			Telemetry:      tel,
+			Trace:          spec.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		built.Capacity = capSys
+		built.System = capSys
 	}
 
 	if spec.Faults != nil || spec.FaultsPath != "" {

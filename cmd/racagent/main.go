@@ -67,6 +67,9 @@ func run(args []string) error {
 		admission  = fs.Bool("admission", false, "tune the SLO admission gate too: extend the lattice with AdmitConcurrency and AdmitQueue so Q-learning sets the gate's caps alongside the web-tier knobs")
 		admitConc  = fs.Int("admitconc", 0, "starting AdmitConcurrency (requires -admission; 0 keeps the space default)")
 		admitQueue = fs.Int("admitqueue", 0, "starting AdmitQueue (requires -admission; 0 keeps the space default)")
+		capacityOn = fs.Bool("capacity", false, "make the VM level an actuator: extend the lattice with CapacityLevel, wrap the stack in the elastic capacity decorator, and fast-scale on saturation verdicts between retrains")
+		capCost    = fs.Float64("capacity-cost", 0, "price capacity in the agent's reward, per VM-level·interval (requires -capacity; 0 leaves the level unpriced)")
+		capDelay   = fs.Int("capacity-delay", 0, "scale-up provisioning delay in measurement intervals; scale-downs apply next interval (requires -capacity)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,9 +121,21 @@ func run(args []string) error {
 	if (*admitConc > 0 || *admitQueue > 0) && !*admission {
 		return fmt.Errorf("-admitconc/-admitqueue require -admission")
 	}
+	if (*capCost > 0 || *capDelay > 0) && !*capacityOn {
+		return fmt.Errorf("-capacity-cost/-capacity-delay require -capacity")
+	}
+	if *capCost < 0 || *capDelay < 0 {
+		return fmt.Errorf("-capacity-cost/-capacity-delay must be non-negative")
+	}
+	if *capacityOn && *admission {
+		return fmt.Errorf("-capacity and -admission extend the lattice differently; pick one")
+	}
 	space := rac.DefaultSpace()
 	if *admission {
 		space = rac.AdmissionSpace()
+	}
+	if *capacityOn {
+		space = rac.CapacitySpace()
 	}
 	start := space.DefaultConfig().With(space, rac.MaxClients, *maxClients)
 	if *admitConc > 0 {
@@ -128,6 +143,11 @@ func run(args []string) error {
 	}
 	if *admitQueue > 0 {
 		start = start.With(space, rac.AdmitQueue, *admitQueue)
+	}
+	if *capacityOn {
+		// Start the lattice's CapacityLevel at the -level the stack boots
+		// with, so the agent's first step is not an implicit scale request.
+		start = start.With(space, rac.CapacityLevel, rac.LevelOrdinal(level))
 	}
 	start, err = space.Clamp(start)
 	if err != nil {
@@ -153,15 +173,19 @@ func run(args []string) error {
 		}
 	}
 	built, err := rac.BuildSystem(rac.SystemSpec{
-		Backend:    "live",
-		Space:      space,
-		Initial:    start,
-		Context:    rac.Context{Name: "racagent", Workload: workload, Level: level},
-		Seed:       *seed,
-		Interval:   *interval,
-		Load:       load,
-		Trace:      trace,
-		FaultsPath: *faultsPath,
+		Backend:          "live",
+		Space:            space,
+		Initial:          start,
+		Context:          rac.Context{Name: "racagent", Workload: workload, Level: level},
+		Seed:             *seed,
+		Interval:         *interval,
+		Load:             load,
+		Trace:            trace,
+		Capacity:         *capacityOn,
+		CapacityDelay:    *capDelay,
+		CapacityFastPath: *capacityOn,
+		CapacityAnalyzer: rac.DefaultCapacityConfig(rac.DefaultOptions().SLASeconds),
+		FaultsPath:       *faultsPath,
 	})
 	if err != nil {
 		return err
@@ -211,17 +235,33 @@ func run(args []string) error {
 		}
 		fmt.Printf("fault injection: scenario %q (%d rules), resilience enabled\n", name, len(sc.Rules))
 	}
+	baselineOpts := rac.DefaultOptions()
+	if *capCost > 0 {
+		// Price the VM level into every agent's reward so holding peak
+		// capacity is never a free lunch.
+		baselineOpts.CapacityCost = *capCost
+		o := agentOpts.Options
+		if o == (rac.Options{}) {
+			o = rac.DefaultOptions()
+		}
+		o.CapacityCost = *capCost
+		agentOpts.Options = o
+	}
+	if *capacityOn {
+		fmt.Printf("capacity: elastic level control from %s (ordinal %d), provision delay %d interval(s), reward price %g/level·interval\n",
+			level, rac.LevelOrdinal(level), *capDelay, *capCost)
+	}
 
 	var tuner rac.Tuner
 	switch *agentKind {
 	case "rac":
 		tuner, err = rac.NewAgent(sys, agentOpts)
 	case "static":
-		tuner, err = rac.NewStaticAgent(sys, rac.DefaultOptions())
+		tuner, err = rac.NewStaticAgent(sys, baselineOpts)
 	case "trial-and-error":
-		tuner, err = rac.NewTrialAndErrorAgent(sys, rac.DefaultOptions())
+		tuner, err = rac.NewTrialAndErrorAgent(sys, baselineOpts)
 	case "hillclimb":
-		tuner, err = rac.NewHillClimbAgent(sys, rac.DefaultOptions())
+		tuner, err = rac.NewHillClimbAgent(sys, baselineOpts)
 	default:
 		return fmt.Errorf("unknown agent %q", *agentKind)
 	}
@@ -314,6 +354,10 @@ steps:
 	if *admission {
 		fmt.Printf("admission gate: admitted=%d rejected=%d scale=%.2f regime=%s\n",
 			st.GateAdmitted, st.GateRejected, st.GateScale, st.GateRegime)
+	}
+	if c := built.Capacity; c != nil {
+		fmt.Printf("capacity: level=%s scale-ups=%d scale-downs=%d holds=%d cost=%d level·intervals\n",
+			c.AppLevel(), c.ScaleUps(), c.ScaleDowns(), c.Holds(), c.TotalCost())
 	}
 	if faulty != nil {
 		byKind := map[rac.FaultKind]int{}

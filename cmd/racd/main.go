@@ -253,6 +253,9 @@ func (d *daemon) admitAll(out io.Writer) error {
 		case st.WarmStarted:
 			note = fmt.Sprintf("warm start from policy %s", st.Policy)
 		}
+		if spec.Capacity {
+			note += fmt.Sprintf(", elastic capacity from %s", st.Level)
+		}
 		fmt.Fprintf(out, "tenant %-12s %-8s backend=%s context=%s — %s\n",
 			st.Name, st.State, st.Backend, st.Context, note)
 	}

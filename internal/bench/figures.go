@@ -557,6 +557,11 @@ func (h *Harness) Figures() map[string]func() (*Figure, error) {
 		// overload, gated vs ungated. Not in FigureIDs — the paper has no
 		// admission-control figure.
 		"overload": h.FigOverload,
+		// Beyond the paper: joint configuration + elastic capacity control
+		// under the flash-crowd scenario, capacity-aware vs static peak. Not
+		// in FigureIDs — the paper treats the VM level as an exogenous
+		// context change, never as an actuator.
+		"flashcrowd-capacity": h.FigFlashcrowdCapacity,
 	}
 }
 

@@ -1,0 +1,355 @@
+package capacity
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/rac-project/rac/internal/config"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/telemetry"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
+)
+
+// Scalable is what the decorator needs underneath: a tunable system whose
+// VM level an experiment driver can change. Both the simulated backend and
+// the live stack qualify.
+type Scalable interface {
+	system.System
+	system.Adjustable
+}
+
+// Options configure Wrap.
+type Options struct {
+	// Initial is the starting capacity ordinal (1 = Level-3 … 3 = Level-1).
+	// 0 defaults to the ordinal of the inner system's current level.
+	Initial int
+	// ProvisionDelay is how many measurement intervals a scale-up takes to
+	// come online; scale-downs apply on the next interval. Negative is an
+	// error.
+	ProvisionDelay int
+	// Analyzer calibrates saturation detection. The zero value uses
+	// DefaultConfig(2.0) — override SLASeconds to match the agent's SLA.
+	Analyzer Config
+	// FastPath enables analyzer-driven scaling between the agent's full
+	// retrain intervals: saturated verdicts request a scale-up, headroom
+	// verdicts a scale-down. Disabled, the level only moves when the
+	// configuration lattice (CapacityLevel) asks for it — the analyzer still
+	// runs and its verdicts still appear in the trace.
+	FastPath bool
+	// OnScale, when non-nil, is called after a scale takes effect (the
+	// interval boundary where the new level came online), with the old and
+	// new capacity ordinals. Callers use it for SQLR-style per-level policy
+	// memory: look up the policy learned at the new level and warm-start the
+	// agent from it.
+	OnScale func(oldOrdinal, newOrdinal int)
+	// Telemetry, when non-nil, receives the controller's scale counters and
+	// level gauge.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives one "capacity" event per scale decision
+	// and per applied scale.
+	Trace *telemetry.Trace
+}
+
+// System decorates a Scalable backend with elastic capacity control. It
+// interposes on the agent's Apply/Measure calls only: Apply forwards lattice
+// CapacityLevel values into the scaler, Measure ticks the provisioning
+// pipeline, annotates the metrics with the level in effect, and feeds the
+// saturation analyzer. Like the backends it wraps, it is not safe for
+// concurrent use.
+type System struct {
+	inner    Scalable
+	elastic  *vmenv.Elastic
+	analyzer *Analyzer
+	opts     Options
+
+	holds int // stable/cooldown/warming verdicts observed
+
+	tel *instruments
+}
+
+// instruments are the controller's registry metrics; nil when telemetry is
+// not wired.
+type instruments struct {
+	scaleUps   *telemetry.Counter
+	scaleDowns *telemetry.Counter
+	holds      *telemetry.Counter
+	level      *telemetry.Gauge
+}
+
+func newInstruments(reg *telemetry.Registry) *instruments {
+	return &instruments{
+		scaleUps: reg.Counter("rac_capacity_scale_ups_total",
+			"Capacity scale-ups that took effect (bigger VM came online).", nil),
+		scaleDowns: reg.Counter("rac_capacity_scale_downs_total",
+			"Capacity scale-downs that took effect (smaller VM in force).", nil),
+		holds: reg.Counter("rac_capacity_holds_total",
+			"Analyzer observations that requested no scale (stable, warming or cooling down).", nil),
+		level: reg.Gauge("rac_capacity_level",
+			"Capacity ordinal in effect (1 = Level-3 … 3 = Level-1).", nil),
+	}
+}
+
+var (
+	_ system.System     = (*System)(nil)
+	_ system.Adjustable = (*System)(nil)
+)
+
+// Wrap decorates inner with elastic capacity control.
+func Wrap(inner Scalable, opts Options) (*System, error) {
+	if inner == nil {
+		return nil, errors.New("capacity: nil system")
+	}
+	initial := opts.Initial
+	if initial == 0 {
+		initial = vmenv.Ordinal(inner.AppLevel())
+		if initial == 0 {
+			return nil, fmt.Errorf("capacity: inner system at unknown level %q", inner.AppLevel())
+		}
+	}
+	elastic, err := vmenv.NewElastic(initial, opts.ProvisionDelay)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.Analyzer
+	if cfg == (Config{}) {
+		cfg = DefaultConfig(2.0)
+	}
+	analyzer, err := NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Align the backend with the scaler's starting level.
+	if err := inner.SetAppLevel(elastic.Level()); err != nil {
+		return nil, err
+	}
+	s := &System{inner: inner, elastic: elastic, analyzer: analyzer, opts: opts}
+	if opts.Telemetry != nil {
+		s.tel = newInstruments(opts.Telemetry)
+		s.tel.level.Set(float64(elastic.Ordinal()))
+	}
+	return s, nil
+}
+
+// Space returns the inner system's configuration space.
+func (s *System) Space() *config.Space { return s.inner.Space() }
+
+// Config returns the inner system's applied configuration.
+func (s *System) Config() config.Config { return s.inner.Config() }
+
+// Apply forwards the configuration to the inner system and, when the space
+// carries CapacityLevel, turns the lattice value into a scale request — a
+// deliberate agent move through the same provisioning pipeline as the fast
+// path. The inner system ignores the parameter (it has no webtier setter),
+// so software knobs and capacity stay one atomic configuration.
+func (s *System) Apply(ctx context.Context, cfg config.Config) error {
+	if err := s.inner.Apply(ctx, cfg); err != nil {
+		return err
+	}
+	if want, ok := cfg.Get(s.inner.Space(), config.CapacityLevel); ok {
+		if err := s.elastic.Request(want); err != nil {
+			return fmt.Errorf("capacity: apply level: %w", err)
+		}
+	}
+	return nil
+}
+
+// Measure advances the provisioning pipeline by one interval, measures the
+// inner system, annotates the metrics with the level in effect, and feeds
+// the saturation analyzer — whose verdict may request the next scale when
+// the fast path is enabled.
+func (s *System) Measure(ctx context.Context) (system.Metrics, error) {
+	// 1. Interval boundary: a matured scale request comes online now, so the
+	// interval about to be measured runs (and is billed) at the new level.
+	before := s.elastic.Ordinal()
+	lvl, changed := s.elastic.Tick()
+	if changed {
+		if err := s.inner.SetAppLevel(lvl); err != nil {
+			return system.Metrics{}, fmt.Errorf("capacity: scale to %s: %w", lvl, err)
+		}
+		if s.tel != nil {
+			if s.elastic.Ordinal() > before {
+				s.tel.scaleUps.Inc()
+			} else {
+				s.tel.scaleDowns.Inc()
+			}
+			s.tel.level.Set(float64(s.elastic.Ordinal()))
+		}
+		if s.opts.Trace != nil {
+			s.opts.Trace.Add(telemetry.Event{
+				Kind:   telemetry.KindCapacity,
+				Level:  lvl.Name,
+				Detail: fmt.Sprintf("scaled %d -> %d", before, s.elastic.Ordinal()),
+			})
+		}
+		if s.opts.OnScale != nil {
+			s.opts.OnScale(before, s.elastic.Ordinal())
+		}
+	}
+
+	// 2. Measure at the level now in effect.
+	m, err := s.inner.Measure(ctx)
+	if err != nil {
+		return m, err
+	}
+	m.Level = s.elastic.Level().Name
+	m.CapacityUnits = s.elastic.Ordinal()
+
+	// 3. Saturation analysis on the interval's counts.
+	d := s.analyzer.Observe(Observation{
+		Offered:   m.Offered,
+		Completed: m.Completed,
+		Rejected:  m.Rejected,
+		Shed:      m.Shed,
+		MeanRT:    m.MeanRT,
+		P99RT:     m.P99RT,
+	})
+	s.decide(d)
+	return m, nil
+}
+
+// decide turns an analyzer decision into a scale request (fast path) and
+// the associated telemetry. While a request is provisioning, new verdicts
+// hold — the analyzer is reading intervals the pending level has not shaped
+// yet.
+func (s *System) decide(d Decision) {
+	target := s.elastic.Ordinal()
+	switch {
+	case s.elastic.Pending() != 0:
+		d.Reason = "provisioning"
+	case d.Verdict == VerdictSaturated && target < vmenv.MaxOrdinal:
+		target++
+	case d.Verdict == VerdictHeadroom && target > vmenv.MinOrdinal:
+		target--
+	}
+	if !s.opts.FastPath || target == s.elastic.Ordinal() {
+		s.holds++
+		if s.tel != nil {
+			s.tel.holds.Inc()
+		}
+		if s.opts.Trace != nil && d.Verdict != VerdictStable {
+			s.opts.Trace.Add(telemetry.Event{
+				Kind:   telemetry.KindCapacity,
+				Level:  s.elastic.Level().Name,
+				Detail: fmt.Sprintf("%s: hold (%s)", d.Verdict, d.Reason),
+			})
+		}
+		return
+	}
+	if err := s.elastic.Request(target); err != nil {
+		// target is clamped to the ordinal range above; this cannot fail.
+		panic(err)
+	}
+	if s.opts.Trace != nil {
+		dir := "scale-up"
+		if target < s.elastic.Ordinal() {
+			dir = "scale-down"
+		}
+		s.opts.Trace.Add(telemetry.Event{
+			Kind:   telemetry.KindCapacity,
+			Level:  s.elastic.Level().Name,
+			Detail: fmt.Sprintf("%s: %s %d -> %d (%s)", d.Verdict, dir, s.elastic.Ordinal(), target, d.Reason),
+		})
+	}
+}
+
+// SetWorkload changes the traffic (driver-side context change).
+func (s *System) SetWorkload(w tpcw.Workload) error { return s.inner.SetWorkload(w) }
+
+// SetAppLevel is the experiment driver overriding the scaler: the elastic
+// state snaps to the given level (clearing any pending request) and the
+// inner system reallocates immediately.
+func (s *System) SetAppLevel(level vmenv.Level) error {
+	ord := vmenv.Ordinal(level)
+	if ord == 0 {
+		return fmt.Errorf("capacity: unknown level %q", level)
+	}
+	e, err := vmenv.NewElastic(ord, s.opts.ProvisionDelay)
+	if err != nil {
+		return err
+	}
+	if err := s.inner.SetAppLevel(level); err != nil {
+		return err
+	}
+	s.elastic = e
+	if s.tel != nil {
+		s.tel.level.Set(float64(ord))
+	}
+	return nil
+}
+
+// Workload returns the current traffic.
+func (s *System) Workload() tpcw.Workload { return s.inner.Workload() }
+
+// AppLevel returns the level currently in effect.
+func (s *System) AppLevel() vmenv.Level { return s.elastic.Level() }
+
+// Ordinal returns the capacity ordinal currently in effect.
+func (s *System) Ordinal() int { return s.elastic.Ordinal() }
+
+// Pending returns the requested-but-not-yet-effective ordinal (0 = none).
+func (s *System) Pending() int { return s.elastic.Pending() }
+
+// TotalCost returns the cumulative capacity cost in VM-level·intervals.
+func (s *System) TotalCost() int { return s.elastic.TotalCost() }
+
+// ScaleUps and ScaleDowns return how many scales have taken effect; Holds
+// returns how many observations requested no scale.
+func (s *System) ScaleUps() int   { return s.elastic.ScaleUps() }
+func (s *System) ScaleDowns() int { return s.elastic.ScaleDowns() }
+func (s *System) Holds() int      { return s.holds }
+
+// Inner exposes the wrapped system for tests and diagnostics.
+func (s *System) Inner() Scalable { return s.inner }
+
+// capacitySnapshot is the decorator's slice of a tenant checkpoint: the
+// level in force plus the wrapped backend's own blob. The analyzer window
+// and any pending scale request restart cold — a restored tenant re-earns
+// its next verdict instead of replaying a stale one.
+type capacitySnapshot struct {
+	Ordinal int    `json:"ordinal"`
+	Inner   []byte `json:"inner,omitempty"`
+}
+
+var _ system.Snapshottable = (*System)(nil)
+
+// ExportState captures the capacity ordinal in force alongside the inner
+// system's state (when it is snapshottable), keeping fleet checkpoints
+// working through the decorator.
+func (s *System) ExportState() ([]byte, error) {
+	st := capacitySnapshot{Ordinal: s.elastic.Ordinal()}
+	if snap, ok := s.inner.(system.Snapshottable); ok {
+		blob, err := snap.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		st.Inner = blob
+	}
+	return json.Marshal(st)
+}
+
+// ImportState restores state captured by ExportState: the inner system
+// first, then the level — so the scaler and the backend agree on the
+// capacity in force.
+func (s *System) ImportState(blob []byte) error {
+	var st capacitySnapshot
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("capacity: import state: %w", err)
+	}
+	if len(st.Inner) > 0 {
+		snap, ok := s.inner.(system.Snapshottable)
+		if !ok {
+			return errors.New("capacity: snapshot carries inner state but the backend cannot import it")
+		}
+		if err := snap.ImportState(st.Inner); err != nil {
+			return err
+		}
+	}
+	lvl, err := vmenv.ByOrdinal(st.Ordinal)
+	if err != nil {
+		return fmt.Errorf("capacity: import state: %w", err)
+	}
+	return s.SetAppLevel(lvl)
+}

@@ -43,13 +43,17 @@ func (t Tier) String() string {
 // value (paper §4.1 "parameter grouping").
 type Group int
 
-// The four groups of paper §4.1: concurrency limits, connection/session
-// timeouts, minimum spare pool sizes and maximum spare pool sizes.
+// The four groups of paper §4.1 — concurrency limits, connection/session
+// timeouts, minimum spare pool sizes and maximum spare pool sizes — plus
+// GroupScale for the elastic-capacity extension. VM-level ordinals (1..3)
+// cannot share GroupCapacity: grouped sampling intersects member ranges, and
+// 1..3 does not overlap 50..600.
 const (
 	GroupCapacity Group = iota + 1
 	GroupTimeout
 	GroupMinSpare
 	GroupMaxSpare
+	GroupScale
 )
 
 // String returns the group name.
@@ -63,6 +67,8 @@ func (g Group) String() string {
 		return "minspare"
 	case GroupMaxSpare:
 		return "maxspare"
+	case GroupScale:
+		return "scale"
 	default:
 		return "unknown"
 	}
@@ -70,7 +76,7 @@ func (g Group) String() string {
 
 // Groups returns the group identifiers in a stable order.
 func Groups() []Group {
-	return []Group{GroupCapacity, GroupTimeout, GroupMinSpare, GroupMaxSpare}
+	return []Group{GroupCapacity, GroupTimeout, GroupMinSpare, GroupMaxSpare, GroupScale}
 }
 
 // Param identifies one of the eight tunable parameters.
@@ -90,6 +96,7 @@ const (
 	MaxSpareThreads
 	AdmitConcurrency // gate: concurrent requests admitted past the SLO gate
 	AdmitQueue       // gate: admitted-but-waiting queue depth
+	CapacityLevel    // capacity: VM provisioning level ordinal (1 = Level-3 … 3 = Level-1)
 )
 
 // Def describes one tunable parameter: its lattice (Min..Max in Step
@@ -222,12 +229,32 @@ func AdmissionDefs() []Def {
 	}
 }
 
+// CapacityDefs returns the elastic-capacity lattice: the VM provisioning
+// level as a tunable parameter, expressed as a capacity ordinal (1 = the
+// paper's Level-3, the smallest VM; 3 = Level-1, the largest). The default is
+// the lattice max — a default configuration provisions at peak, exactly like
+// the static testbed, until the agent (or the saturation fast path) scales
+// down. The parameter sits in its own GroupScale: grouped sampling intersects
+// member ranges, and 1..3 shares no values with the 50..600 concurrency caps.
+func CapacityDefs() []Def {
+	return []Def{
+		{Param: CapacityLevel, Name: "CapacityLevel", Tier: TierApp, Group: GroupScale,
+			Min: 1, Max: 3, Step: 1, Default: 3, Unit: "level"},
+	}
+}
+
 // Default returns the full eight-parameter space of paper Table 1.
 func Default() *Space { return MustSpace(Table1()) }
 
 // WithAdmission returns the Table 1 space extended with the admission-gate
 // parameters: ten dimensions, searched by the same Q-learning machinery.
 func WithAdmission() *Space { return MustSpace(append(Table1(), AdmissionDefs()...)) }
+
+// WithCapacity returns the Table 1 space extended with the VM capacity level:
+// nine dimensions, letting Q-learning trade software knobs against
+// provisioning (price the level via core.Options.CapacityCost so bigger VMs
+// are not a free lunch).
+func WithCapacity() *Space { return MustSpace(append(Table1(), CapacityDefs()...)) }
 
 // Len returns the number of parameters.
 func (s *Space) Len() int { return len(s.defs) }

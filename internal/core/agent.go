@@ -25,10 +25,21 @@ type StepResult struct {
 	Config config.Config
 	// MeanRT is the measured mean response time in seconds.
 	MeanRT float64
+	// P99RT is the measured 99th-percentile response time in seconds (0 when
+	// the system does not track it).
+	P99RT float64
 	// Throughput is the measured completion rate in requests/second.
 	Throughput float64
+	// Goodput is the measured SLO-goodput in requests/second (0 when the
+	// system has no SLO threshold configured).
+	Goodput float64
 	// Reward is the immediate reward SLA − MeanRT.
 	Reward float64
+	// Level names the VM provisioning level in effect during the step's
+	// interval (empty when untracked) and CapacityUnits its capacity cost in
+	// VM-level units — see system.Metrics.
+	Level         string
+	CapacityUnits int
 	// Switched reports that the agent detected a context change and swapped
 	// its initial policy this step.
 	Switched bool
@@ -334,13 +345,17 @@ func (a *Agent) Step(ctx context.Context) (StepResult, error) {
 	reward := a.opts.RewardOf(m)
 
 	res := StepResult{
-		Iteration:  a.iteration,
-		Action:     action,
-		Config:     next.Clone(),
-		MeanRT:     rt,
-		Throughput: m.Throughput,
-		Reward:     reward,
-		Attempts:   attempts,
+		Iteration:     a.iteration,
+		Action:        action,
+		Config:        next.Clone(),
+		MeanRT:        rt,
+		P99RT:         m.P99RT,
+		Throughput:    m.Throughput,
+		Goodput:       m.Goodput,
+		Reward:        reward,
+		Attempts:      attempts,
+		Level:         m.Level,
+		CapacityUnits: m.CapacityUnits,
 	}
 
 	// Resilience: an interval failing the validity checks is reported but not
@@ -419,6 +434,7 @@ func (a *Agent) Step(ctx context.Context) (StepResult, error) {
 		Epsilon:    a.learner.Params().Epsilon,
 		Violations: a.violations,
 		Policy:     res.PolicyName,
+		Level:      m.Level,
 	}
 
 	// 5. Record the measurement and retrain the Q-table over the region —

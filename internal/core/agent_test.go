@@ -512,6 +512,65 @@ func TestThroughputReward(t *testing.T) {
 	}
 }
 
+// TestRewardOfGateHealthyRejections is the regression test for the
+// double-penalization bug: an interval where the admission gate healthily
+// turned every arrival away (zero completions, no errors) used to be scored
+// on the producer's pessimistic jammed-system MeanRT stand-in, punishing
+// every rejection as an SLA miss on top of the lost throughput. Consistent
+// with resilience's validity rules (rejected ≠ error), such intervals now
+// score the neutral SLA point.
+func TestRewardOfGateHealthyRejections(t *testing.T) {
+	o := DefaultOptions()
+
+	// Gate-healthy full-rejection interval: the webtier reports a huge
+	// stand-in MeanRT because nothing completed.
+	m := system.Metrics{MeanRT: 270, Completed: 0, Rejected: 900}
+	if got := o.RewardOf(m); got != 0 {
+		t.Fatalf("gate-healthy rejection interval reward %v, want neutral 0", got)
+	}
+
+	// With errors present the stand-in is real distress: the fallback must
+	// not mask a failing system.
+	m.Errors = 50
+	if got := o.RewardOf(m); got != o.SLASeconds-270 {
+		t.Fatalf("erroring interval reward %v, want %v", got, o.SLASeconds-270)
+	}
+
+	// An interval with completions is scored on its measured MeanRT as
+	// before, however many rejections rode along.
+	m = system.Metrics{MeanRT: 0.8, Completed: 40, Rejected: 900}
+	if got := o.RewardOf(m); got != o.SLASeconds-0.8 {
+		t.Fatalf("mixed interval reward %v, want %v", got, o.SLASeconds-0.8)
+	}
+}
+
+func TestRewardOfCapacityCost(t *testing.T) {
+	o := DefaultOptions()
+	o.CapacityCost = 0.25
+	m := system.Metrics{MeanRT: 0.5, Completed: 100, CapacityUnits: 3}
+	want := o.SLASeconds - 0.5 - 0.25*3
+	if got := o.RewardOf(m); got != want {
+		t.Fatalf("cost-priced reward %v, want %v", got, want)
+	}
+	// Untracked capacity costs nothing, so the paper's reward is unchanged.
+	m.CapacityUnits = 0
+	if got := o.RewardOf(m); got != o.SLASeconds-0.5 {
+		t.Fatalf("untracked-capacity reward %v", got)
+	}
+	// The price also applies to the throughput signal.
+	o.ThroughputSLA = 70
+	m = system.Metrics{Throughput: 80, Completed: 100, CapacityUnits: 2}
+	if got := o.RewardOf(m); got != 10-0.25*2 {
+		t.Fatalf("throughput cost-priced reward %v", got)
+	}
+	// Negative prices are rejected.
+	o = DefaultOptions()
+	o.CapacityCost = -1
+	if err := o.Validate(); err == nil {
+		t.Fatal("negative capacity cost accepted")
+	}
+}
+
 func TestAgentViolationCountingAndReset(t *testing.T) {
 	sys := newBowlSystem(bowlTargets)
 	pA := bowlPolicy(t, bowlTargets, "ctx-A")

@@ -42,12 +42,16 @@ func (s *StaticAgent) Step(ctx context.Context) (StepResult, error) {
 		return StepResult{}, err
 	}
 	return StepResult{
-		Iteration:  s.iteration,
-		Action:     config.Action{Dir: config.Keep},
-		Config:     s.sys.Config(),
-		MeanRT:     m.MeanRT,
-		Throughput: m.Throughput,
-		Reward:     s.opts.RewardOf(m),
+		Iteration:     s.iteration,
+		Action:        config.Action{Dir: config.Keep},
+		Config:        s.sys.Config(),
+		MeanRT:        m.MeanRT,
+		P99RT:         m.P99RT,
+		Throughput:    m.Throughput,
+		Goodput:       m.Goodput,
+		Reward:        s.opts.RewardOf(m),
+		Level:         m.Level,
+		CapacityUnits: m.CapacityUnits,
 	}, nil
 }
 
@@ -122,12 +126,16 @@ func (t *TrialAndErrorAgent) Step(ctx context.Context) (StepResult, error) {
 		dir = config.Decrease
 	}
 	res := StepResult{
-		Iteration:  t.iteration,
-		Action:     config.Action{ParamIndex: t.param, Dir: dir},
-		Config:     trial.Clone(),
-		MeanRT:     rt,
-		Throughput: m.Throughput,
-		Reward:     t.opts.RewardOf(m),
+		Iteration:     t.iteration,
+		Action:        config.Action{ParamIndex: t.param, Dir: dir},
+		Config:        trial.Clone(),
+		MeanRT:        rt,
+		P99RT:         m.P99RT,
+		Throughput:    m.Throughput,
+		Goodput:       m.Goodput,
+		Reward:        t.opts.RewardOf(m),
+		Level:         m.Level,
+		CapacityUnits: m.CapacityUnits,
 	}
 
 	// Advance the schedule: after the last level, fix the best value found

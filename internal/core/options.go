@@ -60,6 +60,13 @@ type Options struct {
 	// pre-resilience agent; DefaultOptions enables retries and degraded-
 	// interval rejection, which never fire on clean runs.
 	Resilience Resilience
+
+	// CapacityCost prices elastic capacity into the reward when positive:
+	// r = SLA − responseTime − CapacityCost·level, where level is the
+	// interval's Metrics.CapacityUnits (the vmenv capacity ordinal). Zero —
+	// the default — reproduces the paper's reward exactly; without a price a
+	// capacity-aware agent would always provision the biggest VM.
+	CapacityCost float64
 }
 
 // DefaultOptions returns the paper's hyper-parameters with an SLA of two
@@ -107,6 +114,9 @@ func (o Options) Validate() error {
 	if err := o.Resilience.Validate(); err != nil {
 		return err
 	}
+	if o.CapacityCost < 0 {
+		return fmt.Errorf("core: negative capacity cost %v", o.CapacityCost)
+	}
 	return nil
 }
 
@@ -118,10 +128,30 @@ func (o Options) Reward(meanRT float64) float64 {
 
 // RewardOf computes the immediate reward from a full measurement, honoring
 // the configured signal (response time by default, throughput when
-// ThroughputSLA is set).
+// ThroughputSLA is set) and subtracting the capacity price when
+// CapacityCost is set.
+//
+// An interval that completed nothing while the admission gate healthily
+// turned arrivals away (Completed == 0, Rejected > 0, no errors) carries no
+// response-time signal: producers report a pessimistic stand-in MeanRT for
+// jammed systems, but resilience's validity rules say rejected ≠ error — the
+// gate deliberately trading requests away is not the system failing. Scoring
+// that stand-in would double-penalize every rejection as an SLA miss, so the
+// reward falls back to the neutral SLA point (zero base reward), matching the
+// degraded-interval convention.
 func (o Options) RewardOf(m system.Metrics) float64 {
+	var r float64
 	if o.ThroughputSLA > 0 {
-		return m.Throughput - o.ThroughputSLA
+		r = m.Throughput - o.ThroughputSLA
+	} else {
+		rt := m.MeanRT
+		if m.Completed == 0 && m.Rejected > 0 && m.Errors == 0 {
+			rt = o.SLASeconds
+		}
+		r = o.Reward(rt)
 	}
-	return o.Reward(m.MeanRT)
+	if o.CapacityCost > 0 && m.CapacityUnits > 0 {
+		r -= o.CapacityCost * float64(m.CapacityUnits)
+	}
+	return r
 }

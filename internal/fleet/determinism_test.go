@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// runFleet executes a fresh 4-tenant fleet at the given worker count and
-// returns each tenant's full step log and final serialized agent state.
+// runFleet executes a fresh 5-tenant fleet (one with elastic capacity) at
+// the given worker count and returns each tenant's full step log and final
+// serialized agent state.
 func runFleet(t *testing.T, procs, rounds int) (map[string][]StepRecord, map[string][]byte) {
 	t.Helper()
 	f, err := New(Options{Seed: 1234, Procs: procs, RegistryDir: t.TempDir(), TrainInit: fastTrain()})
@@ -18,6 +19,8 @@ func runFleet(t *testing.T, procs, rounds int) (map[string][]StepRecord, map[str
 		{Name: "beta", Backend: "analytic", Context: "context-2", NoiseSigma: 0.2, TrainPolicy: true},
 		{Name: "gamma", Backend: "analytic", Context: "context-1", NoiseSigma: 0.1},
 		{Name: "delta", Backend: "analytic", Context: "context-3", NoiseSigma: 0.3},
+		{Name: "epsilon", Backend: "analytic", Context: "context-2", NoiseSigma: 0.2,
+			Capacity: true, CapacityCost: 0.05},
 	}
 	for _, sp := range specs {
 		if _, err := f.Admit(sp); err != nil {
@@ -38,7 +41,7 @@ func runFleet(t *testing.T, procs, rounds int) (map[string][]StepRecord, map[str
 }
 
 // TestFleetDeterministicAcrossProcs is the fleet determinism regression: a
-// 4-tenant fleet produces identical per-tenant step logs and byte-identical
+// 5-tenant fleet produces identical per-tenant step logs and byte-identical
 // final Q-tables whether rounds run on one worker or eight. Tenant streams
 // are pre-split by name and rounds are barrier-synchronized, so scheduling
 // interleaving must not be observable.

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"github.com/rac-project/rac/internal/capacity"
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/faults"
@@ -269,7 +270,7 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		seed = deriveSeed(f.opts.Seed, spec.Name)
 	}
 
-	sys, err := f.buildSystem(spec, ctx, seed)
+	sys, capSys, err := f.buildSystem(spec, ctx, seed)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
 	}
@@ -320,6 +321,9 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 	if spec.Faults != "" {
 		o.Resilience = core.DefaultResilience()
 	}
+	if spec.CapacityCost > 0 {
+		o.CapacityCost = spec.CapacityCost
+	}
 	agent, err := core.NewAgent(sys, core.AgentOptions{
 		Options:   o,
 		Policy:    pol,
@@ -335,6 +339,7 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 	t := &Tenant{
 		spec:        spec,
 		contextKey:  key,
+		ctx:         ctx,
 		state:       StateStarting,
 		sys:         sys,
 		agent:       agent,
@@ -342,6 +347,10 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		trace:       f.trace,
 		stepLogCap:  f.opts.StepLog,
 		warmStarted: pol != nil && warm,
+		capSys:      capSys,
+	}
+	if capSys != nil {
+		t.capOrdinal = capSys.Ordinal()
 	}
 	if f.tel != nil {
 		t.stepSeconds = f.tel.reg.Histogram("rac_fleet_step_seconds",
@@ -381,13 +390,15 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 	return t, nil
 }
 
-// buildSystem constructs (and optionally fault-wraps) the tenant's backend.
-func (f *Fleet) buildSystem(spec TenantSpec, ctx system.Context, seed uint64) (system.System, error) {
+// buildSystem constructs the tenant's backend and wraps it in the capacity
+// decorator and the fault layer as the spec asks — capacity innermost, faults
+// outermost, matching rac.BuildSystem.
+func (f *Fleet) buildSystem(spec TenantSpec, ctx system.Context, seed uint64) (system.System, *capacity.System, error) {
 	var sys system.System
 	var err error
 	if f.opts.NewSystem != nil {
 		if sys, err = f.opts.NewSystem(spec, ctx, seed); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if sys == nil {
@@ -414,22 +425,51 @@ func (f *Fleet) buildSystem(spec TenantSpec, ctx system.Context, seed uint64) (s
 			err = fmt.Errorf("unknown backend %q", spec.Backend)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+	}
+	var capSys *capacity.System
+	if spec.Capacity {
+		scalable, ok := sys.(capacity.Scalable)
+		if !ok {
+			return nil, nil, fmt.Errorf("backend %q cannot scale capacity", spec.Backend)
+		}
+		sla := core.DefaultOptions().SLASeconds
+		if f.opts.SLASeconds > 0 {
+			sla = f.opts.SLASeconds
+		}
+		if spec.SLASeconds > 0 {
+			sla = spec.SLASeconds
+		}
+		capSys, err = capacity.Wrap(scalable, capacity.Options{
+			Initial:        spec.CapacityInitial,
+			ProvisionDelay: spec.CapacityDelay,
+			Analyzer:       capacity.DefaultConfig(sla),
+			FastPath:       true,
+			Telemetry:      f.opts.Telemetry,
+			Trace:          f.opts.Trace,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sys = capSys
 	}
 	if spec.Faults != "" {
 		sc, err := faults.LoadFile(spec.Faults)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return faults.New(sys, faults.Options{
+		sys, err = faults.New(sys, faults.Options{
 			Scenario:  sc,
 			Seed:      seed,
 			Telemetry: f.opts.Telemetry,
 			Trace:     f.opts.Trace,
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	return sys, nil
+	return sys, capSys, nil
 }
 
 // contextPolicy resolves the tenant's initial policy against the shared
@@ -578,12 +618,15 @@ func (f *Fleet) RunRound() error {
 		f.tel.rounds.Inc()
 	}
 
-	// Post-barrier bookkeeping in admission order: deterministic checkpoint
-	// and trace sequences at any Procs.
+	// Post-barrier bookkeeping in admission order: deterministic checkpoint,
+	// warm-start and trace sequences at any Procs.
 	var errs []error
 	for _, t := range all {
 		switch t.State() {
 		case StateRunning:
+			if err := f.capacityWarmStart(t); err != nil {
+				errs = append(errs, err)
+			}
 			if f.ckpts != nil && t.checkpointDue(f.opts.CheckpointEvery) {
 				if err := f.checkpoint(t, "periodic"); err != nil {
 					errs = append(errs, err)
@@ -603,6 +646,59 @@ func (f *Fleet) RunRound() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// capacityWarmStart is the SQLR-style per-level policy memory: when a
+// tenant's capacity scaled during the round just run, look up the registry
+// policy trained for its workload at the new level and force the agent onto
+// it, so a revisited level resumes from learned state instead of relearning
+// from scratch. A level with no stored policy keeps the current Q-table.
+// Running post-barrier in admission order keeps registry access and trace
+// sequences deterministic at any Procs.
+func (f *Fleet) capacityWarmStart(t *Tenant) error {
+	c := t.capSys
+	if c == nil || c.Ordinal() == t.capOrdinal {
+		return nil
+	}
+	old := t.capOrdinal
+	t.capOrdinal = c.Ordinal()
+	key := ContextKey(system.Context{Workload: t.ctx.Workload, Level: c.AppLevel()})
+	pol, err := f.lookupPolicy(key)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s: warm start after scale: %w", t.spec.Name, err)
+	}
+	if pol == nil {
+		return nil
+	}
+	t.agent.ForcePolicy(pol)
+	if f.tel != nil {
+		f.tel.warmStarts.Inc()
+	}
+	f.traceEvent(telemetry.Event{
+		Kind:   telemetry.KindCapacity,
+		Tenant: t.spec.Name,
+		Level:  c.AppLevel().Name,
+		Detail: fmt.Sprintf("scaled %d -> %d, warm start from %s", old, c.Ordinal(), pol.Name()),
+	})
+	return nil
+}
+
+// lookupPolicy resolves a context key against the in-memory store first,
+// then the shared registry, caching registry hits in the store. Returns
+// (nil, nil) when no policy exists for the key.
+func (f *Fleet) lookupPolicy(key string) (*core.Policy, error) {
+	if pol := f.policies.ByName(key); pol != nil {
+		return pol, nil
+	}
+	if f.registry == nil {
+		return nil, nil
+	}
+	p, err := f.registry.Get(key)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	f.policies.Add(p)
+	return p, nil
 }
 
 // failedNeedsGauge reports (once) that a tenant failed since the gauges were
@@ -783,16 +879,9 @@ func (f *Fleet) ForcePolicy(name, key string) error {
 	if t == nil {
 		return fmt.Errorf("fleet: unknown tenant %s", name)
 	}
-	pol := f.policies.ByName(key)
-	if pol == nil && f.registry != nil {
-		p, err := f.registry.Get(key)
-		if err != nil {
-			return err
-		}
-		if p != nil {
-			f.policies.Add(p)
-			pol = p
-		}
+	pol, err := f.lookupPolicy(key)
+	if err != nil {
+		return err
 	}
 	if pol == nil {
 		return fmt.Errorf("fleet: no policy for context %q", key)

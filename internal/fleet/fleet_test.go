@@ -10,7 +10,9 @@ import (
 
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/mdp"
+	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
+	"github.com/rac-project/rac/internal/vmenv"
 )
 
 // analyticSpec is the cheap deterministic tenant used throughout: the MVA
@@ -494,5 +496,80 @@ func TestFleetScenarioTenant(t *testing.T) {
 	bad.Scenario = "no-such-scenario"
 	if _, err := f.Admit(bad); err == nil {
 		t.Fatal("unknown scenario admitted")
+	}
+}
+
+// TestFleetCapacityTenant covers the elastic-capacity tenant end to end:
+// admission wraps the backend in the decorator, the status surfaces the level
+// and scale counters, spec validation rejects orphaned capacity parameters,
+// and a scale warm-starts the agent from the registry policy trained for the
+// new level (SQLR-style per-level policy memory).
+func TestFleetCapacityTenant(t *testing.T) {
+	f, err := New(Options{Seed: 7, RegistryDir: t.TempDir(), TrainInit: fastTrain(),
+		Telemetry: telemetry.NewRegistry(), Trace: telemetry.NewTrace(128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := analyticSpec("shop-bad")
+	bad.CapacityCost = 0.05 // without Capacity
+	if _, err := f.Admit(bad); err == nil {
+		t.Fatal("capacity parameters without capacity admitted")
+	}
+
+	spec := analyticSpec("shop-cap")
+	spec.Capacity = true
+	spec.CapacityCost = 0.05
+	tn, err := f.Admit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Capacity() == nil {
+		t.Fatal("capacity tenant has no decorator")
+	}
+	st := tn.Status()
+	if st.Level == "" || st.CapacityUnits != 0 || st.ScaleUps != 0 {
+		t.Fatalf("admission status %+v, want level set and zero counters", st)
+	}
+
+	if _, err := f.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	st = tn.Status()
+	if want := 3 * tn.Capacity().Ordinal(); st.CapacityUnits != want {
+		t.Fatalf("capacity units %d after 3 rounds at ordinal %d, want %d",
+			st.CapacityUnits, tn.Capacity().Ordinal(), want)
+	}
+
+	// Publish a policy for the neighbouring level, scale to it, and check the
+	// post-round hook adopts that policy.
+	target := tn.Capacity().Ordinal() - 1
+	if target < vmenv.MinOrdinal {
+		target = tn.Capacity().Ordinal() + 1
+	}
+	lvl, err := vmenv.ByOrdinal(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := system.Context{Workload: tn.ctx.Workload, Level: lvl}
+	key := ContextKey(ctx)
+	pol, err := f.trainPolicy(spec, ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.registry.Put(key, pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Capacity().SetAppLevel(lvl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if p := tn.Agent().Policy(); p == nil || p.Name() != key {
+		t.Fatalf("agent policy after scale = %v, want %s", p, key)
+	}
+	if st = tn.Status(); st.Level != lvl.Name {
+		t.Fatalf("status level %q after scale, want %q", st.Level, lvl.Name)
 	}
 }

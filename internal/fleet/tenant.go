@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/rac-project/rac/internal/capacity"
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/system"
 	"github.com/rac-project/rac/internal/telemetry"
@@ -98,6 +99,21 @@ type TenantSpec struct {
 	// AdmitEpoch sets the gate's adaptive epoch in requests (0 = no
 	// epoch-adaptive scaling).
 	AdmitEpoch int `json:"admitEpoch,omitempty"`
+	// Capacity wraps the backend in the elastic capacity decorator: a
+	// saturation analyzer scales the VM level between the agent's retrains,
+	// and each applied scale warm-starts the agent from the registry policy
+	// learned at the new level's context when one exists (SQLR-style
+	// per-level policy memory).
+	Capacity bool `json:"capacity,omitempty"`
+	// CapacityInitial is the starting capacity ordinal (1 = Level-3 … 3 =
+	// Level-1); 0 starts at the tenant context's level.
+	CapacityInitial int `json:"capacityInitial,omitempty"`
+	// CapacityDelay is the scale-up provisioning delay in measurement
+	// intervals (scale-downs always apply on the next interval).
+	CapacityDelay int `json:"capacityDelay,omitempty"`
+	// CapacityCost prices the VM level into the agent's reward, per
+	// level·interval; 0 leaves capacity unpriced.
+	CapacityCost float64 `json:"capacityCost,omitempty"`
 	// TrainPolicy trains an initial policy for the tenant's context at
 	// admission (fast, on the analytic surface) and publishes it to the
 	// shared registry when the context has none yet.
@@ -121,6 +137,12 @@ func (sp TenantSpec) validate() error {
 	}
 	if sp.AdmitConcurrency < 0 || sp.AdmitQueue < 0 || sp.AdmitEpoch < 0 {
 		return fmt.Errorf("fleet: tenant %s: negative admission gate parameter", sp.Name)
+	}
+	if sp.CapacityInitial < 0 || sp.CapacityDelay < 0 || sp.CapacityCost < 0 {
+		return fmt.Errorf("fleet: tenant %s: negative capacity parameter", sp.Name)
+	}
+	if !sp.Capacity && (sp.CapacityInitial != 0 || sp.CapacityDelay != 0 || sp.CapacityCost != 0) {
+		return fmt.Errorf("fleet: tenant %s: capacity parameters set without capacity", sp.Name)
 	}
 	return nil
 }
@@ -154,6 +176,11 @@ type TenantStatus struct {
 	Violations  int     `json:"violations,omitempty"`
 	LastError   string  `json:"last_error,omitempty"`
 	Checkpoints int     `json:"checkpoints,omitempty"`
+	// Capacity fields are set for tenants running the elastic decorator.
+	Level         string `json:"level,omitempty"`
+	CapacityUnits int    `json:"capacity_units,omitempty"`
+	ScaleUps      int    `json:"scale_ups,omitempty"`
+	ScaleDowns    int    `json:"scale_downs,omitempty"`
 }
 
 // Tenant is one managed system inside the fleet: a backend system, the RAC
@@ -165,11 +192,15 @@ type Tenant struct {
 
 	spec       TenantSpec
 	contextKey string
+	ctx        system.Context // admission context; scales re-key it by level
 	state      State
 	sys        system.System
 	agent      *core.Agent
 	seq        *workload.Sequencer // non-nil when spec.Scenario drives the load
 	trace      *telemetry.Trace    // fleet trace; receives per-interval workload events
+
+	capSys     *capacity.System // elastic decorator; nil without spec.Capacity
+	capOrdinal int              // last capacity ordinal the warm-start hook acted on
 
 	interval    int // completed measurement intervals
 	checkpoints int // snapshots written for this tenant
@@ -242,8 +273,17 @@ func (t *Tenant) Status() TenantStatus {
 	if t.lastErr != nil {
 		st.LastError = t.lastErr.Error()
 	}
+	if c := t.capSys; c != nil {
+		st.Level = c.AppLevel().Name
+		st.CapacityUnits = c.TotalCost()
+		st.ScaleUps = c.ScaleUps()
+		st.ScaleDowns = c.ScaleDowns()
+	}
 	return st
 }
+
+// Capacity exposes the tenant's elastic decorator (nil without capacity).
+func (t *Tenant) Capacity() *capacity.System { return t.capSys }
 
 // StepLog returns a copy of the retained step records, oldest first.
 func (t *Tenant) StepLog() []StepRecord {

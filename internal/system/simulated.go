@@ -27,6 +27,9 @@ type Simulated struct {
 	// parameters (see SimulatedOptions).
 	admitConcurrency int
 	admitQueue       int
+
+	// slo is the goodput threshold (SimulatedOptions.SLOSeconds; 0 = none).
+	slo float64
 }
 
 // SimulatedOptions configure NewSimulated.
@@ -54,6 +57,9 @@ type SimulatedOptions struct {
 	// AdmitEpoch enables the gate's epoch-adaptive loop with the given epoch
 	// size in requests (0 = no adaptation).
 	AdmitEpoch int
+	// SLOSeconds is the goodput threshold: completions at or under it count
+	// into Metrics.Goodput (0 = goodput untracked, Goodput stays 0).
+	SLOSeconds float64
 }
 
 var (
@@ -93,6 +99,7 @@ func NewSimulated(opts SimulatedOptions) (*Simulated, error) {
 		AppLevel:    ctx.Level,
 		Seed:        opts.Seed,
 		AdmitEpoch:  opts.AdmitEpoch,
+		SLOSeconds:  opts.SLOSeconds,
 	})
 	if err != nil {
 		return nil, err
@@ -105,6 +112,7 @@ func NewSimulated(opts SimulatedOptions) (*Simulated, error) {
 		measureSeconds:   270,
 		admitConcurrency: opts.AdmitConcurrency,
 		admitQueue:       opts.AdmitQueue,
+		slo:              opts.SLOSeconds,
 	}
 	if opts.SettleSeconds > 0 {
 		s.settleSeconds = opts.SettleSeconds
@@ -165,14 +173,22 @@ func (s *Simulated) Measure(ctx context.Context) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, fmt.Errorf("simulated measure: %w", err)
 	}
-	return Metrics{
+	m := Metrics{
 		MeanRT:          st.MeanRT,
 		P95RT:           st.P95RT,
+		P99RT:           st.P99RT,
 		Throughput:      st.Throughput,
 		Completed:       st.Completed,
 		Rejected:        st.Rejected,
+		Offered:         st.Arrivals,
 		IntervalSeconds: st.Interval + s.settleSeconds,
-	}, nil
+		Level:           s.model.AppLevel().Name,
+		CapacityUnits:   vmenv.Ordinal(s.model.AppLevel()),
+	}
+	if s.slo > 0 && st.Interval > 0 {
+		m.Goodput = float64(st.GoodCompleted) / st.Interval
+	}
+	return m, nil
 }
 
 // SetWorkload changes the traffic (driver-side context change).

@@ -30,17 +30,27 @@ type Metrics struct {
 	MeanRT float64 `json:"mean_rt"`
 	// P95RT is the 95th-percentile response time in seconds.
 	P95RT float64 `json:"p95_rt"`
+	// P99RT is the 99th-percentile response time in seconds (0 when the
+	// producer does not track it).
+	P99RT float64 `json:"p99_rt,omitempty"`
 	// Throughput is completed requests per second.
 	Throughput float64 `json:"throughput"`
+	// Goodput is SLO-goodput: completions within the producer's SLO threshold
+	// per second. Zero (and omitted) when the producer has no SLO configured —
+	// a jammed system can post high raw throughput of 30-second responses;
+	// goodput is the number it cannot fake.
+	Goodput float64 `json:"goodput,omitempty"`
 	// Completed is the number of requests finished in the interval.
 	Completed int `json:"completed"`
 	// Errors is the number of requests that failed or timed out in the
 	// interval (live systems only; simulators complete every request).
 	Errors int `json:"errors,omitempty"`
-	// Offered is the number of requests the load harness intended to issue
-	// in the interval. Only open-loop drivers report it (closed-loop load has
-	// no offered schedule independent of completions), so it is omitted from
-	// JSON — and therefore from every existing serialized metric — when zero.
+	// Offered is the interval's offered demand in requests: the count a
+	// load harness intended to issue (open-loop drivers), or the arrivals
+	// reaching the server's admission decision (the simulated backend). Either
+	// way Offered − Completed − Rejected trends the in-system backlog, the
+	// signal saturation analysis keys on. Omitted from JSON — and therefore
+	// from every previously serialized metric — when zero.
 	Offered int `json:"offered,omitempty"`
 	// Shed is the number of offered requests dropped by the harness's
 	// admission control instead of being issued late. Counting them — rather
@@ -70,6 +80,16 @@ type Metrics struct {
 	// InvalidReason says why the interval was discarded (e.g. "error-ratio",
 	// "low-completion", "outlier", "no-data").
 	InvalidReason string `json:"invalid_reason,omitempty"`
+	// Level names the VM provisioning level in effect during the interval
+	// (e.g. "Level-1"). Before it was surfaced here, vmenv reallocations were
+	// invisible in traces, which made capacity runs undebuggable. Empty (and
+	// omitted) when the producer does not track VM levels.
+	Level string `json:"level,omitempty"`
+	// CapacityUnits is the interval's capacity cost in VM-level units: the
+	// vmenv capacity ordinal in effect (1 = Level-3 … 3 = Level-1), which the
+	// cost-priced reward (core.Options.CapacityCost) multiplies. Zero when
+	// capacity is untracked.
+	CapacityUnits int `json:"capacity_units,omitempty"`
 }
 
 // String renders the measurement in the compact one-line form used by logs
@@ -84,6 +104,9 @@ func (m Metrics) String() string {
 	}
 	if m.Rejected > 0 {
 		s += fmt.Sprintf(" rejected=%d", m.Rejected)
+	}
+	if m.Level != "" {
+		s += " level=" + m.Level
 	}
 	if m.IntervalSeconds > 0 {
 		s += fmt.Sprintf(" over %.0fs", m.IntervalSeconds)

@@ -44,6 +44,12 @@ const KindWorkload EventKind = "workload"
 // the regime it selected (Detail: "exploit", "spread" or "hold").
 const KindAdmission EventKind = "admission"
 
+// Capacity event kind: one "capacity" event per saturation verdict or scale
+// decision of the elastic-capacity controller, recording the VM level in
+// effect (Level) and the decision in Detail ("saturated: scale-up 2 -> 3",
+// "hold: provisioning", …).
+const KindCapacity EventKind = "capacity"
+
 // Event is one structured decision-trace record. Fields are a union over the
 // kinds; unused fields stay at their zero value and are omitted from JSON.
 type Event struct {
@@ -89,6 +95,9 @@ type Event struct {
 	// Tenant names the fleet tenant an event belongs to (fleet-managed runs
 	// only; empty for single-agent runs).
 	Tenant string `json:"tenant,omitempty"`
+	// Level names the VM provisioning level in effect ("capacity" events, and
+	// "step" events of capacity-tracking systems).
+	Level string `json:"level,omitempty"`
 	// Detail carries kind-specific context (e.g. "shop → order" on a
 	// policy switch).
 	Detail string `json:"detail,omitempty"`

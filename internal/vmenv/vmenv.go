@@ -46,6 +46,145 @@ func (l Level) CPUCapacity() float64 { return float64(l.VCPUs) }
 // Valid reports whether the level describes a usable VM.
 func (l Level) Valid() bool { return l.VCPUs > 0 && l.MemoryMB > 0 }
 
+// Capacity ordinals rank the paper's levels by size so a lattice parameter
+// can express "more capacity" as a larger integer: 1 = Level-3 (smallest),
+// 3 = Level-1 (largest).
+const (
+	MinOrdinal = 1
+	MaxOrdinal = 3
+)
+
+// Ordinal returns the level's capacity rank (MinOrdinal..MaxOrdinal), or 0
+// for an unknown level.
+func Ordinal(l Level) int {
+	switch l.Name {
+	case Level3.Name:
+		return 1
+	case Level2.Name:
+		return 2
+	case Level1.Name:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// ByOrdinal returns the level with the given capacity rank.
+func ByOrdinal(n int) (Level, error) {
+	switch n {
+	case 1:
+		return Level3, nil
+	case 2:
+		return Level2, nil
+	case 3:
+		return Level1, nil
+	default:
+		return Level{}, fmt.Errorf("vmenv: ordinal %d outside [%d,%d]", n, MinOrdinal, MaxOrdinal)
+	}
+}
+
+// Elastic is the programmatic scale interface over the three provisioning
+// levels: it holds the level currently in effect, a pending request that
+// matures after a provisioning delay, and the cumulative capacity cost.
+//
+// Scale-ups take ProvisionDelay ticks to come online (booting a bigger VM is
+// slow); scale-downs apply on the next tick (releasing capacity is
+// immediate). One Tick per measurement interval accrues cost equal to the
+// ordinal in effect, so cost units are VM-level·intervals. Elastic is pure
+// bookkeeping — no clock, no RNG — so any driver stays deterministic.
+type Elastic struct {
+	current int // ordinal in effect
+	pending int // requested ordinal not yet in effect (0 = none)
+	wait    int // ticks remaining until pending matures
+	delay   int // provisioning delay for scale-ups, in ticks
+
+	totalCost  int
+	scaleUps   int
+	scaleDowns int
+}
+
+// NewElastic returns a scaler starting at the given ordinal with the given
+// scale-up provisioning delay in ticks (0 = next tick).
+func NewElastic(initial, provisionDelay int) (*Elastic, error) {
+	if _, err := ByOrdinal(initial); err != nil {
+		return nil, err
+	}
+	if provisionDelay < 0 {
+		return nil, fmt.Errorf("vmenv: negative provision delay %d", provisionDelay)
+	}
+	return &Elastic{current: initial, delay: provisionDelay}, nil
+}
+
+// Request asks for the given ordinal. Requesting the current (or already
+// pending) ordinal is a no-op; a new target replaces any pending one, with
+// the provisioning delay charged only in the scale-up direction.
+func (e *Elastic) Request(ordinal int) error {
+	if _, err := ByOrdinal(ordinal); err != nil {
+		return err
+	}
+	if ordinal == e.current {
+		e.pending = 0
+		e.wait = 0
+		return nil
+	}
+	if ordinal == e.pending {
+		return nil
+	}
+	e.pending = ordinal
+	if ordinal > e.current {
+		e.wait = e.delay
+	} else {
+		e.wait = 0
+	}
+	return nil
+}
+
+// Tick advances one measurement interval: a matured pending request takes
+// effect first, then the interval's capacity cost accrues at the level now
+// in force — the interval starting at this tick runs, and is billed, at the
+// new level. It returns the level in effect and whether the tick changed it.
+func (e *Elastic) Tick() (Level, bool) {
+	changed := false
+	if e.pending != 0 {
+		if e.wait > 0 {
+			e.wait--
+		} else {
+			if e.pending > e.current {
+				e.scaleUps++
+			} else {
+				e.scaleDowns++
+			}
+			e.current = e.pending
+			e.pending = 0
+			changed = true
+		}
+	}
+	e.totalCost += e.current
+	lvl, _ := ByOrdinal(e.current)
+	return lvl, changed
+}
+
+// Ordinal returns the capacity rank currently in effect.
+func (e *Elastic) Ordinal() int { return e.current }
+
+// Pending returns the requested-but-not-yet-effective ordinal (0 = none).
+func (e *Elastic) Pending() int { return e.pending }
+
+// Level returns the level currently in effect.
+func (e *Elastic) Level() Level {
+	lvl, _ := ByOrdinal(e.current)
+	return lvl
+}
+
+// TotalCost returns the cumulative capacity cost in VM-level·intervals.
+func (e *Elastic) TotalCost() int { return e.totalCost }
+
+// ScaleUps returns how many scale-ups have taken effect.
+func (e *Elastic) ScaleUps() int { return e.scaleUps }
+
+// ScaleDowns returns how many scale-downs have taken effect.
+func (e *Elastic) ScaleDowns() int { return e.scaleDowns }
+
 // VM is a virtual machine with a mutable resource allocation. It models the
 // driver-domain view: the hosted tiers read capacity and memory from it each
 // simulation tick, so a reallocation takes effect immediately, exactly like a

@@ -86,3 +86,114 @@ func TestCPUCapacity(t *testing.T) {
 		t.Fatal("capacity does not match vCPU count")
 	}
 }
+
+func TestOrdinalRoundTrip(t *testing.T) {
+	for n := MinOrdinal; n <= MaxOrdinal; n++ {
+		l, err := ByOrdinal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Ordinal(l) != n {
+			t.Fatalf("Ordinal(ByOrdinal(%d)) = %d", n, Ordinal(l))
+		}
+	}
+	if Ordinal(Level1) != 3 || Ordinal(Level3) != 1 {
+		t.Fatal("ordinals not ranked by capacity")
+	}
+	if Ordinal(Level{Name: "Level-9"}) != 0 {
+		t.Fatal("unknown level has an ordinal")
+	}
+	if _, err := ByOrdinal(0); err == nil {
+		t.Fatal("ordinal 0 accepted")
+	}
+	if _, err := ByOrdinal(4); err == nil {
+		t.Fatal("ordinal 4 accepted")
+	}
+}
+
+func TestElasticScaleUpDelay(t *testing.T) {
+	e, err := NewElastic(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Request(3); err != nil {
+		t.Fatal(err)
+	}
+	// Two delay ticks, then the third tick applies the new level.
+	for i := 0; i < 2; i++ {
+		if lvl, changed := e.Tick(); changed || lvl != Level3 {
+			t.Fatalf("tick %d: level %s changed=%v during provisioning", i, lvl, changed)
+		}
+	}
+	lvl, changed := e.Tick()
+	if !changed || lvl != Level1 {
+		t.Fatalf("scale-up did not mature: level %s changed=%v", lvl, changed)
+	}
+	if e.ScaleUps() != 1 || e.ScaleDowns() != 0 {
+		t.Fatalf("counters ups=%d downs=%d", e.ScaleUps(), e.ScaleDowns())
+	}
+	// Cost: two provisioning ticks at ordinal 1, then the maturing tick's
+	// interval runs — and is billed — at ordinal 3.
+	if e.TotalCost() != 5 {
+		t.Fatalf("total cost %d, want 5", e.TotalCost())
+	}
+}
+
+func TestElasticScaleDownImmediate(t *testing.T) {
+	e, err := NewElastic(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Request(1); err != nil {
+		t.Fatal(err)
+	}
+	lvl, changed := e.Tick()
+	if !changed || lvl != Level3 {
+		t.Fatalf("scale-down not immediate: level %s changed=%v", lvl, changed)
+	}
+	if e.ScaleDowns() != 1 {
+		t.Fatalf("scale-downs %d", e.ScaleDowns())
+	}
+	// The scale-down interval already runs at the cheaper ordinal.
+	if e.TotalCost() != 1 {
+		t.Fatalf("total cost %d, want 1", e.TotalCost())
+	}
+}
+
+func TestElasticRequestCurrentCancelsPending(t *testing.T) {
+	e, err := NewElastic(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Request(3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	if err := e.Request(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("requesting the current ordinal did not cancel the pending one")
+	}
+	if _, changed := e.Tick(); changed {
+		t.Fatal("cancelled request still applied")
+	}
+	if e.Ordinal() != 2 {
+		t.Fatalf("ordinal %d", e.Ordinal())
+	}
+}
+
+func TestElasticRejectsBadInputs(t *testing.T) {
+	if _, err := NewElastic(0, 1); err == nil {
+		t.Fatal("ordinal 0 accepted")
+	}
+	if _, err := NewElastic(1, -1); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	e, _ := NewElastic(1, 0)
+	if err := e.Request(9); err == nil {
+		t.Fatal("ordinal 9 accepted")
+	}
+}

@@ -99,6 +99,12 @@ type Stats struct {
 	// Rejections are not response-time samples: the gate's point is to keep
 	// excess arrivals off the latency books.
 	Rejected int
+	// Arrivals counts requests reaching the admission decision (admitted +
+	// rejected). Retransmit bounces and retry-timeout giveups never reach the
+	// gate and are excluded, so Arrivals − Completed − Rejected trends the
+	// in-system backlog: the offered-vs-completed signal saturation analysis
+	// keys on.
+	Arrivals int
 	// PerClass breaks completed-request response times down by interaction
 	// class (TPC-W reports per-interaction WIRT compliance).
 	PerClass map[tpcw.Class]ClassStats
@@ -169,6 +175,7 @@ type Model struct {
 	retransmit int
 	timeouts   int
 	rejected   int
+	arrivals   int
 	rts        []float64
 	classRT    map[tpcw.Class]*stats.Running
 	classRej   map[tpcw.Class]int
@@ -379,6 +386,7 @@ func (m *Model) startRecording() {
 	m.retransmit = 0
 	m.timeouts = 0
 	m.rejected = 0
+	m.arrivals = 0
 	m.rts = m.rts[:0]
 	m.classRT = make(map[tpcw.Class]*stats.Running)
 	m.classRej = make(map[tpcw.Class]int)
@@ -397,6 +405,7 @@ func (m *Model) stopRecording() Stats {
 		Retransmits: m.retransmit,
 		Timeouts:    m.timeouts,
 		Rejected:    m.rejected,
+		Arrivals:    m.arrivals,
 	}
 	if len(m.classRT) > 0 || len(m.classRej) > 0 {
 		s.PerClass = make(map[tpcw.Class]ClassStats, len(m.classRT)+len(m.classRej))
@@ -578,6 +587,7 @@ func (m *Model) issueRequest(i int, t float64) {
 	if !m.gate.Admit(m.gateHeld, 0, c.class) {
 		m.gate.Observe(true)
 		if m.recording {
+			m.arrivals++
 			m.rejected++
 			m.classRej[c.class]++
 		}
@@ -588,6 +598,9 @@ func (m *Model) issueRequest(i int, t float64) {
 	}
 	m.gate.Observe(false)
 	m.gateHeld++
+	if m.recording {
+		m.arrivals++
+	}
 
 	c.retryPending = false
 	c.mode = modeInFlight

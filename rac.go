@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"github.com/rac-project/rac/internal/bench"
+	"github.com/rac-project/rac/internal/capacity"
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
 	"github.com/rac-project/rac/internal/faults"
@@ -77,6 +78,9 @@ const (
 	MaxSpareThreads  = config.MaxSpareThreads
 	AdmitConcurrency = config.AdmitConcurrency
 	AdmitQueue       = config.AdmitQueue
+	// CapacityLevel is the elastic-capacity lattice parameter (a VM ordinal,
+	// 1 = Level-3 … 3 = Level-1), interpreted by the capacity decorator.
+	CapacityLevel = config.CapacityLevel
 )
 
 // DefaultSpace returns the eight-parameter space of paper Table 1.
@@ -86,6 +90,12 @@ func DefaultSpace() *Space { return config.Default() }
 // admission gate's concurrency and queue caps, so Q-learning tunes the gate
 // alongside the web-tier knobs.
 func AdmissionSpace() *Space { return config.WithAdmission() }
+
+// CapacitySpace returns the nine-parameter space: Table 1 plus the elastic
+// CapacityLevel ordinal, so Q-learning trades VM capacity against the
+// software knobs in one lattice (pair with WrapCapacity and
+// Options.CapacityCost).
+func CapacitySpace() *Space { return config.WithCapacity() }
 
 // Workload model (TPC-W).
 type (
@@ -111,6 +121,13 @@ var (
 	Level2 = vmenv.Level2
 	Level3 = vmenv.Level3
 )
+
+// LevelOrdinal maps a VM level to its capacity ordinal (1 = Level-3 …
+// 3 = Level-1), the unit the CapacityLevel lattice parameter moves in.
+func LevelOrdinal(l Level) int { return vmenv.Ordinal(l) }
+
+// LevelByOrdinal is the inverse of LevelOrdinal.
+func LevelByOrdinal(n int) (Level, error) { return vmenv.ByOrdinal(n) }
 
 // Systems.
 type (
@@ -403,6 +420,50 @@ func FaultKinds() []FaultKind { return faults.Kinds() }
 // FigureIDs returns the reproducible figure identifiers in paper order.
 func FigureIDs() []string { return bench.FigureIDs() }
 
+// Elastic capacity control (package internal/capacity): the VM provisioning
+// level becomes an actuator alongside the paper's software knobs. A
+// deterministic saturation analyzer watches each interval's offered/completed
+// counts and latency for the capacity knee; a decorator wraps any adjustable
+// system with a provisioning-delayed scaler driven by lattice CapacityLevel
+// moves (CapacitySpace) and, optionally, by analyzer verdicts between
+// retrains (the fast scale path). Capacity consumption is priced into the
+// agent's reward via Options.CapacityCost.
+type (
+	// CapacitySystem decorates an adjustable system with elastic capacity.
+	CapacitySystem = capacity.System
+	// CapacityOptions configure WrapCapacity.
+	CapacityOptions = capacity.Options
+	// CapacityScalable is what the decorator wraps: a tunable system whose
+	// VM level a driver can change.
+	CapacityScalable = capacity.Scalable
+	// CapacityAnalyzer is the deterministic saturation detector.
+	CapacityAnalyzer = capacity.Analyzer
+	// CapacityConfig calibrates the analyzer.
+	CapacityConfig = capacity.Config
+	// CapacityObservation is one interval's saturation-relevant counts.
+	CapacityObservation = capacity.Observation
+	// CapacityDecision is one analyzer verdict with its evidence.
+	CapacityDecision = capacity.Decision
+	// CapacityVerdict is the analyzer's stance (stable/saturated/headroom).
+	CapacityVerdict = capacity.Verdict
+)
+
+// WrapCapacity decorates an adjustable system with elastic capacity control.
+func WrapCapacity(sys CapacityScalable, opts CapacityOptions) (*CapacitySystem, error) {
+	return capacity.Wrap(sys, opts)
+}
+
+// NewCapacityAnalyzer builds a saturation analyzer with the given calibration.
+func NewCapacityAnalyzer(cfg CapacityConfig) (*CapacityAnalyzer, error) {
+	return capacity.NewAnalyzer(cfg)
+}
+
+// DefaultCapacityConfig returns the analyzer calibration the experiments use,
+// referenced to the given SLA.
+func DefaultCapacityConfig(slaSeconds float64) CapacityConfig {
+	return capacity.DefaultConfig(slaSeconds)
+}
+
 // Workload engine (package internal/workload): composable, JSON-loadable
 // scenarios (phases with rate/population/mix, sinusoid/ramp/spike modulation,
 // mix drift) compiled into deterministic arrival schedules, plus a trace
@@ -482,6 +543,10 @@ type (
 // runs interleave into the decision trace, so load drift can be correlated
 // with the agent's switches and rollbacks.
 const TraceKindWorkload = telemetry.KindWorkload
+
+// TraceKindCapacity marks the capacity decorator's scale decisions and
+// applied scales in the decision trace.
+const TraceKindCapacity = telemetry.KindCapacity
 
 // NewTelemetry returns an empty metrics registry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
