@@ -237,9 +237,10 @@ func (a *Analyzer) windowStats() (ratio float64, trend int) {
 // verdict applies the detection rules to the full window.
 func (a *Analyzer) verdict(d Decision) (Verdict, string) {
 	breach := d.Latency > a.cfg.SLASeconds
-	var rejected int
+	var rejected, demand int
 	for _, o := range a.window {
 		rejected += o.Rejected
+		demand += o.demand()
 	}
 
 	// Knee detection: arrivals outpacing completions — the offered-vs-
@@ -250,9 +251,11 @@ func (a *Analyzer) verdict(d Decision) (Verdict, string) {
 		return VerdictSaturated, fmt.Sprintf("completion ratio %.2f below knee %.2f",
 			d.CompletionRatio, a.cfg.SaturationRatio)
 	}
-	// Latency-only detection, for producers without arrival counts: the
-	// latency signal over the SLA with the backlog still growing.
-	if breach && d.BacklogTrend >= 0 {
+	// Latency-only detection: the latency signal over the SLA with the
+	// backlog not draining. When the producer tracks no arrivals (window-wide
+	// demand zero) the backlog proxy is meaningless — it degenerates to the
+	// negated completion trend — so a sustained breach alone is saturation.
+	if breach && (demand == 0 || d.BacklogTrend >= 0) {
 		return VerdictSaturated, fmt.Sprintf("latency %.2fs over SLA %.2fs",
 			d.Latency, a.cfg.SLASeconds)
 	}

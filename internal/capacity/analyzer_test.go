@@ -224,6 +224,23 @@ func TestAnalyzerDeterminism(t *testing.T) {
 	}
 }
 
+func TestLatencyOnlyDetectionWithGrowingCompletions(t *testing.T) {
+	// Without arrival counts the backlog proxy is the negated completion
+	// trend, so a window whose completions grew must not mask a sustained
+	// breach: the breach alone is saturation when demand is untracked.
+	a, err := NewAnalyzer(DefaultConfig(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for _, completed := range []int{100, 200, 400} {
+		d = a.Observe(Observation{Completed: completed, MeanRT: 4.0, P99RT: 11.0})
+	}
+	if d.Verdict != VerdictSaturated {
+		t.Fatalf("sustained breach without arrival counts: verdict %s (%s)", d.Verdict, d.Reason)
+	}
+}
+
 func TestVerdictStrings(t *testing.T) {
 	if VerdictStable.String() != "stable" || VerdictSaturated.String() != "saturated" || VerdictHeadroom.String() != "headroom" {
 		t.Fatal("verdict names wrong")

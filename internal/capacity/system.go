@@ -65,7 +65,8 @@ type System struct {
 	analyzer *Analyzer
 	opts     Options
 
-	holds int // stable/cooldown/warming verdicts observed
+	lastLattice int // CapacityLevel value last seen in Apply (0 = none yet)
+	holds       int // observations that produced no scale request
 
 	tel *instruments
 }
@@ -86,7 +87,7 @@ func newInstruments(reg *telemetry.Registry) *instruments {
 		scaleDowns: reg.Counter("rac_capacity_scale_downs_total",
 			"Capacity scale-downs that took effect (smaller VM in force).", nil),
 		holds: reg.Counter("rac_capacity_holds_total",
-			"Analyzer observations that requested no scale (stable, warming or cooling down).", nil),
+			"Analyzer observations that produced no scale request (stable, warming, cooling down, provisioning, or fast path off).", nil),
 		level: reg.Gauge("rac_capacity_level",
 			"Capacity ordinal in effect (1 = Level-3 … 3 = Level-1).", nil),
 	}
@@ -140,18 +141,23 @@ func (s *System) Space() *config.Space { return s.inner.Space() }
 func (s *System) Config() config.Config { return s.inner.Config() }
 
 // Apply forwards the configuration to the inner system and, when the space
-// carries CapacityLevel, turns the lattice value into a scale request — a
-// deliberate agent move through the same provisioning pipeline as the fast
-// path. The inner system ignores the parameter (it has no webtier setter),
-// so software knobs and capacity stay one atomic configuration.
+// carries CapacityLevel and its value changed since the last Apply, turns
+// the move into a scale request — a deliberate agent decision through the
+// same provisioning pipeline as the fast path. An unchanged lattice value is
+// not re-requested: the agent re-applies its whole configuration every step,
+// and forwarding Request(current) each time would cancel a pending fast-path
+// scale before it could mature. The inner system ignores the parameter (it
+// has no webtier setter), so software knobs and capacity stay one atomic
+// configuration.
 func (s *System) Apply(ctx context.Context, cfg config.Config) error {
 	if err := s.inner.Apply(ctx, cfg); err != nil {
 		return err
 	}
-	if want, ok := cfg.Get(s.inner.Space(), config.CapacityLevel); ok {
+	if want, ok := cfg.Get(s.inner.Space(), config.CapacityLevel); ok && want != s.lastLattice {
 		if err := s.elastic.Request(want); err != nil {
 			return fmt.Errorf("capacity: apply level: %w", err)
 		}
+		s.lastLattice = want
 	}
 	return nil
 }
@@ -258,22 +264,22 @@ func (s *System) decide(d Decision) {
 // SetWorkload changes the traffic (driver-side context change).
 func (s *System) SetWorkload(w tpcw.Workload) error { return s.inner.SetWorkload(w) }
 
-// SetAppLevel is the experiment driver overriding the scaler: the elastic
-// state snaps to the given level (clearing any pending request) and the
-// inner system reallocates immediately.
+// SetAppLevel is the experiment driver (or the fault layer) overriding the
+// scaler: the elastic state snaps to the given level, clearing any pending
+// request, and the inner system reallocates immediately. The cumulative
+// capacity bill and scale counters are preserved — an override changes the
+// level in force, not the history already billed.
 func (s *System) SetAppLevel(level vmenv.Level) error {
 	ord := vmenv.Ordinal(level)
 	if ord == 0 {
 		return fmt.Errorf("capacity: unknown level %q", level)
 	}
-	e, err := vmenv.NewElastic(ord, s.opts.ProvisionDelay)
-	if err != nil {
-		return err
-	}
 	if err := s.inner.SetAppLevel(level); err != nil {
 		return err
 	}
-	s.elastic = e
+	if err := s.elastic.Snap(ord); err != nil {
+		return err
+	}
 	if s.tel != nil {
 		s.tel.level.Set(float64(ord))
 	}
@@ -296,7 +302,7 @@ func (s *System) Pending() int { return s.elastic.Pending() }
 func (s *System) TotalCost() int { return s.elastic.TotalCost() }
 
 // ScaleUps and ScaleDowns return how many scales have taken effect; Holds
-// returns how many observations requested no scale.
+// returns how many observations produced no scale request.
 func (s *System) ScaleUps() int   { return s.elastic.ScaleUps() }
 func (s *System) ScaleDowns() int { return s.elastic.ScaleDowns() }
 func (s *System) Holds() int      { return s.holds }
@@ -305,12 +311,17 @@ func (s *System) Holds() int      { return s.holds }
 func (s *System) Inner() Scalable { return s.inner }
 
 // capacitySnapshot is the decorator's slice of a tenant checkpoint: the
-// level in force plus the wrapped backend's own blob. The analyzer window
-// and any pending scale request restart cold — a restored tenant re-earns
-// its next verdict instead of replaying a stale one.
+// level in force, the accumulated bill and scale counters, plus the wrapped
+// backend's own blob. The analyzer window and any pending scale request
+// restart cold — a restored tenant re-earns its next verdict instead of
+// replaying a stale one.
 type capacitySnapshot struct {
-	Ordinal int    `json:"ordinal"`
-	Inner   []byte `json:"inner,omitempty"`
+	Ordinal    int    `json:"ordinal"`
+	TotalCost  int    `json:"total_cost,omitempty"`
+	ScaleUps   int    `json:"scale_ups,omitempty"`
+	ScaleDowns int    `json:"scale_downs,omitempty"`
+	Holds      int    `json:"holds,omitempty"`
+	Inner      []byte `json:"inner,omitempty"`
 }
 
 var _ system.Snapshottable = (*System)(nil)
@@ -319,7 +330,13 @@ var _ system.Snapshottable = (*System)(nil)
 // system's state (when it is snapshottable), keeping fleet checkpoints
 // working through the decorator.
 func (s *System) ExportState() ([]byte, error) {
-	st := capacitySnapshot{Ordinal: s.elastic.Ordinal()}
+	st := capacitySnapshot{
+		Ordinal:    s.elastic.Ordinal(),
+		TotalCost:  s.elastic.TotalCost(),
+		ScaleUps:   s.elastic.ScaleUps(),
+		ScaleDowns: s.elastic.ScaleDowns(),
+		Holds:      s.holds,
+	}
 	if snap, ok := s.inner.(system.Snapshottable); ok {
 		blob, err := snap.ExportState()
 		if err != nil {
@@ -332,7 +349,8 @@ func (s *System) ExportState() ([]byte, error) {
 
 // ImportState restores state captured by ExportState: the inner system
 // first, then the level — so the scaler and the backend agree on the
-// capacity in force.
+// capacity in force — and finally the checkpointed bill and scale counters,
+// so TenantStatus accounting survives a restore.
 func (s *System) ImportState(blob []byte) error {
 	var st capacitySnapshot
 	if err := json.Unmarshal(blob, &st); err != nil {
@@ -351,5 +369,10 @@ func (s *System) ImportState(blob []byte) error {
 	if err != nil {
 		return fmt.Errorf("capacity: import state: %w", err)
 	}
-	return s.SetAppLevel(lvl)
+	if err := s.SetAppLevel(lvl); err != nil {
+		return err
+	}
+	s.elastic.RestoreAccounting(st.TotalCost, st.ScaleUps, st.ScaleDowns)
+	s.holds = st.Holds
+	return nil
 }

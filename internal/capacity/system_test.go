@@ -153,6 +153,92 @@ func TestFastPathDisabledHolds(t *testing.T) {
 	}
 }
 
+func TestApplyUnchangedLatticeKeepsFastPathScale(t *testing.T) {
+	// The agent re-applies its whole configuration every Step, Apply-first.
+	// An unchanged CapacityLevel must not cancel the fast path's pending
+	// scale request before Measure can mature it.
+	space := config.WithCapacity()
+	sys, err := Wrap(newSim(t, space, 1400), Options{
+		Initial:        1,
+		ProvisionDelay: 1,
+		FastPath:       true,
+		Analyzer: Config{Window: 2, SLASeconds: 2.0, SaturationRatio: 0.9,
+			HeadroomRatio: 0.98, HeadroomRT: 0.5, Cooldown: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := sys.Config().With(space, config.CapacityLevel, 1)
+	for i := 0; i < 8 && sys.Ordinal() < 2; i++ {
+		if err := sys.Apply(ctx, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Measure(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Ordinal() < 2 {
+		t.Fatalf("re-applied unchanged CapacityLevel cancelled the fast-path scale (holds=%d)", sys.Holds())
+	}
+}
+
+func TestDriverOverridePreservesAccounting(t *testing.T) {
+	sys, err := Wrap(newSim(t, nil, 200), Options{Initial: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Measure(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := sys.TotalCost()
+	if cost == 0 {
+		t.Fatal("no capacity cost accrued")
+	}
+	if err := sys.SetAppLevel(vmenv.Level1); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalCost() != cost {
+		t.Fatalf("driver override reset the capacity bill: %d -> %d", cost, sys.TotalCost())
+	}
+}
+
+func TestSnapshotRoundTripsAccounting(t *testing.T) {
+	sys, err := Wrap(newSim(t, nil, 200), Options{Initial: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Measure(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := sys.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Wrap(newSim(t, nil, 200), Options{Initial: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Ordinal() != sys.Ordinal() {
+		t.Fatalf("restored ordinal %d, want %d", restored.Ordinal(), sys.Ordinal())
+	}
+	if restored.TotalCost() != sys.TotalCost() || restored.ScaleUps() != sys.ScaleUps() ||
+		restored.ScaleDowns() != sys.ScaleDowns() || restored.Holds() != sys.Holds() {
+		t.Fatalf("restored accounting cost=%d ups=%d downs=%d holds=%d, want cost=%d ups=%d downs=%d holds=%d",
+			restored.TotalCost(), restored.ScaleUps(), restored.ScaleDowns(), restored.Holds(),
+			sys.TotalCost(), sys.ScaleUps(), sys.ScaleDowns(), sys.Holds())
+	}
+}
+
 func TestDriverSetAppLevelOverridesScaler(t *testing.T) {
 	sys, err := Wrap(newSim(t, nil, 200), Options{Initial: 1, ProvisionDelay: 3})
 	if err != nil {

@@ -139,6 +139,27 @@ func (e *Elastic) Request(ordinal int) error {
 	return nil
 }
 
+// Snap forces the given ordinal into effect immediately, clearing any
+// pending request. The cumulative cost and scale counters are preserved — a
+// driver override or fault-injected reallocation is not a billing reset.
+func (e *Elastic) Snap(ordinal int) error {
+	if _, err := ByOrdinal(ordinal); err != nil {
+		return err
+	}
+	e.current = ordinal
+	e.pending = 0
+	e.wait = 0
+	return nil
+}
+
+// RestoreAccounting overwrites the cumulative cost and scale counters with
+// checkpointed values. Checkpoint restore only.
+func (e *Elastic) RestoreAccounting(totalCost, scaleUps, scaleDowns int) {
+	e.totalCost = totalCost
+	e.scaleUps = scaleUps
+	e.scaleDowns = scaleDowns
+}
+
 // Tick advances one measurement interval: a matured pending request takes
 // effect first, then the interval's capacity cost accrues at the level now
 // in force — the interval starting at this tick runs, and is billed, at the
