@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make check` runs must pass before a PR lands.
 GO ?= go
 
-.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke faults-smoke fleet-smoke loadgen-smoke workload-smoke admission-smoke capacity-smoke
+.PHONY: check fmt vet vet-faults build test race bench bench-telemetry bench-load bench-train bench-train-smoke bench-fleet bench-fleet-smoke faults-smoke fleet-smoke fleet-scale-smoke loadgen-smoke workload-smoke admission-smoke capacity-smoke
 
-check: fmt vet vet-faults build race fleet-smoke loadgen-smoke workload-smoke bench-train-smoke admission-smoke capacity-smoke
+check: fmt vet vet-faults build race fleet-smoke fleet-scale-smoke loadgen-smoke workload-smoke bench-train-smoke bench-fleet-smoke admission-smoke capacity-smoke
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:
@@ -121,3 +121,32 @@ capacity-smoke:
 # the checkpoint/restore path only fails visibly across a process restart.
 fleet-smoke:
 	$(GO) run ./cmd/racd -selfcheck
+
+# Production-scale smoke of the sharded control plane: 2000 analytic tenants
+# bulk-admitted through the versioned admin API, paginated back out, stepped
+# for several rounds. The selfcheck fails on unbounded memory per tenant or
+# round latency that grows as state accumulates — the two ways a fleet-wide
+# bottleneck shows up first.
+fleet-scale-smoke:
+	$(GO) run ./cmd/racd -selfcheck -tenants 2000
+
+# The fleet-scale acceptance benchmark: rounds/sec and bytes/tenant at 100,
+# 1k and 10k tenants, pinned in the committed BENCH_fleet.json. bytes/tenant
+# must fall with fleet size (shared Q-structure amortizes); regenerate after
+# intentional changes. Same two-step form as `make bench`.
+bench-fleet:
+	@$(GO) test -run xxx -bench FleetScale -benchtime 3x ./internal/fleet/ > BENCH_fleet.txt || \
+		{ cat BENCH_fleet.txt; rm -f BENCH_fleet.txt; exit 1; }
+	@cat BENCH_fleet.txt
+	$(GO) run ./cmd/benchjson BENCH_fleet.txt -o BENCH_fleet.json
+	@echo "wrote BENCH_fleet.json"
+
+# Regression gate on control-plane round throughput: the 100-tenant scale
+# benchmark must stay within 3x of the committed BENCH_fleet.json baseline
+# (generous ratio — one-iteration runs are noisy; the 10k sizes run only in
+# the full bench-fleet).
+bench-fleet-smoke:
+	@$(GO) test -run xxx -bench 'FleetScale(100|1000)$$' -benchtime 1x ./internal/fleet/ > BENCH_fleet_smoke.txt || \
+		{ cat BENCH_fleet_smoke.txt; rm -f BENCH_fleet_smoke.txt; exit 1; }
+	@$(GO) run ./cmd/benchjson BENCH_fleet_smoke.txt -compare BENCH_fleet.json -maxratio 3 && \
+		rm -f BENCH_fleet_smoke.txt || { rm -f BENCH_fleet_smoke.txt; exit 1; }

@@ -33,6 +33,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units ("bytes/tenant",
+	// "rounds/sec", …) keyed by unit string. Informational: recorded in the
+	// JSON but not gated by Compare, which checks ns/op only.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -185,8 +189,8 @@ func Parse(r io.Reader) ([]Result, error) {
 }
 
 // parseLine parses one "Benchmark<Name>[-P] N <value> <unit> ..." line. The
-// tail is value/unit pairs; unknown units are skipped so custom ReportMetric
-// outputs do not break parsing.
+// tail is value/unit pairs; units beyond the standard three are collected
+// into Extra so custom ReportMetric outputs land in the JSON record.
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -203,13 +207,18 @@ func parseLine(line string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			res.NsPerOp, seen = v, true
 		case "B/op":
 			res.BytesPerOp = v
 		case "allocs/op":
 			res.AllocsPerOp = v
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
 		}
 	}
 	return res, seen

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -53,6 +54,13 @@ type fleetConfig struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Procs bounds the workers stepping tenants per round (0 = all CPUs).
 	Procs int `json:"procs,omitempty"`
+	// Shards is how many scheduling shards tenants hash onto (0 = fleet
+	// default). Results are byte-identical at any shard count.
+	Shards int `json:"shards,omitempty"`
+	// TenantMetricsLimit caps per-tenant metric cardinality: tenants admitted
+	// past it share per-shard step-latency histograms (0 = fleet default,
+	// negative = all tenants aggregate per shard).
+	TenantMetricsLimit int `json:"tenantMetricsLimit,omitempty"`
 	// SLASeconds is the default SLA for tenants that do not set their own.
 	SLASeconds float64 `json:"slaSeconds,omitempty"`
 	// CheckpointDir holds per-tenant state snapshots; empty disables them.
@@ -101,11 +109,16 @@ func run(args []string, out io.Writer) error {
 		traceCap  = fs.Int("trace", 512, "decision/lifecycle trace ring capacity")
 		scenario  = fs.String("scenario", "", "default workload scenario (library name or JSON file) for tenants whose spec does not set one")
 		selfcheck = fs.Bool("selfcheck", false, "run the built-in checkpoint/restart smoke and exit")
+		tenants   = fs.Int("tenants", 0, "with -selfcheck: run the fleet-scale smoke over this many analytic tenants instead")
+		shards    = fs.Int("shards", 0, "scheduling shard count (0 = fleet default); with -selfcheck -tenants, the scale smoke's shard count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *selfcheck {
+		if *tenants > 0 {
+			return runScaleSelfcheck(out, *tenants, *shards)
+		}
 		return runSelfcheck(out)
 	}
 	if *cfgPath == "" {
@@ -117,6 +130,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *listen != "" {
 		cfg.Listen = *listen
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
 	}
 	if *scenario != "" {
 		if _, err := rac.ResolveWorkloadScenario(*scenario); err != nil {
@@ -168,17 +184,19 @@ type daemon struct {
 func newDaemon(cfg fleetConfig, traceCap int) (*daemon, error) {
 	d := &daemon{cfg: cfg, tel: rac.NewTelemetry(), trace: rac.NewTrace(traceCap)}
 	f, err := rac.NewFleet(rac.FleetOptions{
-		Seed:            cfg.Seed,
-		Procs:           cfg.Procs,
-		SLASeconds:      cfg.SLASeconds,
-		CheckpointDir:   cfg.CheckpointDir,
-		CheckpointEvery: cfg.CheckpointEvery,
-		CheckpointKeep:  cfg.CheckpointKeep,
-		RegistryDir:     cfg.RegistryDir,
-		StepLog:         cfg.StepLog,
-		Telemetry:       d.tel,
-		Trace:           d.trace,
-		NewSystem:       d.buildLive,
+		Seed:               cfg.Seed,
+		Procs:              cfg.Procs,
+		Shards:             cfg.Shards,
+		TenantMetricsLimit: cfg.TenantMetricsLimit,
+		SLASeconds:         cfg.SLASeconds,
+		CheckpointDir:      cfg.CheckpointDir,
+		CheckpointEvery:    cfg.CheckpointEvery,
+		CheckpointKeep:     cfg.CheckpointKeep,
+		RegistryDir:        cfg.RegistryDir,
+		StepLog:            cfg.StepLog,
+		Telemetry:          d.tel,
+		Trace:              d.trace,
+		NewSystem:          d.buildLive,
 	})
 	if err != nil {
 		return nil, err
@@ -267,6 +285,7 @@ func (d *daemon) admitAll(out io.Writer) error {
 func (d *daemon) serve(addr string) (string, error) {
 	mux := http.NewServeMux()
 	fh := d.fleet.Handler()
+	mux.Handle("/admin/v1/", fh)
 	mux.Handle("/admin/fleet", fh)
 	mux.Handle("/admin/fleet/", fh)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -463,6 +482,150 @@ func runSelfcheck(out io.Writer) error {
 		return fmt.Errorf("selfcheck: scenario tenant resumed at interval %d, want ≥ 8", st.Interval)
 	}
 	fmt.Fprintln(out, "fleet selfcheck ok: 3 tenants checkpointed, restarted and warm-restored")
+	return nil
+}
+
+// runScaleSelfcheck is the fleet-scale smoke behind `make fleet-scale-smoke`:
+// boot a fleet, bulk-admit many analytic tenants through the versioned admin
+// API, page through the tenant listing, run scheduling rounds, and verify the
+// two production-scale properties — bounded memory per tenant and flat
+// round latency (no fleet-wide lock convoy as rounds accumulate state).
+func runScaleSelfcheck(out io.Writer, tenants, shards int) error {
+	tel := rac.NewTelemetry()
+	f, err := rac.NewFleet(rac.FleetOptions{Seed: 7, Shards: shards, Telemetry: tel})
+	if err != nil {
+		return err
+	}
+	defer f.Shutdown() //nolint:errcheck — smoke teardown
+
+	mux := http.NewServeMux()
+	fh := f.Handler()
+	mux.Handle("/admin/v1/", fh)
+	mux.Handle("/admin/fleet", fh)
+	mux.Handle("/admin/fleet/", fh)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck — returns ErrServerClosed on Shutdown
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// Bulk admission through POST /admin/v1/tenants, in batches.
+	const batchSize = 500
+	admitted := 0
+	for admitted < tenants {
+		n := batchSize
+		if tenants-admitted < n {
+			n = tenants - admitted
+		}
+		batch := make([]rac.TenantSpec, n)
+		for i := range batch {
+			id := admitted + i
+			batch[i] = rac.TenantSpec{
+				Name:    fmt.Sprintf("scale-%05d", id),
+				Backend: "analytic",
+				Context: fmt.Sprintf("context-%d", id%6+1),
+			}
+		}
+		body, err := json.Marshal(batch)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/admin/v1/tenants", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("scale selfcheck: bulk admit returned %d, want 201", resp.StatusCode)
+		}
+		admitted += n
+	}
+
+	// The paginated listing must walk the whole fleet exactly once.
+	seen := 0
+	for offset := 0; ; {
+		var page rac.TenantPage
+		if err := getJSON(fmt.Sprintf("%s/admin/v1/tenants?offset=%d&limit=1000", base, offset), &page); err != nil {
+			return err
+		}
+		if page.Total != tenants {
+			return fmt.Errorf("scale selfcheck: page total %d, want %d", page.Total, tenants)
+		}
+		if len(page.Tenants) == 0 {
+			break
+		}
+		seen += len(page.Tenants)
+		offset += len(page.Tenants)
+	}
+	if seen != tenants {
+		return fmt.Errorf("scale selfcheck: pagination walked %d tenants, want %d", seen, tenants)
+	}
+
+	// Every tenant must be owned by exactly one shard.
+	var shardView []rac.ShardStatus
+	if err := getJSON(base+"/admin/v1/shards", &shardView); err != nil {
+		return err
+	}
+	owned := 0
+	for _, s := range shardView {
+		owned += s.Tenants
+	}
+	if owned != tenants {
+		return fmt.Errorf("scale selfcheck: shards own %d tenants, want %d", owned, tenants)
+	}
+
+	// The legacy route must still answer, flagged deprecated.
+	resp, err := http.Get(base + "/admin/fleet")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
+		return fmt.Errorf("scale selfcheck: legacy route status %d, Deprecation %q",
+			resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+
+	// Round latency must stay flat as per-tenant state accumulates: the late
+	// rounds may pay for grown Q-tables but not for any superlinear fleet-wide
+	// bottleneck.
+	const rounds = 6
+	durs := make([]float64, rounds)
+	for i := range durs {
+		start := time.Now()
+		if err := f.RunRound(); err != nil {
+			return fmt.Errorf("scale selfcheck: round %d: %w", i+1, err)
+		}
+		durs[i] = time.Since(start).Seconds()
+	}
+	firstAvg := (durs[0] + durs[1]) / 2
+	lastAvg := (durs[rounds-2] + durs[rounds-1]) / 2
+	if lastAvg > 4*firstAvg+0.25 {
+		return fmt.Errorf("scale selfcheck: round latency grew %.3fs -> %.3fs (first vs last two-round average)",
+			firstAvg, lastAvg)
+	}
+
+	// Memory per tenant must stay bounded — the shared Q-structure keeps the
+	// MDP arrays O(contexts), not O(tenants).
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	perTenant := ms.HeapAlloc / uint64(tenants)
+	const maxBytesPerTenant = 512 * 1024
+	if perTenant > maxBytesPerTenant {
+		return fmt.Errorf("scale selfcheck: %d bytes of heap per tenant, want ≤ %d", perTenant, maxBytesPerTenant)
+	}
+
+	fmt.Fprintf(out, "fleet scale selfcheck ok: %d tenants on %d shards, %d KiB/tenant, rounds %.3fs -> %.3fs\n",
+		tenants, len(shardView), perTenant/1024, firstAvg, lastAvg)
 	return nil
 }
 

@@ -95,6 +95,11 @@ type Agent struct {
 	violations int
 	iteration  int
 
+	// region caches the retraining region's skeleton between intervals; it is
+	// invalidated when a new state is measured or the policy switches (the
+	// shape depends only on the sample-key set).
+	region *regionShape
+
 	// Resilience state: the last configuration that satisfied the SLA, the
 	// last believable response time (carried into degraded intervals), and
 	// how many consecutive intervals violated the SLA or yielded no data.
@@ -248,11 +253,15 @@ func NewAgent(sys system.System, opts AgentOptions) (*Agent, error) {
 	return a, nil
 }
 
-// resetQ rebuilds the online Q-table, seeded by the active policy.
+// resetQ rebuilds the online Q-table, seeded by the active policy through its
+// shared copy-on-write row store: unvisited states read the policy's memoized
+// seeded rows (one copy per context, shared by every agent on the policy) and
+// the table holds only this agent's learned deltas.
 func (a *Agent) resetQ() {
 	a.q = mdp.NewQTable(len(a.actions), 0)
+	a.region = nil
 	if a.policy != nil {
-		a.q.SetSeeder(a.policy.Seeder())
+		a.q.SetShared(a.policy.SharedRows())
 	}
 	learner, err := mdp.NewLearner(a.q, a.opts.Online, a.rng.Split())
 	if err != nil {
@@ -641,12 +650,14 @@ func (a *Agent) learn(key string, rt float64, stepEv telemetry.Event) error {
 	return nil
 }
 
-// record folds a measurement into the per-state sample table.
+// record folds a measurement into the per-state sample table. A first visit
+// to a state grows the retraining region, so the cached shape is dropped.
 func (a *Agent) record(key string, rt float64) {
 	if old, ok := a.samples[key]; ok {
 		a.samples[key] = 0.5*old + 0.5*rt
 	} else {
 		a.samples[key] = rt
+		a.region = nil
 	}
 }
 
@@ -657,7 +668,15 @@ func (a *Agent) retrain() (mdp.BatchResult, error) {
 	if a.policy != nil {
 		predict = a.policy.PredictRT
 	}
-	model := newRegionModel(a.space, a.samples, predict, a.opts.SLASeconds)
+	if a.region == nil {
+		if a.policy != nil && a.policy.Space() == a.space {
+			a.region = a.policy.regionShapeFor(a.samples)
+		} else {
+			keys, cfgs := validSampleKeys(a.space, a.samples)
+			a.region = newRegionShape(a.space, keys, cfgs)
+		}
+	}
+	model := a.region.model(a.samples, predict, a.opts.SLASeconds)
 	cfg := mdp.BatchConfig{
 		Params:        a.opts.Batch,
 		StepsPerState: a.opts.BatchStepsPerState,

@@ -260,6 +260,7 @@ func LearnPolicyStream(name string, space *config.Space, sample StreamSampler, o
 		quad:       quad,
 		sla:        sla,
 		floorRT:    floor,
+		intern:     &policyIntern{},
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/mdp"
@@ -155,6 +156,22 @@ type Policy struct {
 	sla        float64
 	// floorRT guards against regression extrapolation below zero.
 	floorRT float64
+
+	// intern holds the structure memoized across every agent warm-started
+	// from this policy. It lives behind a pointer so a Policy value can be
+	// copied (renamed store entries do this) without copying locks; copies
+	// share the memo, which is correct — they share q and lat too.
+	intern *policyIntern
+}
+
+// policyIntern is the per-policy shared-structure memo: the copy-on-write
+// seeded row store (built on first SharedRows call) and interned retraining
+// region skeletons keyed by sample-key set (see regionShapeFor).
+type policyIntern struct {
+	sharedOnce sync.Once
+	shared     *mdp.SharedRows
+	shapeMu    sync.Mutex
+	shapes     map[string]*regionShape
 }
 
 // Name returns the policy's label (usually the context it was trained for).
@@ -238,6 +255,17 @@ func (p *Policy) Seeder() mdp.Seeder {
 		}
 		return row
 	}
+}
+
+// SharedRows returns the policy's copy-on-write row store: seeded Q rows
+// computed once (from Seeder) and served read-only to every agent table that
+// installs it. Agents sharing a context thereby share the seeded structure —
+// memory O(contexts) — while their own updates stay in private delta rows.
+func (p *Policy) SharedRows() *mdp.SharedRows {
+	p.intern.sharedOnce.Do(func() {
+		p.intern.shared = mdp.NewSharedRows(2*p.space.Len()+1, p.Seeder())
+	})
+	return p.intern.shared
 }
 
 // Recommend returns the configuration the offline policy considers best: the

@@ -2,110 +2,158 @@ package core
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/mdp"
 )
 
-// regionModel is the bounded configuration MDP the agent retrains over each
-// interval: every state it has measured plus the one-action frontier around
-// them. Rewards come from measurements where available and from the current
-// policy's regression predictor elsewhere, which is how fresh observations
-// propagate to neighbouring states during batch training (paper §4.2).
-//
-// The full Table 1 lattice has ~1.9·10⁸ states, so sweeping all of it — as a
-// literal reading of Algorithm 1 would — is infeasible for either the paper's
-// testbed or this reproduction; the bounded region keeps retraining O(visited
-// states) while the Seeder generalizes the offline policy everywhere else.
-//
-// States are densely indexed in discovery order and the per-action transition
-// table is resolved once at construction, so the model implements
-// mdp.IndexedModel: the retraining sweeps run on the dense fast path instead
-// of rebuilding configuration key strings per step.
-type regionModel struct {
+// regionShape is the immutable skeleton of the bounded configuration MDP the
+// agent retrains over: every state it has measured plus the one-action
+// frontier around them, densely indexed in discovery order, with the
+// per-action transition table resolved once at construction. The shape
+// depends only on the set of measured state keys — not on the measured
+// values — so it is rebuilt only when a new state is visited, reused across
+// the retraining calls in between, and interned per policy so tenants tuning
+// the same context share one copy (their early trajectories visit the same
+// states).
+type regionShape struct {
 	space   *config.Space
 	actions []config.Action
 	states  []string
-	index   map[string]int // state key -> dense index
-	rewards []float64      // by dense index
+	cfgs    []config.Config // parsed configuration per dense index
+	index   map[string]int  // state key -> dense index
 	// next[s*len(actions)+a] is the dense successor index, or -1 when the
 	// action is infeasible or leaves the region.
 	next []int32
+
+	structOnce sync.Once
+	structure  *mdp.Structure
+	structErr  error
 }
 
-var _ mdp.IndexedModel = (*regionModel)(nil)
-
-// newRegionModel builds the region from the measured samples. predict may be
-// nil, in which case frontier states fall back to the SLA-neutral reward 0.
-func newRegionModel(space *config.Space, samples map[string]float64,
-	predict func(config.Config) float64, sla float64) *regionModel {
-
-	actions := config.Actions(space)
-	m := &regionModel{
-		space:   space,
-		actions: actions,
-		index:   make(map[string]int, len(samples)*len(actions)),
-	}
-	var cfgs []config.Config
-	add := func(key string, cfg config.Config) {
-		if _, ok := m.index[key]; ok {
-			return
-		}
-		m.index[key] = len(m.states)
-		m.states = append(m.states, key)
-		cfgs = append(cfgs, cfg)
-	}
-	// Iterate samples in sorted order: the sweep order drives the learner's
-	// RNG stream, and experiments must be reproducible from their seeds.
+// validSampleKeys returns the sample keys that parse and validate against the
+// space, sorted, with their parsed configurations. The sorted order drives
+// the learner's RNG stream, so experiments stay reproducible from their
+// seeds.
+func validSampleKeys(space *config.Space, samples map[string]float64) ([]string, []config.Config) {
 	keys := make([]string, 0, len(samples))
 	for key := range samples {
 		keys = append(keys, key)
 	}
 	sort.Strings(keys)
+	valid := keys[:0]
+	cfgs := make([]config.Config, 0, len(keys))
 	for _, key := range keys {
 		cfg, err := config.ParseKey(key)
 		if err != nil || space.Validate(cfg) != nil {
 			continue
 		}
-		add(key, cfg)
-		for _, a := range m.actions {
-			next, ok := a.Apply(space, cfg)
+		valid = append(valid, key)
+		cfgs = append(cfgs, cfg)
+	}
+	return valid, cfgs
+}
+
+// newRegionShape builds the region skeleton from the valid sample keys (as
+// returned by validSampleKeys: sorted, parsed, validated).
+func newRegionShape(space *config.Space, keys []string, cfgs []config.Config) *regionShape {
+	actions := config.Actions(space)
+	sh := &regionShape{
+		space:   space,
+		actions: actions,
+		index:   make(map[string]int, len(keys)*len(actions)),
+	}
+	add := func(key string, cfg config.Config) {
+		if _, ok := sh.index[key]; ok {
+			return
+		}
+		sh.index[key] = len(sh.states)
+		sh.states = append(sh.states, key)
+		sh.cfgs = append(sh.cfgs, cfg)
+	}
+	for i, key := range keys {
+		add(key, cfgs[i])
+		for _, a := range actions {
+			next, ok := a.Apply(space, cfgs[i])
 			if !ok {
 				continue
 			}
 			add(next.Key(), next)
 		}
 	}
-	m.rewards = make([]float64, len(m.states))
-	m.next = make([]int32, len(m.states)*len(actions))
-	for s, key := range m.states {
-		cfg := cfgs[s]
-		if rt, ok := samples[key]; ok {
-			m.rewards[s] = sla - rt
-		} else if predict != nil {
-			m.rewards[s] = sla - predict(cfg)
-		}
+	sh.next = make([]int32, len(sh.states)*len(actions))
+	for s := range sh.states {
+		cfg := sh.cfgs[s]
 		base := s * len(actions)
-		for ai, a := range m.actions {
-			m.next[base+ai] = -1
+		for ai, a := range actions {
+			sh.next[base+ai] = -1
 			next, ok := a.Apply(space, cfg)
 			if !ok {
 				continue
 			}
-			if t, in := m.index[next.Key()]; in {
-				m.next[base+ai] = int32(t)
+			if t, in := sh.index[next.Key()]; in {
+				sh.next[base+ai] = int32(t)
 			}
+		}
+	}
+	return sh
+}
+
+// model binds per-interval rewards to the shape: measurements where
+// available, the policy's regression predictor elsewhere — which is how fresh
+// observations propagate to neighbouring states during batch training (paper
+// §4.2). predict may be nil, in which case frontier states fall back to the
+// SLA-neutral reward 0.
+func (sh *regionShape) model(samples map[string]float64,
+	predict func(config.Config) float64, sla float64) *regionModel {
+
+	m := &regionModel{shape: sh, rewards: make([]float64, len(sh.states))}
+	for s, key := range sh.states {
+		if rt, ok := samples[key]; ok {
+			m.rewards[s] = sla - rt
+		} else if predict != nil {
+			m.rewards[s] = sla - predict(sh.cfgs[s])
 		}
 	}
 	return m
 }
 
-func (m *regionModel) States() []string { return m.states }
+// regionModel is the bounded configuration MDP the agent retrains over each
+// interval: a shared immutable shape plus this interval's rewards.
+//
+// The full Table 1 lattice has ~1.9·10⁸ states, so sweeping all of it — as a
+// literal reading of Algorithm 1 would — is infeasible for either the paper's
+// testbed or this reproduction; the bounded region keeps retraining O(visited
+// states) while the Seeder generalizes the offline policy everywhere else.
+//
+// The model implements mdp.Structured: the retraining sweeps run on the dense
+// fast path, and the transition/feasibility arrays are built once per shape
+// (cached under structOnce) rather than once per retraining call.
+type regionModel struct {
+	shape   *regionShape
+	rewards []float64 // by dense index
+}
 
-func (m *regionModel) Actions() int { return len(m.actions) }
+var _ mdp.Structured = (*regionModel)(nil)
+
+// newRegionModel builds the region from the measured samples without shape
+// reuse — the single-shot construction used by tests and by agents without a
+// cached shape.
+func newRegionModel(space *config.Space, samples map[string]float64,
+	predict func(config.Config) float64, sla float64) *regionModel {
+
+	keys, cfgs := validSampleKeys(space, samples)
+	return newRegionShape(space, keys, cfgs).model(samples, predict, sla)
+}
+
+func (m *regionModel) States() []string { return m.shape.states }
+
+func (m *regionModel) Actions() int { return len(m.shape.actions) }
 
 func (m *regionModel) Reward(state string) float64 {
-	s, ok := m.index[state]
+	s, ok := m.shape.index[state]
 	if !ok {
 		return 0
 	}
@@ -113,17 +161,64 @@ func (m *regionModel) Reward(state string) float64 {
 }
 
 func (m *regionModel) Next(state string, action int) (string, bool) {
-	s, ok := m.index[state]
-	if !ok || action < 0 || action >= len(m.actions) {
+	sh := m.shape
+	s, ok := sh.index[state]
+	if !ok || action < 0 || action >= len(sh.actions) {
 		return state, false
 	}
-	t := m.next[s*len(m.actions)+action]
+	t := sh.next[s*len(sh.actions)+action]
 	if t < 0 {
 		return state, false
 	}
-	return m.states[t], true
+	return sh.states[t], true
 }
 
-func (m *regionModel) NextIndex(s, action int) int { return int(m.next[s*len(m.actions)+action]) }
+func (m *regionModel) NextIndex(s, action int) int {
+	return int(m.shape.next[s*len(m.shape.actions)+action])
+}
 
 func (m *regionModel) RewardIndex(s int) float64 { return m.rewards[s] }
+
+// Structure exposes the shape's dense transition arrays to mdp.BatchTrain,
+// built once per shape and shared by every model (and agent) using it.
+func (m *regionModel) Structure() (*mdp.Structure, error) {
+	sh := m.shape
+	sh.structOnce.Do(func() {
+		sh.structure, sh.structErr = mdp.NewStructure(m)
+	})
+	return sh.structure, sh.structErr
+}
+
+// regionShapeCacheCap bounds the per-policy shape intern cache. Tenants of a
+// context share shapes while their trajectories coincide (always true on the
+// first intervals after a warm start); once histories diverge past the cap,
+// shapes are built per agent without being published.
+const regionShapeCacheCap = 64
+
+// regionShapeFor returns the canonical shape for the sample-key set, interned
+// on the policy so agents sharing the context share the skeleton (and its
+// cached mdp.Structure). Safe for concurrent use.
+func (p *Policy) regionShapeFor(samples map[string]float64) *regionShape {
+	keys, cfgs := validSampleKeys(p.space, samples)
+	ck := strings.Join(keys, "|")
+	in := p.intern
+	in.shapeMu.Lock()
+	if sh, ok := in.shapes[ck]; ok {
+		in.shapeMu.Unlock()
+		return sh
+	}
+	in.shapeMu.Unlock()
+	sh := newRegionShape(p.space, keys, cfgs)
+	in.shapeMu.Lock()
+	defer in.shapeMu.Unlock()
+	if cur, ok := in.shapes[ck]; ok {
+		return cur
+	}
+	if in.shapes == nil {
+		in.shapes = make(map[string]*regionShape)
+	}
+	if len(in.shapes) < regionShapeCacheCap {
+		in.shapes[ck] = sh
+	}
+	return sh
+}

@@ -161,7 +161,7 @@ func (a *Agent) RestoreState(st *AgentState) error {
 			q.Actions(), len(a.actions))
 	}
 	if policy != nil {
-		q.SetSeeder(policy.Seeder())
+		q.SetShared(policy.SharedRows())
 	}
 	learner, err := mdp.NewLearner(q, a.learner.Params(), sim.RestoreRNG(st.LearnerRNG))
 	if err != nil {
@@ -171,6 +171,7 @@ func (a *Agent) RestoreState(st *AgentState) error {
 	a.policy = policy
 	a.q = q
 	a.learner = learner
+	a.region = nil
 	a.rng = sim.RestoreRNG(st.AgentRNG)
 	a.iteration = st.Iteration
 	a.cur = cur.Clone()

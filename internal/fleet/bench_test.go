@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchFleetScale measures the control plane at production tenant counts:
+// rounds/sec over a warm fleet, and resident bytes per tenant right after
+// admission. Every tenant warm-starts from one of six trained context
+// policies, so the per-tenant marginal cost is the COW delta state — the
+// bytes/tenant figure must fall as the fleet grows (shared structure
+// amortizes), which BENCH_fleet.json records and the scale smoke asserts.
+func benchFleetScale(b *testing.B, tenants int) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	f, err := New(Options{
+		Seed:        7,
+		Shards:      8,
+		RegistryDir: b.TempDir(),
+		TrainInit:   fastTrain(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < tenants; i++ {
+		sp := TenantSpec{
+			Name:    fmt.Sprintf("bench-%05d", i),
+			Backend: "analytic",
+			Context: fmt.Sprintf("context-%d", i%6+1),
+		}
+		if i < 6 {
+			sp.TrainPolicy = true
+		}
+		if _, err := f.Admit(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	bytesPerTenant := 0.0
+	if after.HeapAlloc > before.HeapAlloc {
+		bytesPerTenant = float64(after.HeapAlloc-before.HeapAlloc) / float64(tenants)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "rounds/sec")
+	}
+	b.ReportMetric(bytesPerTenant, "bytes/tenant")
+}
+
+func BenchmarkFleetScale100(b *testing.B)   { benchFleetScale(b, 100) }
+func BenchmarkFleetScale1000(b *testing.B)  { benchFleetScale(b, 1000) }
+func BenchmarkFleetScale10000(b *testing.B) { benchFleetScale(b, 10000) }

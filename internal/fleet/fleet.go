@@ -1,9 +1,14 @@
 // Package fleet is the multi-tenant control plane: it runs many RAC agents —
-// one per managed web system — concurrently on the shared worker pool,
-// checkpoints their learned state to disk, and warm-starts new tenants from a
-// registry of context-matched policies. The scheduling is deterministic: each
-// tenant derives every random draw from its own pre-split seed and rounds are
-// barrier-synchronized, so a fleet run is byte-identical at any worker count.
+// one per managed web system — on the shared worker pool, checkpoints their
+// learned state to disk, and warm-starts new tenants from a registry of
+// context-matched policies (exact context first, nearest context as a
+// fallback). Tenants hash onto deterministic shards; each shard advances its
+// tenants sequentially in admission order while the shards run concurrently,
+// and cross-shard admin operations ride per-shard mailboxes instead of a
+// fleet-wide lock. The scheduling stays deterministic: each tenant derives
+// every random draw from its own pre-split seed and shared state only
+// changes at round barriers, so a fleet run is byte-identical at any worker
+// or shard count.
 package fleet
 
 import (
@@ -11,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"github.com/rac-project/rac/internal/capacity"
@@ -35,9 +41,20 @@ type Options struct {
 	// Seed is the fleet-wide base seed; each tenant folds its name into it,
 	// so per-tenant streams are stable under tenant addition and removal.
 	Seed uint64
-	// Procs bounds the workers stepping tenants in one round. Zero or
+	// Procs bounds the workers advancing shards in one round. Zero or
 	// negative uses every CPU; results are identical for every value.
 	Procs int
+	// Shards is how many scheduling shards tenants hash onto (default 8).
+	// Each shard steps its tenants sequentially; shards run concurrently.
+	// Results are byte-identical at any shard count.
+	Shards int
+	// TenantMetricsLimit caps per-tenant step-latency histogram cardinality:
+	// the first TenantMetricsLimit admitted tenants get their own
+	// rac_fleet_step_seconds series, later tenants fold into per-shard
+	// rac_fleet_shard_step_seconds aggregates so a 10k-tenant /metrics
+	// exposition stays bounded. Zero uses the default (512); negative sends
+	// every tenant to the shard aggregates.
+	TenantMetricsLimit int
 	// SLASeconds is the default SLA for tenants that do not set their own;
 	// zero uses the paper default (2 s).
 	SLASeconds float64
@@ -72,6 +89,54 @@ type Options struct {
 	Trace *telemetry.Trace
 	// NewSystem, when non-nil, is consulted first for every tenant backend.
 	NewSystem SystemBuilder
+}
+
+// defaultShards is the shard count when Options.Shards is zero.
+const defaultShards = 8
+
+// maxShards bounds Options.Shards; past this the per-shard bookkeeping
+// overhead dwarfs any parallelism win.
+const maxShards = 4096
+
+// defaultTenantMetricsLimit is the per-tenant histogram cardinality cap when
+// Options.TenantMetricsLimit is zero.
+const defaultTenantMetricsLimit = 512
+
+// Validate checks the Options fields, wrapping one sentinel per failure.
+func (o Options) Validate() error {
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: negative checkpoint cadence %d", ErrBadOptions, o.CheckpointEvery)
+	}
+	if o.CheckpointKeep < 0 {
+		return fmt.Errorf("%w: negative checkpoint retention %d", ErrBadOptions, o.CheckpointKeep)
+	}
+	if o.SLASeconds < 0 {
+		return fmt.Errorf("%w: negative SLA %v", ErrBadOptions, o.SLASeconds)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: %d", ErrBadShards, o.Shards)
+	}
+	if o.Shards > maxShards {
+		return fmt.Errorf("%w: %d exceeds the maximum %d", ErrBadShards, o.Shards, maxShards)
+	}
+	return nil
+}
+
+// withDefaults returns a copy of o with zero-valued fields resolved.
+func (o Options) withDefaults() Options {
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 5
+	}
+	if o.StepLog == 0 {
+		o.StepLog = 256
+	}
+	if o.Shards == 0 {
+		o.Shards = defaultShards
+	}
+	if o.TenantMetricsLimit == 0 {
+		o.TenantMetricsLimit = defaultTenantMetricsLimit
+	}
+	return o
 }
 
 // fleetInstruments are the control plane's registry metrics; nil when
@@ -113,14 +178,24 @@ type Fleet struct {
 	registry *PolicyRegistry  // nil without RegistryDir
 	policies *core.PolicyStore
 
-	// runMu serializes scheduling rounds with admin operations that touch
-	// agent internals (forced policy switches, manual checkpoints).
-	runMu sync.Mutex
+	// shards own the tenants; admin operations that touch agent internals
+	// (forced policy switches, manual checkpoints) ride the owning shard's
+	// mailbox instead of a fleet-wide lock.
+	shards []*shard
+
+	// roundMu serializes whole scheduling rounds (RunRound, Shutdown).
+	roundMu sync.Mutex
 
 	mu      sync.Mutex
 	tenants []*Tenant // admission order — the fleet's deterministic iteration order
 	byName  map[string]*Tenant
 	rounds  int
+
+	// pending holds policies discovered by in-round bookkeeping (capacity
+	// warm starts). They join the shared store only at the round barrier,
+	// sorted by name, so concurrent shards never observe a mid-round add.
+	pendingMu sync.Mutex
+	pending   []*core.Policy
 
 	tel   *fleetInstruments
 	trace *telemetry.Trace
@@ -134,21 +209,20 @@ type Fleet struct {
 
 // New builds an empty fleet.
 func New(opts Options) (*Fleet, error) {
-	if opts.CheckpointEvery < 0 {
-		return nil, fmt.Errorf("fleet: negative checkpoint cadence %d", opts.CheckpointEvery)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.CheckpointEvery == 0 {
-		opts.CheckpointEvery = 5
-	}
-	if opts.StepLog == 0 {
-		opts.StepLog = 256
-	}
+	opts = opts.withDefaults()
 	f := &Fleet{
 		opts:     opts,
 		space:    config.Default(),
 		policies: core.NewPolicyStore(),
 		byName:   make(map[string]*Tenant),
 		trace:    opts.Trace,
+		shards:   make([]*shard, opts.Shards),
+	}
+	for i := range f.shards {
+		f.shards[i] = &shard{id: i}
 	}
 	f.runCtx, f.stopRun = context.WithCancel(context.Background())
 	var err error
@@ -226,6 +300,35 @@ func (f *Fleet) Statuses() []TenantStatus {
 	return out
 }
 
+// ShardStatus is one scheduling shard's admin-API snapshot.
+type ShardStatus struct {
+	// ID is the shard index tenants hash onto.
+	ID int `json:"id"`
+	// Tenants is how many tenants the shard owns.
+	Tenants int `json:"tenants"`
+	// Running is how many of them are in StateRunning.
+	Running int `json:"running"`
+	// PendingOps is the mailbox depth: admin operations queued behind the
+	// shard's current work.
+	PendingOps int `json:"pending_ops"`
+}
+
+// ShardStatuses snapshots every scheduling shard in shard-index order.
+func (f *Fleet) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, len(f.shards))
+	for i, sh := range f.shards {
+		st := ShardStatus{ID: sh.id, PendingOps: sh.pendingOps()}
+		for _, t := range sh.snapshot() {
+			st.Tenants++
+			if t.State() == StateRunning {
+				st.Running++
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
 // Active counts tenants that can still make progress (not stopped or failed).
 func (f *Fleet) Active() int {
 	n := 0
@@ -246,14 +349,14 @@ func (f *Fleet) Active() int {
 // the checkpoint store holds a valid snapshot for this tenant name — restore
 // the agent and system state from it.
 func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	f.mu.Lock()
 	_, dup := f.byName[spec.Name]
 	f.mu.Unlock()
 	if dup {
-		return nil, fmt.Errorf("fleet: tenant %s already admitted", spec.Name)
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateTenant, spec.Name)
 	}
 
 	ctxName := spec.Context
@@ -336,6 +439,7 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, err)
 	}
 
+	sh := f.shards[shardOf(spec.Name, len(f.shards))]
 	t := &Tenant{
 		spec:        spec,
 		contextKey:  key,
@@ -344,6 +448,7 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		sys:         sys,
 		agent:       agent,
 		seq:         seq,
+		shard:       sh,
 		trace:       f.trace,
 		stepLogCap:  f.opts.StepLog,
 		warmStarted: pol != nil && warm,
@@ -353,9 +458,7 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 		t.capOrdinal = capSys.Ordinal()
 	}
 	if f.tel != nil {
-		t.stepSeconds = f.tel.reg.Histogram("rac_fleet_step_seconds",
-			"Wall-clock latency of one tenant step (apply + measure + retrain).",
-			stepBuckets, telemetry.Labels{"tenant": spec.Name})
+		t.stepSeconds = f.stepHistogram(sh, spec.Name)
 	}
 	if t.warmStarted && f.tel != nil {
 		f.tel.warmStarts.Inc()
@@ -380,14 +483,38 @@ func (f *Fleet) Admit(spec TenantSpec) (*Tenant, error) {
 	f.mu.Lock()
 	if _, dup := f.byName[spec.Name]; dup {
 		f.mu.Unlock()
-		return nil, fmt.Errorf("fleet: tenant %s already admitted", spec.Name)
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateTenant, spec.Name)
 	}
 	f.tenants = append(f.tenants, t)
 	f.byName[spec.Name] = t
 	f.mu.Unlock()
+	sh.add(t)
 
 	f.transition(t, StateRunning, "admitted")
 	return t, nil
+}
+
+// stepHistogram picks the step-latency histogram for the next admitted
+// tenant: its own labeled series while the fleet is under the cardinality
+// cap, the owning shard's aggregate series beyond it.
+func (f *Fleet) stepHistogram(sh *shard, name string) *telemetry.Histogram {
+	limit := f.opts.TenantMetricsLimit
+	f.mu.Lock()
+	admitted := len(f.tenants)
+	f.mu.Unlock()
+	if limit > 0 && admitted < limit {
+		return f.tel.reg.Histogram("rac_fleet_step_seconds",
+			"Wall-clock latency of one tenant step (apply + measure + retrain).",
+			stepBuckets, telemetry.Labels{"tenant": name})
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stepSeconds == nil {
+		sh.stepSeconds = f.tel.reg.Histogram("rac_fleet_shard_step_seconds",
+			"Wall-clock tenant step latency aggregated per shard (tenants past the per-tenant cardinality cap).",
+			stepBuckets, telemetry.Labels{"shard": fmt.Sprintf("%d", sh.id)})
+	}
+	return sh.stepSeconds
 }
 
 // buildSystem constructs the tenant's backend and wraps it in the capacity
@@ -473,8 +600,10 @@ func (f *Fleet) buildSystem(spec TenantSpec, ctx system.Context, seed uint64) (s
 }
 
 // contextPolicy resolves the tenant's initial policy against the shared
-// registry: adopt the stored policy for the context when one exists, or train
-// and publish one when the spec asks for it. The returned warm flag reports a
+// registry: adopt the stored policy for the context when one exists, train
+// and publish one when the spec asks for it, or fall back to the policy of
+// the nearest stored context (same workload mix preferred, then closest
+// resource level and client population). The returned warm flag reports a
 // true warm start — a policy that existed before this admission. Either way
 // the policy joins the in-memory store, so restored snapshots can re-bind it
 // by name and running agents can switch to it on context changes.
@@ -493,6 +622,25 @@ func (f *Fleet) contextPolicy(spec TenantSpec, ctx system.Context, key string) (
 		}
 		if err = f.registry.Put(key, pol); err != nil {
 			return nil, false, err
+		}
+	}
+	if pol == nil && !spec.NoWarmStart {
+		// Nearest-context fallback: an approximate Q-seed beats a cold table,
+		// and online learning corrects the residual error (the paper's policy
+		// reuse argument, extended across neighboring contexts).
+		near, nkey, nerr := f.registry.Nearest(ctx, key)
+		if nerr != nil {
+			return nil, false, nerr
+		}
+		if near != nil {
+			pol = near
+			warm = true
+			f.traceEvent(telemetry.Event{
+				Kind:   telemetry.KindPolicySwitch,
+				Tenant: spec.Name,
+				Policy: near.Name(),
+				Detail: fmt.Sprintf("nearest-context warm start: %s -> %s", key, nkey),
+			})
 		}
 	}
 	if pol == nil {
@@ -584,30 +732,22 @@ func (f *Fleet) restore(t *Tenant, ck *Checkpoint, path string) error {
 	return nil
 }
 
-// RunRound steps every running tenant once, concurrently on the worker pool,
-// then — after the barrier — writes due checkpoints and completes drains in
-// admission order. Step failures fail the tenant, not the round; only
-// checkpoint I/O errors are returned (joined).
+// RunRound runs one scheduling round: every shard advances its running
+// tenants sequentially in shard admission order, shards run concurrently on
+// the worker pool, and each shard handles its own post-step bookkeeping
+// (capacity warm starts, due checkpoints, drain completion). Policies
+// discovered by in-round bookkeeping join the shared store only here, at the
+// round barrier, in sorted name order. Step failures fail the tenant, not the
+// round; only bookkeeping errors (checkpoint I/O, warm-start lookups) are
+// returned, joined in shard order.
 func (f *Fleet) RunRound() error {
-	f.runMu.Lock()
-	defer f.runMu.Unlock()
+	f.roundMu.Lock()
+	defer f.roundMu.Unlock()
 
-	f.mu.Lock()
-	all := make([]*Tenant, len(f.tenants))
-	copy(all, f.tenants)
-	f.mu.Unlock()
-
-	var running []*Tenant
-	for _, t := range all {
-		if t.State() == StateRunning {
-			running = append(running, t)
-		}
-	}
-	// Barrier: one step per running tenant. Each step consumes only that
-	// tenant's streams, so dispatch order cannot leak into results.
+	shardErrs := make([][]error, len(f.shards))
 	_ = parallel.ForEach(parallel.Options{Procs: f.opts.Procs, Telemetry: f.opts.Telemetry},
-		len(running), func(i int) error {
-			running[i].step(f.runCtx)
+		len(f.shards), func(i int) error {
+			shardErrs[i] = f.shards[i].runRound(f)
 			return nil
 		})
 
@@ -617,35 +757,33 @@ func (f *Fleet) RunRound() error {
 	if f.tel != nil {
 		f.tel.rounds.Inc()
 	}
+	f.applyPendingPolicies()
 
-	// Post-barrier bookkeeping in admission order: deterministic checkpoint,
-	// warm-start and trace sequences at any Procs.
 	var errs []error
-	for _, t := range all {
-		switch t.State() {
-		case StateRunning:
-			if err := f.capacityWarmStart(t); err != nil {
-				errs = append(errs, err)
-			}
-			if f.ckpts != nil && t.checkpointDue(f.opts.CheckpointEvery) {
-				if err := f.checkpoint(t, "periodic"); err != nil {
-					errs = append(errs, err)
-				}
-			}
-		case StateDraining:
-			if f.ckpts != nil {
-				if err := f.checkpoint(t, "final"); err != nil {
-					errs = append(errs, err)
-				}
-			}
-			f.transition(t, StateStopped, "drained")
-		case StateFailed:
-			if t.failedNeedsGauge() {
-				f.updateGauges()
-			}
-		}
+	for _, se := range shardErrs {
+		errs = append(errs, se...)
 	}
 	return errors.Join(errs...)
+}
+
+// applyPendingPolicies moves the round's deferred policy discoveries into the
+// shared store at the barrier, sorted by name and deduplicated, so the store's
+// contents are a deterministic function of round count — never of shard
+// interleaving.
+func (f *Fleet) applyPendingPolicies() {
+	f.pendingMu.Lock()
+	pend := f.pending
+	f.pending = nil
+	f.pendingMu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i].Name() < pend[j].Name() })
+	for _, p := range pend {
+		if f.policies.ByName(p.Name()) == nil {
+			f.policies.Add(p)
+		}
+	}
 }
 
 // capacityWarmStart is the SQLR-style per-level policy memory: when a
@@ -663,7 +801,7 @@ func (f *Fleet) capacityWarmStart(t *Tenant) error {
 	old := t.capOrdinal
 	t.capOrdinal = c.Ordinal()
 	key := ContextKey(system.Context{Workload: t.ctx.Workload, Level: c.AppLevel()})
-	pol, err := f.lookupPolicy(key)
+	pol, err := f.lookupPolicyDeferred(key)
 	if err != nil {
 		return fmt.Errorf("fleet: tenant %s: warm start after scale: %w", t.spec.Name, err)
 	}
@@ -685,7 +823,9 @@ func (f *Fleet) capacityWarmStart(t *Tenant) error {
 
 // lookupPolicy resolves a context key against the in-memory store first,
 // then the shared registry, caching registry hits in the store. Returns
-// (nil, nil) when no policy exists for the key.
+// (nil, nil) when no policy exists for the key. Admin-path only: the store
+// add is immediate, which mid-round code must not do — see
+// lookupPolicyDeferred.
 func (f *Fleet) lookupPolicy(key string) (*core.Policy, error) {
 	if pol := f.policies.ByName(key); pol != nil {
 		return pol, nil
@@ -698,6 +838,27 @@ func (f *Fleet) lookupPolicy(key string) (*core.Policy, error) {
 		return nil, err
 	}
 	f.policies.Add(p)
+	return p, nil
+}
+
+// lookupPolicyDeferred is lookupPolicy for in-round shard bookkeeping: a
+// registry hit is returned to the caller immediately but joins the shared
+// store only at the round barrier (applyPendingPolicies), so concurrent
+// shards' in-flight store reads never observe a mid-round add.
+func (f *Fleet) lookupPolicyDeferred(key string) (*core.Policy, error) {
+	if pol := f.policies.ByName(key); pol != nil {
+		return pol, nil
+	}
+	if f.registry == nil {
+		return nil, nil
+	}
+	p, err := f.registry.Get(key)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	f.pendingMu.Lock()
+	f.pending = append(f.pending, p)
+	f.pendingMu.Unlock()
 	return p, nil
 }
 
@@ -729,8 +890,9 @@ func (f *Fleet) Run(rounds int) (int, error) {
 	return rounds, firstErr
 }
 
-// checkpoint snapshots one tenant to the store. Call with runMu held or from
-// the admission path (before the tenant is visible to rounds).
+// checkpoint snapshots one tenant to the store. Call with the tenant's shard
+// runMu held (shard bookkeeping, shard.do jobs) or from the admission path
+// (before the tenant is visible to rounds).
 func (f *Fleet) checkpoint(t *Tenant, reason string) error {
 	st, err := t.agent.ExportState()
 	if err != nil {
@@ -772,18 +934,19 @@ func (f *Fleet) checkpoint(t *Tenant, reason string) error {
 }
 
 // CheckpointNow snapshots the named tenant immediately, outside the periodic
-// cadence. It returns an error when checkpointing is disabled.
+// cadence. The snapshot rides the owning shard's mailbox, so it waits only
+// for that shard's current tenant step — never for the whole fleet round.
 func (f *Fleet) CheckpointNow(name string) error {
 	t := f.Tenant(name)
 	if t == nil {
-		return fmt.Errorf("fleet: unknown tenant %s", name)
+		return fmt.Errorf("%w: %s", ErrUnknownTenant, name)
 	}
 	if f.ckpts == nil {
-		return errors.New("fleet: checkpointing disabled")
+		return ErrCheckpointsDisabled
 	}
-	f.runMu.Lock()
-	defer f.runMu.Unlock()
-	return f.checkpoint(t, "manual")
+	return t.shard.do(func() error {
+		return f.checkpoint(t, "manual")
+	})
 }
 
 // Pause holds a running tenant: it keeps its state but is skipped by rounds.
@@ -806,7 +969,7 @@ func (f *Fleet) Drain(name string) error {
 func (f *Fleet) setState(name string, to State, detail string, from ...State) error {
 	t := f.Tenant(name)
 	if t == nil {
-		return fmt.Errorf("fleet: unknown tenant %s", name)
+		return fmt.Errorf("%w: %s", ErrUnknownTenant, name)
 	}
 	t.mu.Lock()
 	cur := t.state
@@ -819,7 +982,7 @@ func (f *Fleet) setState(name string, to State, detail string, from ...State) er
 	}
 	if !ok {
 		t.mu.Unlock()
-		return fmt.Errorf("fleet: tenant %s is %s, cannot move to %s", name, cur, to)
+		return fmt.Errorf("%w: tenant %s is %s, cannot move to %s", ErrBadTransition, name, cur, to)
 	}
 	t.state = to
 	t.mu.Unlock()
@@ -874,26 +1037,28 @@ func (f *Fleet) updateGauges() {
 // ForcePolicy installs the registry policy stored under key as the named
 // tenant's initial policy, immediately and regardless of the violation
 // counter — the admin override for operators who know the context changed.
+// The switch rides the owning shard's mailbox, so it lands between that
+// shard's tenant steps without waiting on the rest of the fleet.
 func (f *Fleet) ForcePolicy(name, key string) error {
 	t := f.Tenant(name)
 	if t == nil {
-		return fmt.Errorf("fleet: unknown tenant %s", name)
+		return fmt.Errorf("%w: %s", ErrUnknownTenant, name)
 	}
 	pol, err := f.lookupPolicy(key)
 	if err != nil {
 		return err
 	}
 	if pol == nil {
-		return fmt.Errorf("fleet: no policy for context %q", key)
+		return fmt.Errorf("%w: %q", ErrNoPolicy, key)
 	}
-	f.runMu.Lock()
-	defer f.runMu.Unlock()
-	switch t.State() {
-	case StateStopped, StateFailed:
-		return fmt.Errorf("fleet: tenant %s is %s", name, t.State())
-	}
-	t.agent.ForcePolicy(pol)
-	return nil
+	return t.shard.do(func() error {
+		switch t.State() {
+		case StateStopped, StateFailed:
+			return fmt.Errorf("%w: tenant %s is %s", ErrBadTransition, name, t.State())
+		}
+		t.agent.ForcePolicy(pol)
+		return nil
+	})
 }
 
 // Shutdown drains every active tenant: each gets a final checkpoint (when
@@ -904,20 +1069,28 @@ func (f *Fleet) Shutdown() error {
 	// aborts its measurement instead of holding the drain for the rest of
 	// the window.
 	f.stopRun()
-	f.runMu.Lock()
-	defer f.runMu.Unlock()
+	f.roundMu.Lock()
+	defer f.roundMu.Unlock()
 	var errs []error
 	for _, t := range f.Tenants() {
 		switch t.State() {
 		case StateStopped, StateFailed:
 			continue
 		}
-		if f.ckpts != nil {
-			if err := f.checkpoint(t, "shutdown"); err != nil {
-				errs = append(errs, err)
+		tt := t
+		err := tt.shard.do(func() error {
+			var ckErr error
+			if f.ckpts != nil {
+				ckErr = f.checkpoint(tt, "shutdown")
 			}
+			// Stop the tenant even when its final checkpoint failed: shutdown
+			// must converge, and the error still surfaces to the caller.
+			f.transition(tt, StateStopped, "fleet shutdown")
+			return ckErr
+		})
+		if err != nil {
+			errs = append(errs, err)
 		}
-		f.transition(t, StateStopped, "fleet shutdown")
 	}
 	return errors.Join(errs...)
 }

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
-	"strings"
+	"strconv"
 )
 
 // FleetView is the admin API's fleet-wide summary.
@@ -15,31 +15,99 @@ type FleetView struct {
 	Policies []string       `json:"policies,omitempty"`
 }
 
-// Handler returns the admin HTTP API, intended to be mounted at /admin/fleet
+// TenantPage is one page of the paginated tenant listing.
+type TenantPage struct {
+	// Tenants are the page's statuses, in fleet admission order.
+	Tenants []TenantStatus `json:"tenants"`
+	// Offset and Limit echo the effective pagination window.
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+	// Total is the fleet's tenant count at snapshot time.
+	Total int `json:"total"`
+}
+
+// AdmitResult is one entry of a bulk-admission response, in request order.
+type AdmitResult struct {
+	// Name echoes the spec's tenant name ("" when the spec had none).
+	Name string `json:"name"`
+	// Error and Code are set when this spec's admission failed; the other
+	// specs are unaffected.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// apiError is the admin API's structured error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// defaultPageLimit is the tenant listing page size when ?limit= is absent.
+const defaultPageLimit = 100
+
+// maxPageLimit bounds ?limit= so one request cannot serialize a 10k-tenant
+// fleet in a single page.
+const maxPageLimit = 1000
+
+// Handler returns the versioned admin HTTP API, intended to be mounted at /
 // next to the live server's /metrics and /admin/trace endpoints:
 //
-//	GET  /admin/fleet                     fleet summary with every tenant
-//	GET  /admin/fleet/{name}              one tenant's status
-//	POST /admin/fleet/{name}/pause        running → paused
-//	POST /admin/fleet/{name}/resume       paused → running
-//	POST /admin/fleet/{name}/drain        finish interval, checkpoint, stop
-//	POST /admin/fleet/{name}/checkpoint   snapshot immediately
-//	POST /admin/fleet/{name}/policy?key=K force-switch to the policy for
-//	                                      context key K
+//	GET  /admin/v1/fleet                       fleet summary with every tenant
+//	GET  /admin/v1/tenants?offset=&limit=      paginated tenant listing
+//	POST /admin/v1/tenants                     bulk admit (JSON array of TenantSpec)
+//	GET  /admin/v1/tenants/{name}              one tenant's status
+//	POST /admin/v1/tenants/{name}/pause        running → paused
+//	POST /admin/v1/tenants/{name}/resume       paused → running
+//	POST /admin/v1/tenants/{name}/drain        finish interval, checkpoint, stop
+//	POST /admin/v1/tenants/{name}/checkpoint   snapshot immediately
+//	POST /admin/v1/tenants/{name}/policy?key=K force-switch to the policy for
+//	                                           context key K
+//	GET  /admin/v1/shards                      per-shard scheduling status
+//
+// Errors are structured JSON bodies {"error": ..., "code": ...}; the code is
+// a stable machine-readable slug mapped from the fleet's error sentinels.
+//
+// The pre-versioning routes under /admin/fleet remain as thin aliases of the
+// v1 handlers. They answer identically but carry a "Deprecation: true" header
+// and a Link to their successor; new clients should use /admin/v1/.
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /admin/fleet", f.handleList)
-	mux.HandleFunc("GET /admin/fleet/{name}", f.handleStatus)
-	mux.HandleFunc("POST /admin/fleet/{name}/pause", f.lifecycleHandler(f.Pause))
-	mux.HandleFunc("POST /admin/fleet/{name}/resume", f.lifecycleHandler(f.Resume))
-	mux.HandleFunc("POST /admin/fleet/{name}/drain", f.lifecycleHandler(f.Drain))
-	mux.HandleFunc("POST /admin/fleet/{name}/checkpoint", f.lifecycleHandler(f.CheckpointNow))
-	mux.HandleFunc("POST /admin/fleet/{name}/policy", f.handlePolicy)
+
+	mux.HandleFunc("GET /admin/v1/fleet", f.handleFleet)
+	mux.HandleFunc("GET /admin/v1/tenants", f.handleTenantPage)
+	mux.HandleFunc("POST /admin/v1/tenants", f.handleBulkAdmit)
+	mux.HandleFunc("GET /admin/v1/tenants/{name}", f.handleStatus)
+	mux.HandleFunc("POST /admin/v1/tenants/{name}/pause", f.lifecycleHandler(f.Pause))
+	mux.HandleFunc("POST /admin/v1/tenants/{name}/resume", f.lifecycleHandler(f.Resume))
+	mux.HandleFunc("POST /admin/v1/tenants/{name}/drain", f.lifecycleHandler(f.Drain))
+	mux.HandleFunc("POST /admin/v1/tenants/{name}/checkpoint", f.lifecycleHandler(f.CheckpointNow))
+	mux.HandleFunc("POST /admin/v1/tenants/{name}/policy", f.handlePolicy)
+	mux.HandleFunc("GET /admin/v1/shards", f.handleShards)
+
+	// Legacy aliases. The tenant-scoped routes map 1:1; the old list route
+	// returns the full (unpaginated) summary it always did.
+	mux.HandleFunc("GET /admin/fleet", deprecated("/admin/v1/fleet", f.handleFleet))
+	mux.HandleFunc("GET /admin/fleet/{name}", deprecated("/admin/v1/tenants/{name}", f.handleStatus))
+	mux.HandleFunc("POST /admin/fleet/{name}/pause", deprecated("/admin/v1/tenants/{name}/pause", f.lifecycleHandler(f.Pause)))
+	mux.HandleFunc("POST /admin/fleet/{name}/resume", deprecated("/admin/v1/tenants/{name}/resume", f.lifecycleHandler(f.Resume)))
+	mux.HandleFunc("POST /admin/fleet/{name}/drain", deprecated("/admin/v1/tenants/{name}/drain", f.lifecycleHandler(f.Drain)))
+	mux.HandleFunc("POST /admin/fleet/{name}/checkpoint", deprecated("/admin/v1/tenants/{name}/checkpoint", f.lifecycleHandler(f.CheckpointNow)))
+	mux.HandleFunc("POST /admin/fleet/{name}/policy", deprecated("/admin/v1/tenants/{name}/policy", f.handlePolicy))
 	return mux
 }
 
-// handleList serves the fleet summary.
-func (f *Fleet) handleList(w http.ResponseWriter, r *http.Request) {
+// deprecated wraps a v1 handler as a legacy alias: identical behavior plus
+// the deprecation headers pointing clients at the successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		h(w, r)
+	}
+}
+
+// handleFleet serves the fleet summary.
+func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
 	view := FleetView{
 		Rounds:  f.Rounds(),
 		Active:  f.Active(),
@@ -51,23 +119,82 @@ func (f *Fleet) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, view)
 }
 
+// handleTenantPage serves one page of tenant statuses. ?offset= past the end
+// yields an empty page with the true total, so clients detect the end without
+// a sentinel.
+func (f *Fleet) handleTenantPage(w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil || offset < 0 {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", "invalid ?offset=: want a non-negative integer")
+		return
+	}
+	limit, err := queryInt(r, "limit", defaultPageLimit)
+	if err != nil || limit <= 0 {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", "invalid ?limit=: want a positive integer")
+		return
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	all := f.Tenants()
+	page := TenantPage{Offset: offset, Limit: limit, Total: len(all), Tenants: []TenantStatus{}}
+	for i := offset; i < len(all) && i < offset+limit; i++ {
+		page.Tenants = append(page.Tenants, all[i].Status())
+	}
+	writeJSON(w, page)
+}
+
+// handleBulkAdmit admits a JSON array of TenantSpec in order. Each spec
+// succeeds or fails independently; the response mirrors the request order.
+// 201 when every spec was admitted, 207 when some failed, 400 when the body
+// is not a spec array.
+func (f *Fleet) handleBulkAdmit(w http.ResponseWriter, r *http.Request) {
+	var specs []TenantSpec
+	if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", "invalid body: want a JSON array of tenant specs: "+err.Error())
+		return
+	}
+	results := make([]AdmitResult, len(specs))
+	failed := 0
+	for i, spec := range specs {
+		results[i].Name = spec.Name
+		if _, err := f.Admit(spec); err != nil {
+			_, code := errorStatus(err)
+			results[i].Error = err.Error()
+			results[i].Code = code
+			failed++
+		}
+	}
+	status := http.StatusCreated
+	if failed > 0 {
+		status = http.StatusMultiStatus
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(results)
+}
+
 // handleStatus serves one tenant's status.
 func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
 	t := f.Tenant(r.PathValue("name"))
 	if t == nil {
-		http.Error(w, "unknown tenant", http.StatusNotFound)
+		writeOpError(w, ErrUnknownTenant)
 		return
 	}
 	writeJSON(w, t.Status())
 }
 
+// handleShards serves the per-shard scheduling status.
+func (f *Fleet) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, f.ShardStatuses())
+}
+
 // lifecycleHandler adapts a by-name fleet operation to an HTTP endpoint.
-// Unknown tenants are 404, illegal FSM transitions 409, everything else 500.
 func (f *Fleet) lifecycleHandler(op func(name string) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if err := op(name); err != nil {
-			writeOpError(w, name, err)
+			writeOpError(w, err)
 			return
 		}
 		if t := f.Tenant(name); t != nil {
@@ -83,11 +210,11 @@ func (f *Fleet) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	key := r.URL.Query().Get("key")
 	if key == "" {
-		http.Error(w, "missing ?key= context key", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, "bad_request", "missing ?key= context key")
 		return
 	}
 	if err := f.ForcePolicy(name, key); err != nil {
-		writeOpError(w, name, err)
+		writeOpError(w, err)
 		return
 	}
 	if t := f.Tenant(name); t != nil {
@@ -97,20 +224,47 @@ func (f *Fleet) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// writeOpError maps fleet operation errors onto HTTP status codes.
-func writeOpError(w http.ResponseWriter, name string, err error) {
-	msg := err.Error()
+// errorStatus maps a fleet error onto its HTTP status and stable code slug
+// by sentinel identity (errors.Is), never by message matching.
+func errorStatus(err error) (int, string) {
 	switch {
-	case strings.Contains(msg, "unknown tenant"), strings.Contains(msg, "no policy for context"):
-		http.Error(w, msg, http.StatusNotFound)
-	case strings.Contains(msg, "cannot move to"), strings.Contains(msg, "is stopped"),
-		strings.Contains(msg, "is failed"):
-		http.Error(w, msg, http.StatusConflict)
-	case errors.Is(err, ErrCorruptCheckpoint):
-		http.Error(w, msg, http.StatusInternalServerError)
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound, "unknown_tenant"
+	case errors.Is(err, ErrNoPolicy):
+		return http.StatusNotFound, "no_policy"
+	case errors.Is(err, ErrBadTransition):
+		return http.StatusConflict, "bad_transition"
+	case errors.Is(err, ErrDuplicateTenant):
+		return http.StatusConflict, "duplicate_tenant"
+	case errors.Is(err, ErrCheckpointsDisabled):
+		return http.StatusConflict, "checkpoints_disabled"
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest, "bad_spec"
 	default:
-		http.Error(w, msg, http.StatusInternalServerError)
+		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// writeOpError serves a fleet operation error as a structured body.
+func writeOpError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	writeAPIError(w, status, code, err.Error())
+}
+
+// writeAPIError serves one structured error body.
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: msg, Code: code})
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
 }
 
 // writeJSON serves v with the standard headers.

@@ -6,11 +6,15 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"github.com/rac-project/rac/internal/config"
 	"github.com/rac-project/rac/internal/core"
+	"github.com/rac-project/rac/internal/system"
+	"github.com/rac-project/rac/internal/tpcw"
+	"github.com/rac-project/rac/internal/vmenv"
 )
 
 // PolicyRegistry is the fleet's shared, disk-backed catalogue of initial
@@ -110,6 +114,102 @@ func (r *PolicyRegistry) Put(key string, p *core.Policy) error {
 	}
 	r.cache[key] = p
 	return nil
+}
+
+// keyCoords are a registry key's context coordinates, recovered from the
+// ContextKey encoding "mix-clients@LevelName".
+type keyCoords struct {
+	mix     tpcw.Mix
+	clients int
+	ordinal int // vmenv capacity rank
+}
+
+// parseContextKey decomposes a ContextKey back into coordinates. Keys that do
+// not follow the encoding (foreign files in the registry directory) report
+// ok=false and are skipped by Nearest.
+func parseContextKey(key string) (keyCoords, bool) {
+	at := strings.LastIndexByte(key, '@')
+	if at < 0 {
+		return keyCoords{}, false
+	}
+	left, levelName := key[:at], key[at+1:]
+	dash := strings.LastIndexByte(left, '-')
+	if dash < 0 {
+		return keyCoords{}, false
+	}
+	mix, err := tpcw.ParseMix(left[:dash])
+	if err != nil {
+		return keyCoords{}, false
+	}
+	clients, err := strconv.Atoi(left[dash+1:])
+	if err != nil || clients <= 0 {
+		return keyCoords{}, false
+	}
+	for _, l := range vmenv.Levels() {
+		if l.Name == levelName {
+			return keyCoords{mix: mix, clients: clients, ordinal: vmenv.Ordinal(l)}, true
+		}
+	}
+	return keyCoords{}, false
+}
+
+// Nearest returns the stored policy whose context is closest to ctx, skipping
+// the exact key (the caller already knows it has no policy). Distance is
+// lexicographic: same traffic mix first, then the smallest VM-level ordinal
+// gap, then the smallest client-population gap, with the sorted key as the
+// deterministic tiebreak. Returns (nil, "", nil) when the registry holds no
+// parseable candidate. The rationale is the paper's policy-reuse argument
+// extended across neighboring contexts: an approximate Q-seed from an
+// adjacent context beats cold initialization, and online learning corrects
+// the residual error.
+func (r *PolicyRegistry) Nearest(ctx system.Context, exclude string) (*core.Policy, string, error) {
+	target := keyCoords{
+		mix:     ctx.Workload.Mix,
+		clients: ctx.Workload.Clients,
+		ordinal: vmenv.Ordinal(ctx.Level),
+	}
+	type ranked struct {
+		mixMiss int
+		ordGap  int
+		cliGap  int
+		key     string
+	}
+	abs := func(n int) int {
+		if n < 0 {
+			return -n
+		}
+		return n
+	}
+	var best *ranked
+	for _, key := range r.Keys() {
+		if key == exclude {
+			continue
+		}
+		c, ok := parseContextKey(key)
+		if !ok {
+			continue
+		}
+		cand := ranked{ordGap: abs(c.ordinal - target.ordinal), cliGap: abs(c.clients - target.clients), key: key}
+		if c.mix != target.mix {
+			cand.mixMiss = 1
+		}
+		if best == nil ||
+			cand.mixMiss < best.mixMiss ||
+			(cand.mixMiss == best.mixMiss && (cand.ordGap < best.ordGap ||
+				(cand.ordGap == best.ordGap && (cand.cliGap < best.cliGap ||
+					(cand.cliGap == best.cliGap && cand.key < best.key))))) {
+			b := cand
+			best = &b
+		}
+	}
+	if best == nil {
+		return nil, "", nil
+	}
+	p, err := r.Get(best.key)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, best.key, nil
 }
 
 // Keys lists the context keys with stored policies, sorted. File names are

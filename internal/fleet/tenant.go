@@ -123,26 +123,27 @@ type TenantSpec struct {
 	NoWarmStart bool `json:"noWarmStart,omitempty"`
 }
 
-// validate checks the spec's standalone fields (backend strings are resolved
-// later by the system builder, which knows the supported set).
-func (sp TenantSpec) validate() error {
+// Validate checks the spec's standalone fields (backend strings are resolved
+// later by the system builder, which knows the supported set). Every failure
+// wraps ErrBadSpec.
+func (sp TenantSpec) Validate() error {
 	if sp.Name == "" {
-		return fmt.Errorf("fleet: tenant without a name")
+		return fmt.Errorf("%w: tenant without a name", ErrBadSpec)
 	}
 	if sp.SLASeconds < 0 {
-		return fmt.Errorf("fleet: tenant %s: negative SLA %v", sp.Name, sp.SLASeconds)
+		return fmt.Errorf("%w: tenant %s: negative SLA %v", ErrBadSpec, sp.Name, sp.SLASeconds)
 	}
 	if sp.CheckpointEvery < 0 {
-		return fmt.Errorf("fleet: tenant %s: negative checkpoint interval %d", sp.Name, sp.CheckpointEvery)
+		return fmt.Errorf("%w: tenant %s: negative checkpoint interval %d", ErrBadSpec, sp.Name, sp.CheckpointEvery)
 	}
 	if sp.AdmitConcurrency < 0 || sp.AdmitQueue < 0 || sp.AdmitEpoch < 0 {
-		return fmt.Errorf("fleet: tenant %s: negative admission gate parameter", sp.Name)
+		return fmt.Errorf("%w: tenant %s: negative admission gate parameter", ErrBadSpec, sp.Name)
 	}
 	if sp.CapacityInitial < 0 || sp.CapacityDelay < 0 || sp.CapacityCost < 0 {
-		return fmt.Errorf("fleet: tenant %s: negative capacity parameter", sp.Name)
+		return fmt.Errorf("%w: tenant %s: negative capacity parameter", ErrBadSpec, sp.Name)
 	}
 	if !sp.Capacity && (sp.CapacityInitial != 0 || sp.CapacityDelay != 0 || sp.CapacityCost != 0) {
-		return fmt.Errorf("fleet: tenant %s: capacity parameters set without capacity", sp.Name)
+		return fmt.Errorf("%w: tenant %s: capacity parameters set without capacity", ErrBadSpec, sp.Name)
 	}
 	return nil
 }
@@ -197,6 +198,7 @@ type Tenant struct {
 	sys        system.System
 	agent      *core.Agent
 	seq        *workload.Sequencer // non-nil when spec.Scenario drives the load
+	shard      *shard              // owning scheduling shard (admin ops ride its mailbox)
 	trace      *telemetry.Trace    // fleet trace; receives per-interval workload events
 
 	capSys     *capacity.System // elastic decorator; nil without spec.Capacity

@@ -79,6 +79,79 @@ type IndexedModel interface {
 	RewardIndex(s int) float64
 }
 
+// Structure is the immutable skeleton of an IndexedModel: its state keys,
+// transition table and flattened feasible-action lists in dense array form.
+// Rewards are deliberately excluded — they change between training calls
+// (measured samples refine them) while the lattice shape does not, so a
+// Structure built once can back every retraining pass over the same region
+// and be shared read-only across agents tuning the same context.
+type Structure struct {
+	states  []string
+	actions int
+	// trans[s*actions+a] is the index reached by taking a in s, or -1 when
+	// infeasible. feas[off[s]:off[s+1]] lists s's feasible actions ascending.
+	trans []int32
+	off   []int32
+	feas  []int32
+}
+
+// States returns the model's state keys in index order. The slice is shared;
+// callers must not mutate it.
+func (st *Structure) States() []string { return st.states }
+
+// Actions returns the per-state action count.
+func (st *Structure) Actions() int { return st.actions }
+
+// NewStructure materializes model's transitions and feasible-action lists
+// into a Structure, validating the same closure invariants BatchTrain
+// enforces: every transition stays inside the enumerated states and every
+// state has at least one feasible action.
+func NewStructure(model IndexedModel) (*Structure, error) {
+	states := model.States()
+	n := len(states)
+	if n == 0 {
+		return nil, errors.New("mdp: model has no states")
+	}
+	actions := model.Actions()
+	st := &Structure{
+		states:  states,
+		actions: actions,
+		trans:   make([]int32, n*actions),
+		off:     make([]int32, n+1),
+		feas:    make([]int32, 0, n*actions),
+	}
+	for s := 0; s < n; s++ {
+		st.off[s] = int32(len(st.feas))
+		for a := 0; a < actions; a++ {
+			next := model.NextIndex(s, a)
+			if next >= n {
+				return nil, fmt.Errorf("mdp: state %q action %d leads to index %d outside the model's %d states",
+					states[s], a, next, n)
+			}
+			if next < 0 {
+				st.trans[s*actions+a] = -1
+				continue
+			}
+			st.trans[s*actions+a] = int32(next)
+			st.feas = append(st.feas, int32(a))
+		}
+		if int(st.off[s]) == len(st.feas) {
+			return nil, fmt.Errorf("mdp: state %q has no feasible actions", states[s])
+		}
+	}
+	st.off[n] = int32(len(st.feas))
+	return st, nil
+}
+
+// Structured is an IndexedModel that exposes a prebuilt (usually cached and
+// shared) Structure. BatchTrain uses it instead of rebuilding the transition
+// arrays per call — the structure must describe exactly the model's current
+// States()/NextIndex lattice.
+type Structured interface {
+	IndexedModel
+	Structure() (*Structure, error)
+}
+
 // BatchTrain runs Algorithm 1 over the model: repeated sweeps over all
 // states, each starting an ε-greedy trajectory of StepsPerState SARSA
 // updates, until the largest TD error of a sweep drops below Theta or
@@ -178,36 +251,33 @@ func batchTrainIndexed(table *QTable, model IndexedModel, cfg BatchConfig, rng *
 	n := len(states)
 	actions := model.Actions()
 
-	// Materialize the model into flat arrays once: transitions and rewards by
-	// (state, action) index, plus flattened feasible-action lists where
-	// feas[off[s]:off[s+1]] are the action indices feasible in state s, in
-	// ascending order like the generic path. The sweep loop then runs on pure
-	// array indexing, with no interface dispatch per step.
-	trans := make([]int32, n*actions)
+	// Materialize the model's skeleton into flat arrays — transitions by
+	// (state, action) index plus flattened feasible-action lists, ascending
+	// like the generic path — unless the model carries a prebuilt Structure
+	// (cached across retraining calls and shared across agents). The sweep
+	// loop then runs on pure array indexing, with no interface dispatch per
+	// step. Rewards change call to call, so they are read fresh either way.
+	var (
+		st  *Structure
+		err error
+	)
+	if sm, ok := model.(Structured); ok {
+		st, err = sm.Structure()
+	} else {
+		st, err = NewStructure(model)
+	}
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if len(st.states) != n || st.actions != actions {
+		return BatchResult{}, fmt.Errorf("mdp: structure shape %dx%d does not match model %dx%d",
+			len(st.states), st.actions, n, actions)
+	}
+	trans, off, feas := st.trans, st.off, st.feas
 	rewards := make([]float64, n)
-	off := make([]int32, n+1)
-	feas := make([]int32, 0, n*actions)
 	for s := 0; s < n; s++ {
 		rewards[s] = model.RewardIndex(s)
-		off[s] = int32(len(feas))
-		for a := 0; a < actions; a++ {
-			next := model.NextIndex(s, a)
-			if next >= n {
-				return BatchResult{}, fmt.Errorf("mdp: state %q action %d leads to index %d outside the model's %d states",
-					states[s], a, next, n)
-			}
-			if next < 0 {
-				trans[s*actions+a] = -1
-				continue
-			}
-			trans[s*actions+a] = int32(next)
-			feas = append(feas, int32(a))
-		}
-		if int(off[s]) == len(feas) {
-			return BatchResult{}, fmt.Errorf("mdp: state %q has no feasible actions", states[s])
-		}
 	}
-	off[n] = int32(len(feas))
 
 	// Dense Q storage, seeded with the values lazy materialization would
 	// produce: the existing row where one is materialized, else the seeder,

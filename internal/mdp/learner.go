@@ -93,7 +93,7 @@ func (l *Learner) SelectAction(state string, allowed []int) int {
 	if l.rng.Float64() < l.params.Epsilon {
 		return allowed[l.rng.Intn(len(allowed))]
 	}
-	row := l.table.Row(state)
+	row := l.table.ReadRow(state)
 	best := allowed[0]
 	bestV := row[best]
 	for _, a := range allowed[1:] {

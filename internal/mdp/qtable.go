@@ -23,6 +23,7 @@ type QTable struct {
 	rows    map[string][]float64
 	initial float64
 	seeder  Seeder
+	shared  *SharedRows
 }
 
 // Seeder produces initial Q-value rows for states the table has never seen.
@@ -56,19 +57,59 @@ func (q *QTable) Len() int { return len(q.rows) }
 // visited in the future are primed.
 func (q *QTable) SetSeeder(s Seeder) { q.seeder = s }
 
+// SetShared installs (or clears, with nil) a shared copy-on-write row store.
+// With a store installed the table serves unvisited states from the store's
+// memoized seeded rows (identical values to seeding directly, computed once
+// per store instead of once per table), interns state keys through it, and
+// materializes a private row only on write. A table's shared store takes
+// precedence over its own seeder.
+func (q *QTable) SetShared(s *SharedRows) {
+	if s != nil && s.actions != q.actions {
+		panic("mdp: SharedRows action count does not match table")
+	}
+	q.shared = s
+}
+
 // Row returns the mutable Q-value row for state, materializing it on first
-// access from the seeder (if any) or the constant initial value.
+// access from the shared store or seeder (if any) or the constant initial
+// value.
 func (q *QTable) Row(state string) []float64 {
 	row, ok := q.rows[state]
 	if !ok {
 		row = q.freshRow(state)
+		if q.shared != nil {
+			state = q.shared.Intern(state)
+		}
 		q.rows[state] = row
 	}
 	return row
 }
 
+// ReadRow returns a read-only view of the row the table serves for state: the
+// materialized row if present, else the shared store's seeded row without
+// materializing a private copy. Tables without a shared store materialize via
+// Row, preserving the historical read path. Callers must not mutate the
+// returned slice — it may be shared across tables.
+func (q *QTable) ReadRow(state string) []float64 {
+	if row, ok := q.rows[state]; ok {
+		return row
+	}
+	if q.shared != nil {
+		if row := q.shared.row(state); len(row) == q.actions {
+			return row
+		}
+	}
+	return q.Row(state)
+}
+
 func (q *QTable) freshRow(state string) []float64 {
-	if q.seeder != nil {
+	if q.shared != nil {
+		if seeded := q.shared.row(state); len(seeded) == q.actions {
+			row := make([]float64, q.actions)
+			copy(row, seeded)
+			return row
+		}
+	} else if q.seeder != nil {
 		if seeded := q.seeder(state); len(seeded) == q.actions {
 			row := make([]float64, q.actions)
 			copy(row, seeded)
@@ -91,7 +132,12 @@ func (q *QTable) snapshotRow(state string, dst []float64) {
 		copy(dst, row)
 		return
 	}
-	if q.seeder != nil {
+	if q.shared != nil {
+		if seeded := q.shared.row(state); len(seeded) == q.actions {
+			copy(dst, seeded)
+			return
+		}
+	} else if q.seeder != nil {
 		if seeded := q.seeder(state); len(seeded) == q.actions {
 			copy(dst, seeded)
 			return
@@ -109,6 +155,9 @@ func (q *QTable) setRow(state string, values []float64) {
 	row, ok := q.rows[state]
 	if !ok {
 		row = make([]float64, q.actions)
+		if q.shared != nil {
+			state = q.shared.Intern(state)
+		}
 		q.rows[state] = row
 	}
 	copy(row, values)
@@ -119,7 +168,11 @@ func (q *QTable) Get(state string, action int) float64 {
 	if row, ok := q.rows[state]; ok {
 		return row[action]
 	}
-	if q.seeder != nil {
+	if q.shared != nil {
+		if seeded := q.shared.row(state); len(seeded) == q.actions {
+			return seeded[action]
+		}
+	} else if q.seeder != nil {
 		if seeded := q.seeder(state); len(seeded) == q.actions {
 			return seeded[action]
 		}
@@ -138,7 +191,11 @@ func (q *QTable) Set(state string, action int, value float64) {
 func (q *QTable) Best(state string) (int, float64) {
 	row, ok := q.rows[state]
 	if !ok {
-		if q.seeder != nil {
+		if q.shared != nil {
+			if seeded := q.shared.row(state); len(seeded) == q.actions {
+				row = seeded
+			}
+		} else if q.seeder != nil {
 			if seeded := q.seeder(state); len(seeded) == q.actions {
 				row = seeded
 			}
@@ -168,10 +225,12 @@ func (q *QTable) Visited(state string) bool {
 	return ok
 }
 
-// Clone returns a deep copy of the table, sharing the seeder.
+// Clone returns a deep copy of the table, sharing the seeder and any shared
+// row store.
 func (q *QTable) Clone() *QTable {
 	out := NewQTable(q.actions, q.initial)
 	out.seeder = q.seeder
+	out.shared = q.shared
 	for k, row := range q.rows {
 		cp := make([]float64, len(row))
 		copy(cp, row)

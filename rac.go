@@ -575,8 +575,16 @@ type (
 	// TenantState is a tenant lifecycle state (starting → running → paused →
 	// draining → stopped, or failed).
 	TenantState = fleet.State
-	// FleetView is the admin API's fleet-wide summary (GET /admin/fleet).
+	// FleetView is the admin API's fleet-wide summary (GET /admin/v1/fleet).
 	FleetView = fleet.FleetView
+	// TenantPage is one page of the paginated tenant listing
+	// (GET /admin/v1/tenants?offset=&limit=).
+	TenantPage = fleet.TenantPage
+	// AdmitResult is one entry of a bulk-admission response
+	// (POST /admin/v1/tenants).
+	AdmitResult = fleet.AdmitResult
+	// ShardStatus is one scheduling shard's snapshot (GET /admin/v1/shards).
+	ShardStatus = fleet.ShardStatus
 	// FleetCheckpoint is one tenant's persisted state snapshot.
 	FleetCheckpoint = fleet.Checkpoint
 	// FleetSystemBuilder lets a daemon plug extra backends ("live") into the
@@ -591,6 +599,29 @@ type (
 // (magic, version, length or CRC); the fleet skips such files and falls back
 // to the previous snapshot.
 var ErrCorruptCheckpoint = fleet.ErrCorruptCheckpoint
+
+// Fleet error sentinels: every fleet API error wraps exactly one, so callers
+// branch with errors.Is instead of matching messages. The admin HTTP layer
+// maps them onto status codes and stable error-code slugs.
+var (
+	// ErrFleetBadOptions marks an invalid FleetOptions field.
+	ErrFleetBadOptions = fleet.ErrBadOptions
+	// ErrFleetBadShards marks an invalid shard count.
+	ErrFleetBadShards = fleet.ErrBadShards
+	// ErrFleetBadSpec marks an invalid TenantSpec.
+	ErrFleetBadSpec = fleet.ErrBadSpec
+	// ErrFleetDuplicateTenant marks admission of a name the fleet already holds.
+	ErrFleetDuplicateTenant = fleet.ErrDuplicateTenant
+	// ErrFleetUnknownTenant marks an operation on an unadmitted name.
+	ErrFleetUnknownTenant = fleet.ErrUnknownTenant
+	// ErrFleetBadTransition marks a lifecycle move the tenant FSM forbids.
+	ErrFleetBadTransition = fleet.ErrBadTransition
+	// ErrFleetNoPolicy marks a context key with no stored policy.
+	ErrFleetNoPolicy = fleet.ErrNoPolicy
+	// ErrFleetCheckpointsDisabled marks a checkpoint request on a fleet built
+	// without a checkpoint directory.
+	ErrFleetCheckpointsDisabled = fleet.ErrCheckpointsDisabled
+)
 
 // NewFleet builds an empty fleet control plane.
 func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
